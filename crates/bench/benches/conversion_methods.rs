@@ -1,0 +1,43 @@
+//! Benchmarks the conversion-method machinery: the Fig. 5 cost model
+//! evaluation and the real multithreaded functional conversion.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prescaler_ir::{FloatVec, Precision};
+use prescaler_sim::convert::convert_parallel;
+use prescaler_sim::{Direction, HostMethod, SystemModel, TransferPlan};
+
+fn bench_cost_model(c: &mut Criterion) {
+    let system = SystemModel::system1();
+    let plan = TransferPlan::host_scaled(
+        Direction::HtoD,
+        Precision::Double,
+        Precision::Single,
+        HostMethod::Pipelined {
+            threads: 20,
+            chunks: 8,
+        },
+    );
+    c.bench_function("convert/cost_model_eval", |b| {
+        b.iter(|| plan.time(&system, black_box(1 << 20)).total())
+    });
+}
+
+fn bench_functional_conversion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("convert/functional");
+    let data = FloatVec::from_f64_slice(
+        &(0..1 << 16).map(|i| i as f64 * 0.1).collect::<Vec<_>>(),
+        Precision::Double,
+    );
+    g.throughput(Throughput::Elements(data.len() as u64));
+    for threads in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("double_to_half", threads),
+            &threads,
+            |b, &t| b.iter(|| convert_parallel(black_box(&data), Precision::Half, t)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cost_model, bench_functional_conversion);
+criterion_main!(benches);

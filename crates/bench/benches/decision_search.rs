@@ -1,0 +1,23 @@
+//! Benchmarks the decision maker end-to-end: the full tune pipeline on a
+//! small GEMM (profiling + PFP seeding + per-object search + final run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prescaler_core::{PreScaler, SystemInspector};
+use prescaler_polybench::{BenchKind, InputSet, PolyApp};
+use prescaler_sim::SystemModel;
+
+fn bench_tune(c: &mut Criterion) {
+    let system = SystemModel::system1();
+    let db = SystemInspector::inspect(&system);
+    let app = PolyApp::scaled(BenchKind::Gemm, InputSet::Default, 0.08);
+    let mut g = c.benchmark_group("search");
+    g.sample_size(10);
+    g.bench_function("tune_gemm_small", |b| {
+        let tuner = PreScaler::new(&system, &db, 0.9);
+        b.iter(|| tuner.tune(&app).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tune);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Benchmarks whole application runs under the interposition runtime —
+//! the cost of one search trial per benchmark class.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prescaler_ocl::{run_app, ScalingSpec};
+use prescaler_polybench::{BenchKind, InputSet, PolyApp};
+use prescaler_sim::SystemModel;
+
+fn bench_runs(c: &mut Criterion) {
+    let system = SystemModel::system1();
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    for kind in [BenchKind::Gemm, BenchKind::Atax, BenchKind::TwoDConv] {
+        let app = PolyApp::scaled(kind, InputSet::Default, 0.1);
+        g.bench_function(BenchmarkId::new("baseline_run", kind.name()), |b| {
+            b.iter(|| run_app(&app, &system, &ScalingSpec::baseline()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_runs);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Microbenchmarks of the binary16 softfloat — the hot inner loop of every
+//! half-precision experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use prescaler_fp16::F16;
+
+fn bench_conversions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fp16/convert");
+    let xs: Vec<f64> = (0..4096).map(|i| (i as f64) * 0.37 - 700.0).collect();
+    g.throughput(Throughput::Elements(xs.len() as u64));
+    g.bench_function("f64_to_f16", |b| {
+        b.iter(|| {
+            let mut acc = 0u16;
+            for &x in &xs {
+                acc ^= F16::from_f64(black_box(x)).to_bits();
+            }
+            acc
+        })
+    });
+    let hs: Vec<F16> = xs.iter().map(|&x| F16::from_f64(x)).collect();
+    g.bench_function("f16_to_f64", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &h in &hs {
+                acc += black_box(h).to_f64();
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_arithmetic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fp16/arith");
+    let hs: Vec<F16> = (0..4096).map(|i| F16::from_f64(i as f64 * 0.01)).collect();
+    g.throughput(Throughput::Elements(hs.len() as u64));
+    g.bench_function("add_chain", |b| {
+        b.iter(|| {
+            let mut acc = F16::ZERO;
+            for &h in &hs {
+                acc = acc + black_box(h);
+            }
+            acc
+        })
+    });
+    g.bench_function("mul_add", |b| {
+        b.iter(|| {
+            let mut acc = F16::ZERO;
+            for &h in &hs {
+                acc = h.mul_add(black_box(h), acc);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_conversions, bench_arithmetic);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Benchmarks the one-time system inspection and database queries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prescaler_core::SystemInspector;
+use prescaler_ir::Precision;
+use prescaler_sim::{Direction, SystemModel};
+
+fn bench_inspect(c: &mut Criterion) {
+    let system = SystemModel::system1();
+    c.bench_function("inspector/inspect_system", |b| {
+        b.iter(|| SystemInspector::inspect(black_box(&system)))
+    });
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let db = SystemInspector::inspect(&SystemModel::system1());
+    c.bench_function("inspector/best_plan_query", |b| {
+        b.iter(|| {
+            db.best_plan(
+                Direction::HtoD,
+                Precision::Double,
+                Precision::Single,
+                black_box(3 << 18),
+                &Precision::ALL,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_inspect, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Benchmarks the two kernel execution engines: the bytecode VM against
+//! the reference tree-walking interpreter (the VM's raison d'être).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prescaler_ir::dsl::*;
+use prescaler_ir::interp::{run_kernel, BufferMap, Launch};
+use prescaler_ir::vm::compile_kernel;
+use prescaler_ir::{Access, FloatVec, Kernel, Precision};
+
+fn gemm_kernel(n: i64) -> (Kernel, BufferMap, Launch) {
+    let k = kernel("gemm")
+        .buffer("a", Precision::Double, Access::Read)
+        .buffer("b", Precision::Double, Access::Read)
+        .buffer("c", Precision::Double, Access::Write)
+        .int_param("n")
+        .body(vec![
+            let_("j", global_id(0)),
+            let_("i", global_id(1)),
+            let_acc("acc", "c", flit(0.0)),
+            for_(
+                "k",
+                int(0),
+                var("n"),
+                vec![add_assign(
+                    "acc",
+                    load("a", var("i") * var("n") + var("k"))
+                        * load("b", var("k") * var("n") + var("j")),
+                )],
+            ),
+            store("c", var("i") * var("n") + var("j"), var("acc")),
+        ]);
+    let nn = n as usize;
+    let mut bufs = BufferMap::new();
+    let xs: Vec<f64> = (0..nn * nn).map(|i| (i as f64 * 0.001).sin()).collect();
+    bufs.insert("a".into(), FloatVec::from_f64_slice(&xs, Precision::Double));
+    bufs.insert("b".into(), FloatVec::from_f64_slice(&xs, Precision::Double));
+    bufs.insert("c".into(), FloatVec::zeros(nn * nn, Precision::Double));
+    let launch = Launch::two_d(nn, nn).arg_int("n", n);
+    (k, bufs, launch)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let n = 48i64;
+    let (k, bufs, launch) = gemm_kernel(n);
+    let flops = 2 * (n as u64).pow(3);
+    let mut g = c.benchmark_group("engines/gemm48");
+    g.throughput(Throughput::Elements(flops));
+    g.sample_size(20);
+    g.bench_function(BenchmarkId::new("vm", n), |b| {
+        let compiled = compile_kernel(&k);
+        b.iter_batched(
+            || bufs.clone(),
+            |mut m| compiled.run(&mut m, &launch).unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function(BenchmarkId::new("interpreter", n), |b| {
+        b.iter_batched(
+            || bufs.clone(),
+            |mut m| run_kernel(&k, &mut m, &launch).unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let (k, _, _) = gemm_kernel(8);
+    c.bench_function("engines/compile_gemm", |b| b.iter(|| compile_kernel(&k)));
+}
+
+criterion_group!(benches, bench_engines, bench_compile);
+criterion_main!(benches);

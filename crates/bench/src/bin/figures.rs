@@ -1,0 +1,130 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! figures [ids...] [--scale S] [--toq Q] [--ik-cap N] [--out DIR] [--quick]
+//! ```
+//!
+//! `ids` default to `all`. Known ids: `table1 table3 table4 fig4 fig5 fig6
+//! fig9 fig10 fig11 fig12`. `--quick` shrinks problem sizes and benchmark
+//! coverage for a fast smoke run.
+
+use prescaler_bench::experiments as exp;
+use prescaler_bench::{Experiment, SuiteConfig};
+use prescaler_polybench::BenchKind;
+use std::path::PathBuf;
+
+struct Options {
+    ids: Vec<String>,
+    scale: f64,
+    toq: f64,
+    ik_cap: usize,
+    out: PathBuf,
+    quick: bool,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        ids: Vec::new(),
+        scale: 1.0,
+        toq: 0.9,
+        ik_cap: 60,
+        out: PathBuf::from("results"),
+        quick: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                opts.scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--toq" => {
+                opts.toq = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--toq needs a number"));
+            }
+            "--ik-cap" => {
+                opts.ik_cap = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--ik-cap needs an integer"));
+            }
+            "--out" => {
+                opts.out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--quick" => opts.quick = true,
+            id if !id.starts_with('-') => opts.ids.push(id.to_owned()),
+            other => die(&format!("unknown option `{other}`")),
+        }
+    }
+    if opts.ids.is_empty() || opts.ids.iter().any(|i| i == "all") {
+        opts.ids = vec![
+            "table1", "table3", "table4", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11",
+            "fig12", "ablation",
+        ]
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+    }
+    opts
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("figures: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let opts = parse_args();
+    let scale = if opts.quick { 0.1 } else { opts.scale };
+    let kinds: Vec<BenchKind> = if opts.quick {
+        vec![
+            BenchKind::Gemm,
+            BenchKind::Atax,
+            BenchKind::TwoDConv,
+            BenchKind::Corr,
+        ]
+    } else {
+        BenchKind::ALL.to_vec()
+    };
+    let cfg = SuiteConfig {
+        scale,
+        toq: opts.toq,
+        ik_cap: opts.ik_cap,
+        kinds,
+        ..SuiteConfig::default()
+    };
+
+    for id in &opts.ids {
+        let t0 = std::time::Instant::now();
+        let e: Experiment = match id.as_str() {
+            "table1" => exp::table1(),
+            "table3" => exp::table3(),
+            "table4" => exp::table4(),
+            "fig4" => exp::fig4(scale),
+            "fig5" => exp::fig5(),
+            "fig6" => exp::fig6(scale.min(0.5)),
+            "fig9" => exp::fig9(&cfg),
+            "fig10" => exp::fig10(&cfg),
+            "fig11" => exp::fig11(&cfg),
+            "fig12" => exp::fig12(&cfg),
+            "ablation" => exp::ablation(&cfg),
+            other => die(&format!("unknown experiment `{other}`")),
+        };
+        println!("{}", e.report);
+        match e.write_csv(&opts.out) {
+            Ok(path) => println!(
+                "[{} done in {:.1?}; csv: {}]\n",
+                e.id,
+                t0.elapsed(),
+                path.display()
+            ),
+            Err(err) => eprintln!("[{}: csv write failed: {err}]", e.id),
+        }
+    }
+}

@@ -1,0 +1,654 @@
+//! One module-level function per paper table/figure. Each returns the
+//! printed report as a string *and* writes a CSV next to it, so the
+//! `figures` binary and the tests share one implementation.
+
+use crate::suite::{
+    aggregate_conversions, aggregate_types, geomean_speedup, run_suite, BenchResult, SuiteConfig,
+};
+use core::fmt::Write as _;
+use prescaler_core::profile_app;
+use prescaler_ir::Precision;
+use prescaler_ocl::{run_app, HostApp, PlanChoice, ScalingSpec};
+use prescaler_polybench::{output_quality, BenchKind, InputSet, PolyApp};
+use prescaler_sim::gpu::{ComputeCapability, ThroughputTable};
+use prescaler_sim::{Direction, HostMethod, SystemModel, TransferPlan};
+
+/// Output of one experiment: a human-readable report and CSV rows.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    /// Experiment id ("fig9", "table1", …).
+    pub id: String,
+    /// Formatted report.
+    pub report: String,
+    /// CSV content (with header).
+    pub csv: String,
+}
+
+impl Experiment {
+    /// Writes the CSV under `dir` as `<id>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_csv(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        std::fs::write(&path, &self.csv)?;
+        Ok(path)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------------
+
+/// Table 1: native arithmetic throughput per compute capability.
+#[must_use]
+pub fn table1() -> Experiment {
+    let mut report = String::from(
+        "Table 1: throughput of native arithmetic (results/cycle/SM)\n\
+         cc      FP16    FP32    FP64\n",
+    );
+    let mut csv = String::from("cc,fp16,fp32,fp64\n");
+    for cc in ComputeCapability::ALL {
+        let t = ThroughputTable::for_capability(cc);
+        let h = t
+            .fp16
+            .map_or("N".to_owned(), |v| format!("{v:.0}"));
+        let _ = writeln!(report, "{:<7} {:<7} {:<7} {:<7}", cc.version(), h, t.fp32, t.fp64);
+        let _ = writeln!(csv, "{},{},{},{}", cc.version(), h, t.fp32, t.fp64);
+    }
+    Experiment {
+        id: "table1".into(),
+        report,
+        csv,
+    }
+}
+
+/// Table 3: the three target system configurations.
+#[must_use]
+pub fn table3() -> Experiment {
+    let mut report = String::from("Table 3: target system configurations\n");
+    let mut csv = String::from(
+        "system,cpu,cores,threads,simd,gpu,sms,cc,pcie,pcie_gbps\n",
+    );
+    for s in SystemModel::paper_systems() {
+        let _ = writeln!(
+            report,
+            "{}\n  CPU {} ({} cores / {} threads, {:?})\n  GPU {} ({} SMs, cc {})\n  {} ({:.1} GB/s effective)",
+            s.name,
+            s.cpu.name,
+            s.cpu.cores,
+            s.cpu.threads,
+            s.cpu.simd,
+            s.gpu.name,
+            s.gpu.sms,
+            s.gpu.compute_capability.version(),
+            s.pcie.label(),
+            s.pcie.effective_gbps(),
+        );
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},{:?},{},{},{},{},{:.2}",
+            s.name,
+            s.cpu.name,
+            s.cpu.cores,
+            s.cpu.threads,
+            s.cpu.simd,
+            s.gpu.name,
+            s.gpu.sms,
+            s.gpu.compute_capability.version(),
+            s.pcie.label(),
+            s.pcie.effective_gbps(),
+        );
+    }
+    Experiment {
+        id: "table3".into(),
+        report,
+        csv,
+    }
+}
+
+/// Table 4: benchmark input specification.
+#[must_use]
+pub fn table4() -> Experiment {
+    let mut report = String::from(
+        "Table 4: benchmark specification\nname      size_mb  default_range           category\n",
+    );
+    let mut csv = String::from("name,size_mb,range_lo,range_hi,compute_intensive\n");
+    for k in BenchKind::ALL {
+        let (lo, hi) = k.default_range();
+        let cat = if k.compute_intensive() {
+            "compute"
+        } else {
+            "data"
+        };
+        let _ = writeln!(
+            report,
+            "{:<9} {:<8} {:<23} {}",
+            k.name(),
+            k.paper_input_mb(),
+            format!("{lo:.2}..{hi:.2}"),
+            cat
+        );
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},{}",
+            k.name(),
+            k.paper_input_mb(),
+            lo,
+            hi,
+            k.compute_intensive()
+        );
+    }
+    Experiment {
+        id: "table4".into(),
+        report,
+        csv,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: program categorization
+// ---------------------------------------------------------------------------
+
+/// Fig. 4: HtoD / kernel / DtoH fractions of the baseline run per
+/// benchmark (System 1).
+#[must_use]
+pub fn fig4(scale: f64) -> Experiment {
+    let system = SystemModel::system1();
+    let mut report = String::from(
+        "Figure 4: execution-time fractions (System 1, baseline)\n\
+         name      HtoD   kernel DtoH   category\n",
+    );
+    let mut csv = String::from("name,htod,kernel,dtoh,compute_intensive\n");
+    for kind in BenchKind::ALL {
+        let app = PolyApp::scaled(kind, InputSet::Default, scale);
+        let profile = profile_app(&app, &system).expect("baseline run");
+        let tl = profile.log.timeline;
+        let total = tl.total().as_secs().max(1e-30);
+        let h = (tl.htod + tl.host_convert).as_secs() / total;
+        let k = tl.kernel.as_secs() / total;
+        let d = (tl.dtoh + tl.device_convert).as_secs() / total;
+        let _ = writeln!(
+            report,
+            "{:<9} {:<6.2} {:<6.2} {:<6.2} {}",
+            kind.name(),
+            h,
+            k,
+            d,
+            if kind.compute_intensive() {
+                "compute"
+            } else {
+                "data"
+            }
+        );
+        let _ = writeln!(
+            csv,
+            "{},{h:.4},{k:.4},{d:.4},{}",
+            kind.name(),
+            kind.compute_intensive()
+        );
+    }
+    Experiment {
+        id: "fig4".into(),
+        report,
+        csv,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: conversion methods vs data size
+// ---------------------------------------------------------------------------
+
+/// Fig. 5: total {HtoD transfer + double→single scaling} time for each
+/// method across array sizes, normalized to the single loop.
+#[must_use]
+pub fn fig5() -> Experiment {
+    let system = SystemModel::system1();
+    let threads = system.cpu.threads as usize;
+    let methods: Vec<(&str, TransferPlan)> = vec![
+        (
+            "single_loop",
+            TransferPlan::host_scaled(
+                Direction::HtoD,
+                Precision::Double,
+                Precision::Single,
+                HostMethod::Loop,
+            ),
+        ),
+        (
+            "multithread",
+            TransferPlan::host_scaled(
+                Direction::HtoD,
+                Precision::Double,
+                Precision::Single,
+                HostMethod::Multithread { threads },
+            ),
+        ),
+        (
+            "device",
+            TransferPlan::device_scaled(Direction::HtoD, Precision::Double, Precision::Single),
+        ),
+        (
+            "pipelined",
+            TransferPlan::host_scaled(
+                Direction::HtoD,
+                Precision::Double,
+                Precision::Single,
+                HostMethod::Pipelined { threads, chunks: 8 },
+            ),
+        ),
+        (
+            "transient_half",
+            TransferPlan::transient(
+                Direction::HtoD,
+                Precision::Double,
+                Precision::Half,
+                Precision::Single,
+                HostMethod::Multithread { threads },
+            ),
+        ),
+    ];
+
+    let mut report = String::from(
+        "Figure 5: (HtoD + double->single scaling) time by method, normalized to single loop (System 1)\n",
+    );
+    let _ = writeln!(
+        report,
+        "{:<10} {}",
+        "elems",
+        methods
+            .iter()
+            .map(|(n, _)| format!("{n:<15}"))
+            .collect::<String>()
+    );
+    let mut csv = String::from("elems,method,seconds,relative,best\n");
+
+    for shift in [10usize, 12, 14, 16, 18, 20, 22, 24] {
+        let elems = 1usize << shift;
+        let times: Vec<f64> = methods
+            .iter()
+            .map(|(_, p)| p.time(&system, elems).total().as_secs())
+            .collect();
+        let base = times[0];
+        let best_idx = (0..times.len())
+            .filter(|&i| methods[i].0 != "transient_half")
+            .min_by(|&a, &b| times[a].partial_cmp(&times[b]).expect("finite"))
+            .expect("non-empty");
+        let mut line = format!("{elems:<10} ");
+        for (i, t) in times.iter().enumerate() {
+            let mark = if i == best_idx { "*" } else { "" };
+            let _ = write!(line, "{:<15}", format!("{:.3}{mark}", t / base));
+            let _ = writeln!(
+                csv,
+                "{elems},{},{:.9},{:.4},{}",
+                methods[i].0,
+                t,
+                t / base,
+                i == best_idx
+            );
+        }
+        let _ = writeln!(report, "{line}");
+    }
+    report.push_str("(* = best direct method per size)\n");
+    Experiment {
+        id: "fig5".into(),
+        report,
+        csv,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: all-half quality per input set
+// ---------------------------------------------------------------------------
+
+/// Fig. 6: output quality when *every* memory object is half precision,
+/// for the three input sets.
+#[must_use]
+pub fn fig6(scale: f64) -> Experiment {
+    let system = SystemModel::system1();
+    let mut report = String::from(
+        "Figure 6: output quality with all memory objects in half precision\n\
+         name      Default  Image    Random\n",
+    );
+    let mut csv = String::from("name,input,quality\n");
+    for kind in BenchKind::ALL {
+        let mut cells = Vec::new();
+        for input in InputSet::ALL {
+            let app = PolyApp::scaled(kind, input, scale);
+            let (reference, _) =
+                run_app(&app, &system, &ScalingSpec::baseline()).expect("baseline");
+            let mut spec = ScalingSpec::baseline();
+            for label in app
+                .program()
+                .kernels
+                .iter()
+                .flat_map(prescaler_ir::Kernel::buffer_names)
+            {
+                let _ = label;
+            }
+            // All objects → half with plain loop conversion.
+            let profile = profile_app(&app, &system).expect("profile");
+            for obj in &profile.scaling_order {
+                spec = spec.with_target(&obj.label, Precision::Half);
+                if obj.written {
+                    spec = spec.with_write_plan(
+                        &obj.label,
+                        PlanChoice {
+                            intermediate: Precision::Half,
+                            host_method: HostMethod::Loop,
+                        },
+                    );
+                }
+                if obj.read_back {
+                    spec = spec.with_read_plan(
+                        &obj.label,
+                        PlanChoice {
+                            intermediate: Precision::Half,
+                            host_method: HostMethod::Loop,
+                        },
+                    );
+                }
+            }
+            let (outputs, _) = run_app(&app, &system, &spec).expect("all-half run");
+            let q = output_quality(&reference, &outputs);
+            cells.push(q);
+            let _ = writeln!(csv, "{},{},{q:.4}", kind.name(), input.label());
+        }
+        let _ = writeln!(
+            report,
+            "{:<9} {:<8.3} {:<8.3} {:<8.3}",
+            kind.name(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+    report.push_str("(TOQ threshold: 0.9)\n");
+    Experiment {
+        id: "fig6".into(),
+        report,
+        csv,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figures 9 & 10: main evaluation
+// ---------------------------------------------------------------------------
+
+fn suite_report(results: &[BenchResult], title: &str, csv: &mut String, system: &str) -> String {
+    let mut report = format!("{title}\nname      technique  speedup quality trials time_ms kernel_ms\n");
+    for r in results {
+        for row in &r.rows {
+            let _ = writeln!(
+                report,
+                "{:<9} {:<10} {:<7.3} {:<7.3} {:<6} {:<8.3} {:<8.3}",
+                row.benchmark,
+                row.technique,
+                row.speedup,
+                row.quality,
+                row.trials,
+                row.time_secs * 1e3,
+                row.kernel_secs * 1e3,
+            );
+            let t = &row.types;
+            let c = &row.conversions;
+            let _ = writeln!(
+                csv,
+                "{system},{},{},{:.6},{:.6},{},{:.9},{:.9},{},{},{},{},{},{},{},{},{},{:.3e}",
+                row.benchmark,
+                row.technique,
+                row.speedup,
+                row.quality,
+                row.trials,
+                row.time_secs,
+                row.kernel_secs,
+                t.half,
+                t.single,
+                t.double,
+                c.none,
+                c.host_loop,
+                c.host_multithread,
+                c.pipelined,
+                c.device,
+                c.transient,
+                r.entire_space,
+            );
+        }
+    }
+    for tech in ["In-Kernel", "PFP", "PreScaler"] {
+        let g = geomean_speedup(results, tech);
+        let _ = writeln!(report, "geomean {tech}: {g:.3}x");
+    }
+    let ty = aggregate_types(results, "PreScaler");
+    let cv = aggregate_conversions(results, "PreScaler");
+    let _ = writeln!(
+        report,
+        "PreScaler type distribution: half {} / single {} / double {}",
+        ty.half, ty.single, ty.double
+    );
+    let _ = writeln!(
+        report,
+        "PreScaler conversions: none {} loop {} mt {} pipe {} device {} transient {}",
+        cv.none, cv.host_loop, cv.host_multithread, cv.pipelined, cv.device, cv.transient
+    );
+    report
+}
+
+/// CSV header shared by the suite-based figures.
+fn suite_csv_header() -> String {
+    "system,benchmark,technique,speedup,quality,trials,time_secs,kernel_secs,\
+     ty_half,ty_single,ty_double,cv_none,cv_loop,cv_mt,cv_pipe,cv_device,cv_transient,entire_space\n"
+        .to_owned()
+}
+
+/// Fig. 9: In-Kernel / PFP / PreScaler on the three systems, plus type and
+/// conversion distributions.
+#[must_use]
+pub fn fig9(cfg: &SuiteConfig) -> Experiment {
+    let mut report = String::new();
+    let mut csv = suite_csv_header();
+    for system in SystemModel::paper_systems() {
+        let results = run_suite(&system, cfg);
+        report.push_str(&suite_report(
+            &results,
+            &format!("Figure 9: {}", system.name),
+            &mut csv,
+            &system.name,
+        ));
+        report.push('\n');
+    }
+    Experiment {
+        id: "fig9".into(),
+        report,
+        csv,
+    }
+}
+
+/// Fig. 10: detailed System-1 analysis — (a) normalized times, (b) trials
+/// vs the entire space (Eq. 1 with four methods).
+#[must_use]
+pub fn fig10(cfg: &SuiteConfig) -> Experiment {
+    let system = SystemModel::system1();
+    let results = run_suite(&system, cfg);
+    let mut report = String::from(
+        "Figure 10(a): normalized execution time on System 1 (B/K/F/P)\n\
+         name      B      K      F      P\n",
+    );
+    let mut csv = suite_csv_header();
+    for r in &results {
+        let b = r.row("Baseline").map_or(1.0, |x| x.time_secs);
+        let k = r.row("In-Kernel").map_or(f64::NAN, |x| x.time_secs) / b;
+        let f = r.row("PFP").map_or(f64::NAN, |x| x.time_secs) / b;
+        let p = r.row("PreScaler").map_or(f64::NAN, |x| x.time_secs) / b;
+        let _ = writeln!(
+            report,
+            "{:<9} 1.000  {k:<6.3} {f:<6.3} {p:<6.3}",
+            r.kind.name()
+        );
+    }
+    report.push_str(
+        "\nFigure 10(b): execution trials vs entire search space (4 methods)\n\
+         name      prescaler_trials entire_space  tested_fraction\n",
+    );
+    for r in &results {
+        let trials = r.row("PreScaler").map_or(0, |x| x.trials);
+        let _ = writeln!(
+            report,
+            "{:<9} {:<16} {:<13.3e} {:.3e}",
+            r.kind.name(),
+            trials,
+            r.entire_space,
+            trials as f64 / r.entire_space,
+        );
+    }
+    let _ = suite_report(&results, "detail", &mut csv, &system.name);
+    Experiment {
+        id: "fig10".into(),
+        report,
+        csv,
+    }
+}
+
+/// Fig. 11: PCIe-bandwidth adaptivity — System 1 at x16 vs x8.
+#[must_use]
+pub fn fig11(cfg: &SuiteConfig) -> Experiment {
+    let mut report = String::new();
+    let mut csv = suite_csv_header();
+    let mut speeds = Vec::new();
+    for lanes in [16u8, 8] {
+        let system = SystemModel::system1().with_pcie_lanes(lanes);
+        let mut c = cfg.clone();
+        c.run_in_kernel = false;
+        let results = run_suite(&system, &c);
+        report.push_str(&suite_report(
+            &results,
+            &format!("Figure 11: {}", system.name),
+            &mut csv,
+            &system.name,
+        ));
+        report.push('\n');
+        speeds.push((lanes, geomean_speedup(&results, "PreScaler")));
+    }
+    let _ = writeln!(
+        report,
+        "PreScaler geomean: x{} = {:.3}x, x{} = {:.3}x (narrower link ⇒ larger gain)",
+        speeds[0].0, speeds[0].1, speeds[1].0, speeds[1].1
+    );
+    Experiment {
+        id: "fig11".into(),
+        report,
+        csv,
+    }
+}
+
+/// Fig. 12: application adaptivity — input sets (a–c) and TOQ sweep (d).
+#[must_use]
+pub fn fig12(cfg: &SuiteConfig) -> Experiment {
+    let system = SystemModel::system1();
+    let mut report = String::new();
+    let mut csv = suite_csv_header();
+    for input in InputSet::ALL {
+        let mut c = cfg.clone();
+        c.input = input;
+        c.run_in_kernel = false;
+        let results = run_suite(&system, &c);
+        report.push_str(&suite_report(
+            &results,
+            &format!("Figure 12(a–c): input set {}", input.label()),
+            &mut csv,
+            &format!("{} [{}]", system.name, input.label()),
+        ));
+        report.push('\n');
+    }
+    report.push_str("Figure 12(d): TOQ sweep (Default inputs)\n");
+    for toq in [0.90, 0.95, 0.99] {
+        let mut c = cfg.clone();
+        c.toq = toq;
+        c.run_in_kernel = false;
+        let results = run_suite(&system, &c);
+        let g = geomean_speedup(&results, "PreScaler");
+        let _ = writeln!(report, "TOQ {toq:.2}: PreScaler geomean {g:.3}x");
+        let _ = suite_report(
+            &results,
+            &format!("TOQ {toq}"),
+            &mut csv,
+            &format!("{} [toq={toq}]", system.name),
+        );
+    }
+    Experiment {
+        id: "fig12".into(),
+        report,
+        csv,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ablation: design choices of the decision maker
+// ---------------------------------------------------------------------------
+
+/// Ablation study: PreScaler with the wildcard test and the PFP seeding
+/// individually disabled, quantifying each design choice's contribution
+/// (DESIGN.md's per-choice ablation).
+#[must_use]
+pub fn ablation(cfg: &SuiteConfig) -> Experiment {
+    use prescaler_core::{PreScaler, SystemInspector};
+    let system = SystemModel::system1();
+    let db = SystemInspector::inspect(&system);
+    let mut report = String::from(
+        "Ablation (System 1): PreScaler variants, speedup over baseline\n\
+         name      full    -wildcard -pfp_seed trials_full\n",
+    );
+    let mut csv = String::from("name,variant,speedup,quality,trials\n");
+    for &kind in &cfg.kinds {
+        let app = PolyApp::scaled(kind, cfg.input, cfg.scale);
+        let variants: [(&str, PreScaler); 3] = [
+            ("full", PreScaler::new(&system, &db, cfg.toq)),
+            (
+                "no_wildcard",
+                PreScaler::new(&system, &db, cfg.toq).without_wildcard(),
+            ),
+            (
+                "no_pfp_seed",
+                PreScaler::new(&system, &db, cfg.toq).without_pfp_seed(),
+            ),
+        ];
+        let mut cells = Vec::new();
+        let mut trials_full = 0;
+        for (name, tuner) in variants {
+            let tuned = tuner.tune(&app).expect("ablation tune");
+            if name == "full" {
+                trials_full = tuned.trials;
+            }
+            cells.push(tuned.speedup());
+            let _ = writeln!(
+                csv,
+                "{},{},{:.4},{:.4},{}",
+                kind.name(),
+                name,
+                tuned.speedup(),
+                tuned.eval.quality,
+                tuned.trials
+            );
+        }
+        let _ = writeln!(
+            report,
+            "{:<9} {:<7.3} {:<9.3} {:<9.3} {}",
+            kind.name(),
+            cells[0],
+            cells[1],
+            cells[2],
+            trials_full
+        );
+    }
+    report.push_str(
+        "(full >= each ablated variant is expected; equality means the\n\
+         feature did not fire for that benchmark/system)\n",
+    );
+    Experiment {
+        id: "ablation".into(),
+        report,
+        csv,
+    }
+}

@@ -1,0 +1,23 @@
+//! The experiment harness: regenerates every table and figure of the
+//! PreScaler paper's evaluation section on the simulated systems.
+//!
+//! * [`suite`] — runs Baseline / In-Kernel / PFP / PreScaler per benchmark
+//!   (in parallel across benchmarks) and aggregates distributions;
+//! * [`experiments`] — one function per table/figure, each returning a
+//!   printable report and a CSV.
+//!
+//! The `figures` binary drives these:
+//!
+//! ```text
+//! cargo run --release -p prescaler-bench --bin figures -- all
+//! cargo run --release -p prescaler-bench --bin figures -- fig9 --scale 0.5
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod suite;
+
+pub use experiments::Experiment;
+pub use suite::{run_suite, BenchResult, SuiteConfig};

@@ -1,0 +1,241 @@
+//! The evaluation suite: run Baseline / In-Kernel / PFP / PreScaler over
+//! benchmarks on a system, in parallel, producing [`ResultRow`]s.
+
+use prescaler_core::baselines::{in_kernel, pfp};
+use prescaler_core::report::{
+    conversion_distribution, type_distribution, ConversionDistribution, TypeDistribution,
+};
+use prescaler_core::search_space;
+use prescaler_core::{profile_app, InspectorDb, PreScaler, ResultRow, SystemInspector};
+use prescaler_ocl::ScalingSpec;
+use prescaler_polybench::{BenchKind, InputSet, PolyApp};
+use prescaler_sim::SystemModel;
+
+/// Suite parameters.
+#[derive(Clone, Debug)]
+pub struct SuiteConfig {
+    /// Problem-size scale (1.0 = experiment scale).
+    pub scale: f64,
+    /// Target output quality.
+    pub toq: f64,
+    /// Input set.
+    pub input: InputSet,
+    /// Trial cap for the exhaustive In-Kernel search.
+    pub ik_cap: usize,
+    /// Which benchmarks to run.
+    pub kinds: Vec<BenchKind>,
+    /// Whether to run the (expensive) In-Kernel baseline.
+    pub run_in_kernel: bool,
+    /// Worker threads (experiments are independent per benchmark).
+    pub threads: usize,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> SuiteConfig {
+        SuiteConfig {
+            scale: 1.0,
+            toq: 0.9,
+            input: InputSet::Default,
+            ik_cap: 60,
+            kinds: BenchKind::ALL.to_vec(),
+            run_in_kernel: true,
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+        }
+    }
+}
+
+/// All technique results for one benchmark on one system.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// The benchmark.
+    pub kind: BenchKind,
+    /// Per-technique rows: Baseline, In-Kernel (if run), PFP, PreScaler.
+    pub rows: Vec<ResultRow>,
+    /// Eq. 1 size of the entire configuration space (4 methods).
+    pub entire_space: f64,
+    /// Fraction of total baseline time spent in kernels (Fig. 4).
+    pub baseline_kernel_fraction: f64,
+    /// Fractions of baseline time: HtoD, kernel, DtoH (Fig. 4 bars).
+    pub baseline_fractions: [f64; 3],
+}
+
+impl BenchResult {
+    /// The row for a technique, if present.
+    #[must_use]
+    pub fn row(&self, technique: &str) -> Option<&ResultRow> {
+        self.rows.iter().find(|r| r.technique == technique)
+    }
+
+    /// Speedup of a technique (1.0 when missing).
+    #[must_use]
+    pub fn speedup(&self, technique: &str) -> f64 {
+        self.row(technique).map_or(1.0, |r| r.speedup)
+    }
+}
+
+/// Runs the suite for one system.
+///
+/// # Panics
+///
+/// Panics if any benchmark fails to execute — experiment configurations
+/// are all expected to run.
+#[must_use]
+pub fn run_suite(system: &SystemModel, cfg: &SuiteConfig) -> Vec<BenchResult> {
+    let db = SystemInspector::inspect(system);
+    let mut results: Vec<Option<BenchResult>> = Vec::new();
+    results.resize_with(cfg.kinds.len(), || None);
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mx = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.threads.clamp(1, cfg.kinds.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= cfg.kinds.len() {
+                    break;
+                }
+                let kind = cfg.kinds[i];
+                let r = run_one(system, &db, cfg, kind);
+                results_mx.lock().expect("no poisoned results")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every benchmark slot filled"))
+        .collect()
+}
+
+/// Runs all techniques for one benchmark.
+#[must_use]
+pub fn run_one(
+    system: &SystemModel,
+    db: &InspectorDb,
+    cfg: &SuiteConfig,
+    kind: BenchKind,
+) -> BenchResult {
+    let app = PolyApp::scaled(kind, cfg.input, cfg.scale);
+    let profile = profile_app(&app, system).expect("baseline run");
+    let base_time = profile.baseline_time;
+    let tl = profile.log.timeline;
+    let total = tl.total().as_secs().max(1e-30);
+    let baseline_fractions = [
+        (tl.htod + tl.host_convert).as_secs() / total,
+        tl.kernel.as_secs() / total,
+        (tl.dtoh + tl.device_convert).as_secs() / total,
+    ];
+
+    let mut rows = Vec::new();
+    rows.push(ResultRow {
+        benchmark: kind.name().to_owned(),
+        technique: "Baseline".to_owned(),
+        time_secs: base_time.as_secs(),
+        kernel_secs: tl.kernel.as_secs(),
+        speedup: 1.0,
+        quality: 1.0,
+        trials: 1,
+        types: type_distribution(&profile, &ScalingSpec::baseline()),
+        conversions: conversion_distribution(&profile, &ScalingSpec::baseline()),
+    });
+
+    if cfg.run_in_kernel {
+        let ik = in_kernel(&app, system, &profile, cfg.toq, cfg.ik_cap).expect("in-kernel");
+        rows.push(ResultRow {
+            benchmark: kind.name().to_owned(),
+            technique: "In-Kernel".to_owned(),
+            time_secs: ik.eval.time.as_secs(),
+            kernel_secs: ik.eval.kernel_time.as_secs(),
+            speedup: base_time / ik.eval.time,
+            quality: ik.eval.quality,
+            trials: ik.trials,
+            // In-kernel keeps objects at full precision.
+            types: type_distribution(&profile, &ik.config),
+            conversions: conversion_distribution(&profile, &ik.config),
+        });
+    }
+
+    let p = pfp(&app, system, &profile, cfg.toq).expect("pfp");
+    rows.push(ResultRow {
+        benchmark: kind.name().to_owned(),
+        technique: "PFP".to_owned(),
+        time_secs: p.eval.time.as_secs(),
+        kernel_secs: p.eval.kernel_time.as_secs(),
+        speedup: base_time / p.eval.time,
+        quality: p.eval.quality,
+        trials: p.trials,
+        types: type_distribution(&profile, &p.config),
+        conversions: conversion_distribution(&profile, &p.config),
+    });
+
+    let tuner = PreScaler::new(system, db, cfg.toq);
+    let tuned = tuner.tune(&app).expect("prescaler");
+    rows.push(ResultRow {
+        benchmark: kind.name().to_owned(),
+        technique: "PreScaler".to_owned(),
+        time_secs: tuned.eval.time.as_secs(),
+        kernel_secs: tuned.eval.kernel_time.as_secs(),
+        speedup: tuned.speedup(),
+        quality: tuned.eval.quality,
+        trials: tuned.trials,
+        types: type_distribution(&tuned.profile, &tuned.config),
+        conversions: conversion_distribution(&tuned.profile, &tuned.config),
+    });
+
+    let spaces = search_space::object_spaces(&profile);
+    BenchResult {
+        kind,
+        rows,
+        entire_space: search_space::entire(&spaces, 4),
+        baseline_kernel_fraction: baseline_fractions[1],
+        baseline_fractions,
+    }
+}
+
+/// Geometric mean of per-benchmark speedups for a technique.
+#[must_use]
+pub fn geomean_speedup(results: &[BenchResult], technique: &str) -> f64 {
+    if results.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = results
+        .iter()
+        .map(|r| r.speedup(technique).max(1e-12).ln())
+        .sum();
+    (log_sum / results.len() as f64).exp()
+}
+
+/// Aggregate type distribution across benchmarks for a technique.
+#[must_use]
+pub fn aggregate_types(results: &[BenchResult], technique: &str) -> TypeDistribution {
+    let mut agg = TypeDistribution::default();
+    for r in results {
+        if let Some(row) = r.row(technique) {
+            agg.half += row.types.half;
+            agg.single += row.types.single;
+            agg.double += row.types.double;
+        }
+    }
+    agg
+}
+
+/// Aggregate conversion distribution across benchmarks for a technique.
+#[must_use]
+pub fn aggregate_conversions(
+    results: &[BenchResult],
+    technique: &str,
+) -> ConversionDistribution {
+    let mut agg = ConversionDistribution::default();
+    for r in results {
+        if let Some(row) = r.row(technique) {
+            agg.none += row.conversions.none;
+            agg.host_loop += row.conversions.host_loop;
+            agg.host_multithread += row.conversions.host_multithread;
+            agg.pipelined += row.conversions.pipelined;
+            agg.device += row.conversions.device;
+            agg.transient += row.conversions.transient;
+        }
+    }
+    agg
+}

@@ -1,0 +1,50 @@
+//! **PreScaler** — an automatic, system-aware precision-scaling framework
+//! for (simulated) heterogeneous systems, reproducing Kang, Choi & Park,
+//! CGO 2020.
+//!
+//! PreScaler scales floating-point precision at the **memory-object
+//! level**, so both PCIe data transfer and kernel execution benefit, and
+//! finds the best mixed-precision configuration with a decision-tree
+//! search whose conversion-method choices come from a one-time system
+//! inspection instead of execution trials:
+//!
+//! * [`inspector::SystemInspector`] → [`inspector::InspectorDb`] — the
+//!   one-time system probe (paper §4.2);
+//! * [`profiler::profile_app`] — dynamic application profiling (§4.3);
+//! * [`search::PreScaler`] — the decision maker: pre-full-precision
+//!   seeding, per-object normal search, wildcard/transient test (§4.4,
+//!   Algorithms 1–2);
+//! * [`baselines`] — the paper's comparison points (In-Kernel, PFP);
+//! * [`search_space`] — Equations 1–3;
+//! * [`report`] — type / conversion-method distribution extraction.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use prescaler_core::inspector::SystemInspector;
+//! use prescaler_core::search::PreScaler;
+//! use prescaler_polybench::{BenchKind, InputSet, PolyApp};
+//! use prescaler_sim::SystemModel;
+//!
+//! let system = SystemModel::system1();
+//! let db = SystemInspector::inspect(&system); // one-time, per system
+//! let tuner = PreScaler::new(&system, &db, 0.9);
+//! let tuned = tuner.tune(&PolyApp::scaled(BenchKind::Gemm, InputSet::Default, 0.25))?;
+//! println!("speedup {:.2}x at quality {:.3}", tuned.speedup(), tuned.eval.quality);
+//! # Ok::<(), prescaler_ocl::OclError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod inspector;
+pub mod profiler;
+pub mod report;
+pub mod search;
+pub mod search_space;
+
+pub use inspector::{InspectorDb, SystemInspector};
+pub use profiler::{profile_app, AppProfile};
+pub use report::{conversion_distribution, type_distribution, ResultRow};
+pub use search::{Evaluation, PreScaler, Tuned};

@@ -1,0 +1,130 @@
+//! The application profiler — one baseline run under the interposition
+//! runtime, distilled into what the decision maker needs.
+
+use prescaler_ocl::{run_app, HostApp, OclError, Outputs, ProfileLog, ScalingSpec};
+use prescaler_sim::{Direction, SimTime, SystemModel};
+
+/// The distilled profile of one application on one system.
+#[derive(Clone, Debug)]
+pub struct AppProfile {
+    /// The full event log of the baseline run.
+    pub log: ProfileLog,
+    /// Baseline (full-precision) outputs — the quality reference.
+    pub reference: Outputs,
+    /// Baseline total time — the speedup denominator.
+    pub baseline_time: SimTime,
+    /// Memory objects slated for scaling, in descending effective
+    /// execution time (the decision-tree visit order).
+    pub scaling_order: Vec<ObjectProfile>,
+}
+
+/// Per-object facts the search consults.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObjectProfile {
+    /// Memory-object label.
+    pub label: String,
+    /// Element count.
+    pub elems: usize,
+    /// Original precision.
+    pub original: prescaler_ir::Precision,
+    /// Whether the app writes it to the device (HtoD events exist).
+    pub written: bool,
+    /// Whether the app reads it back (DtoH events exist).
+    pub read_back: bool,
+    /// Effective execution time (transfers + apportioned kernel time).
+    pub effective_time: SimTime,
+    /// Number of data-transfer events touching the object.
+    pub transfer_events: usize,
+}
+
+/// Profiles `app` on `system`: one baseline execution under the profiling
+/// runtime.
+///
+/// # Errors
+///
+/// Propagates [`OclError`] from the application driver.
+pub fn profile_app(app: &dyn HostApp, system: &SystemModel) -> Result<AppProfile, OclError> {
+    let (reference, log) = run_app(app, system, &ScalingSpec::baseline())?;
+    let baseline_time = log.timeline.total();
+
+    let mut scaling_order = Vec::new();
+    for label in log.objects_by_effective_time() {
+        let info = log.object(&label).expect("label from the log").clone();
+        let written = log.events.iter().any(|e| {
+            matches!(e, prescaler_ocl::Event::Transfer { label: l, direction: Direction::HtoD, .. } if *l == label)
+        });
+        let read_back = log.events.iter().any(|e| {
+            matches!(e, prescaler_ocl::Event::Transfer { label: l, direction: Direction::DtoH, .. } if *l == label)
+        });
+        scaling_order.push(ObjectProfile {
+            effective_time: log.effective_time(&label),
+            transfer_events: log.transfer_event_count(&label),
+            label,
+            elems: info.len,
+            original: info.declared,
+            written,
+            read_back,
+        });
+    }
+
+    Ok(AppProfile {
+        log,
+        reference,
+        baseline_time,
+        scaling_order,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prescaler_polybench::{BenchKind, PolyApp};
+
+    #[test]
+    fn profile_captures_objects_in_effective_time_order() {
+        let app = PolyApp::tiny(BenchKind::Gemm);
+        let profile = profile_app(&app, &SystemModel::system1()).unwrap();
+        assert_eq!(profile.scaling_order.len(), 3, "A, B, C");
+        // Order is descending by effective time.
+        for w in profile.scaling_order.windows(2) {
+            assert!(w[0].effective_time >= w[1].effective_time);
+        }
+        // GEMM writes A, B, C and reads back C.
+        let c = profile
+            .scaling_order
+            .iter()
+            .find(|o| o.label == "C")
+            .unwrap();
+        assert!(c.written && c.read_back);
+        assert_eq!(c.transfer_events, 2, "one write + one read");
+        let a = profile
+            .scaling_order
+            .iter()
+            .find(|o| o.label == "A")
+            .unwrap();
+        assert!(a.written && !a.read_back);
+    }
+
+    #[test]
+    fn profile_keeps_reference_outputs() {
+        let app = PolyApp::tiny(BenchKind::Atax);
+        let profile = profile_app(&app, &SystemModel::system1()).unwrap();
+        assert_eq!(profile.reference.len(), 1);
+        assert_eq!(profile.reference[0].0, "Y");
+        assert!(profile.baseline_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn intermediate_buffers_have_no_transfer_events() {
+        // ATAX's TMP never crosses PCIe.
+        let app = PolyApp::tiny(BenchKind::Atax);
+        let profile = profile_app(&app, &SystemModel::system1()).unwrap();
+        let tmp = profile
+            .scaling_order
+            .iter()
+            .find(|o| o.label == "TMP")
+            .unwrap();
+        assert!(!tmp.written && !tmp.read_back);
+        assert_eq!(tmp.transfer_events, 0);
+    }
+}

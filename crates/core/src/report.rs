@@ -1,0 +1,269 @@
+//! Report extraction: the type and conversion-method distributions the
+//! paper plots in Fig. 9(d,e), Fig. 11(b,c) and Fig. 12(b,c).
+
+use crate::profiler::AppProfile;
+use prescaler_ir::Precision;
+use prescaler_ocl::ScalingSpec;
+use prescaler_sim::HostMethod;
+use serde::{Deserialize, Serialize};
+
+/// How many memory objects ended up at each precision.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TypeDistribution {
+    /// Objects stored as binary16.
+    pub half: usize,
+    /// Objects stored as binary32.
+    pub single: usize,
+    /// Objects left at binary64.
+    pub double: usize,
+}
+
+impl TypeDistribution {
+    /// Total objects.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.half + self.single + self.double
+    }
+
+    /// Fraction of objects at the given precision.
+    #[must_use]
+    pub fn fraction(&self, p: Precision) -> f64 {
+        let n = self.total().max(1) as f64;
+        (match p {
+            Precision::Half => self.half,
+            Precision::Single => self.single,
+            Precision::Double => self.double,
+        }) as f64
+            / n
+    }
+}
+
+/// How the transfer events of a configuration convert (paper Fig. 9(e)).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConversionDistribution {
+    /// Transfers with no conversion at all.
+    pub none: usize,
+    /// Host-side single-loop conversions.
+    pub host_loop: usize,
+    /// Host-side multithreaded conversions.
+    pub host_multithread: usize,
+    /// Pipelined conversion+transfer.
+    pub pipelined: usize,
+    /// Device-side conversions.
+    pub device: usize,
+    /// Transient conversions (wire type distinct from both endpoints).
+    pub transient: usize,
+}
+
+impl ConversionDistribution {
+    /// Total transfer events classified.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.none
+            + self.host_loop
+            + self.host_multithread
+            + self.pipelined
+            + self.device
+            + self.transient
+    }
+
+    /// Number of events that perform some conversion.
+    #[must_use]
+    pub fn converting(&self) -> usize {
+        self.total() - self.none
+    }
+}
+
+/// Extracts the per-object type distribution of a configuration.
+#[must_use]
+pub fn type_distribution(profile: &AppProfile, spec: &ScalingSpec) -> TypeDistribution {
+    let mut dist = TypeDistribution::default();
+    for obj in &profile.scaling_order {
+        match spec.target_for(&obj.label, obj.original) {
+            Precision::Half => dist.half += 1,
+            Precision::Single => dist.single += 1,
+            Precision::Double => dist.double += 1,
+        }
+    }
+    dist
+}
+
+/// Extracts the conversion-method distribution over the configuration's
+/// transfer events.
+#[must_use]
+pub fn conversion_distribution(
+    profile: &AppProfile,
+    spec: &ScalingSpec,
+) -> ConversionDistribution {
+    let mut dist = ConversionDistribution::default();
+    for obj in &profile.scaling_order {
+        let target = spec.target_for(&obj.label, obj.original);
+        if obj.written {
+            classify(
+                &mut dist,
+                obj.original,
+                target,
+                spec.write_plans.get(&obj.label).copied(),
+                true,
+            );
+        }
+        if obj.read_back {
+            classify(
+                &mut dist,
+                target,
+                obj.original,
+                spec.read_plans.get(&obj.label).copied(),
+                false,
+            );
+        }
+    }
+    dist
+}
+
+fn classify(
+    dist: &mut ConversionDistribution,
+    src: Precision,
+    dst: Precision,
+    plan: Option<prescaler_ocl::PlanChoice>,
+    htod: bool,
+) {
+    let Some(plan) = plan else {
+        if src == dst {
+            dist.none += 1;
+        } else {
+            dist.host_loop += 1; // runtime default for scaled-but-unplanned
+        }
+        return;
+    };
+    if src == dst && plan.intermediate == src {
+        dist.none += 1;
+        return;
+    }
+    let transient = plan.intermediate != src && plan.intermediate != dst;
+    if transient {
+        dist.transient += 1;
+        return;
+    }
+    // Direct conversion: device-side when the wire carries the *far* end's
+    // type (source for HtoD, destination for DtoH).
+    let device_side = if htod {
+        plan.intermediate == src
+    } else {
+        plan.intermediate == dst
+    };
+    if device_side && src != dst {
+        dist.device += 1;
+        return;
+    }
+    match plan.host_method {
+        HostMethod::Loop => dist.host_loop += 1,
+        HostMethod::Multithread { .. } => dist.host_multithread += 1,
+        HostMethod::Pipelined { .. } => dist.pipelined += 1,
+    }
+}
+
+/// A complete per-benchmark result row (one bar group in Fig. 9/10).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ResultRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Technique name ("Baseline", "In-Kernel", "PFP", "PreScaler").
+    pub technique: String,
+    /// Total virtual time in seconds.
+    pub time_secs: f64,
+    /// Kernel-only virtual time in seconds.
+    pub kernel_secs: f64,
+    /// Speedup over baseline.
+    pub speedup: f64,
+    /// Output quality.
+    pub quality: f64,
+    /// Application executions spent searching.
+    pub trials: usize,
+    /// Final object type distribution.
+    pub types: TypeDistribution,
+    /// Final conversion-method distribution.
+    pub conversions: ConversionDistribution,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::profile_app;
+    use prescaler_ocl::PlanChoice;
+    use prescaler_polybench::{BenchKind, PolyApp};
+    use prescaler_sim::SystemModel;
+
+    fn gemm_profile() -> AppProfile {
+        profile_app(&PolyApp::tiny(BenchKind::Gemm), &SystemModel::system1()).unwrap()
+    }
+
+    #[test]
+    fn baseline_distribution_is_all_double_no_conversion() {
+        let profile = gemm_profile();
+        let spec = ScalingSpec::baseline();
+        let t = type_distribution(&profile, &spec);
+        assert_eq!(t.double, 3);
+        assert_eq!(t.half + t.single, 0);
+        assert_eq!(t.fraction(Precision::Double), 1.0);
+        let c = conversion_distribution(&profile, &spec);
+        assert_eq!(c.none, 4, "3 writes + 1 read, all unconverted");
+        assert_eq!(c.converting(), 0);
+    }
+
+    #[test]
+    fn scaled_objects_classify_by_method() {
+        let profile = gemm_profile();
+        let spec = ScalingSpec::baseline()
+            .with_target("A", Precision::Single)
+            .with_write_plan(
+                "A",
+                PlanChoice {
+                    intermediate: Precision::Single,
+                    host_method: HostMethod::Multithread { threads: 20 },
+                },
+            )
+            .with_target("B", Precision::Single)
+            .with_write_plan(
+                "B",
+                PlanChoice {
+                    intermediate: Precision::Double, // wire carries source → device converts
+                    host_method: HostMethod::Loop,
+                },
+            )
+            .with_target("C", Precision::Half)
+            .with_write_plan(
+                "C",
+                PlanChoice {
+                    intermediate: Precision::Half,
+                    host_method: HostMethod::Pipelined {
+                        threads: 20,
+                        chunks: 8,
+                    },
+                },
+            )
+            .with_read_plan(
+                "C",
+                PlanChoice {
+                    intermediate: Precision::Single, // half → (single wire) → double
+                    host_method: HostMethod::Loop,
+                },
+            );
+        let t = type_distribution(&profile, &spec);
+        assert_eq!((t.half, t.single, t.double), (1, 2, 0));
+        let c = conversion_distribution(&profile, &spec);
+        assert_eq!(c.host_multithread, 1, "A");
+        assert_eq!(c.device, 1, "B");
+        assert_eq!(c.pipelined, 1, "C write");
+        assert_eq!(c.transient, 1, "C read through single");
+        assert_eq!(c.none, 0);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn unplanned_scaled_transfer_counts_as_host_loop() {
+        let profile = gemm_profile();
+        let spec = ScalingSpec::baseline().with_target("A", Precision::Single);
+        let c = conversion_distribution(&profile, &spec);
+        assert_eq!(c.host_loop, 1);
+    }
+}

@@ -1,0 +1,560 @@
+//! The decision maker: PreScaler's decision-tree search (paper §4.4,
+//! Algorithms 1 and 2).
+//!
+//! The search runs per memory object, in descending effective-execution-
+//! time order:
+//!
+//! 1. **Pre-full-precision scaling** (§4.4.1) seeds every object's initial
+//!    type with the best uniform-precision configuration.
+//! 2. **Normal search** (Alg. 1, lines 1–13) tries each target precision
+//!    in descending order, with the best *direct* conversion method per
+//!    event predicted from the inspector database (no execution needed to
+//!    pick methods — only one run per target to measure time and check
+//!    TOQ), stopping at the first TOQ failure.
+//! 3. **Wildcard test** (Alg. 1, lines 14–32) re-scores the accepted
+//!    targets allowing *transient* wire types (including the TOQ-failed
+//!    type), using predicted transfer times plus the kernel times already
+//!    measured; a risky wildcard (compressed wire below both endpoint
+//!    types, or a failed type as intermediate) is verified with one real
+//!    execution before being adopted.
+
+use crate::inspector::InspectorDb;
+use crate::profiler::{profile_app, AppProfile, ObjectProfile};
+use prescaler_ir::Precision;
+use prescaler_ocl::{run_app, HostApp, OclError, PlanChoice, ScalingSpec};
+use prescaler_polybench::output_quality;
+use prescaler_sim::{Direction, SimTime, SystemModel};
+
+/// One measured configuration evaluation.
+#[derive(Clone, Debug)]
+pub struct Evaluation {
+    /// Total virtual program time.
+    pub time: SimTime,
+    /// Kernel-only portion.
+    pub kernel_time: SimTime,
+    /// Output quality vs the baseline reference.
+    pub quality: f64,
+}
+
+/// The outcome of a tuning run.
+#[derive(Clone, Debug)]
+pub struct Tuned {
+    /// The chosen configuration.
+    pub config: ScalingSpec,
+    /// Its measured evaluation.
+    pub eval: Evaluation,
+    /// Baseline total time (speedup denominator).
+    pub baseline_time: SimTime,
+    /// Number of real application executions spent (profiling, PFP
+    /// seeding, search, verification, final run).
+    pub trials: usize,
+    /// The baseline profile (for reports).
+    pub profile: AppProfile,
+}
+
+impl Tuned {
+    /// Speedup over the full-precision baseline.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.baseline_time / self.eval.time
+    }
+}
+
+/// The PreScaler tuner.
+#[derive(Clone, Copy, Debug)]
+pub struct PreScaler<'a> {
+    system: &'a SystemModel,
+    db: &'a InspectorDb,
+    toq: f64,
+    use_wildcard: bool,
+    use_pfp_seed: bool,
+}
+
+impl<'a> PreScaler<'a> {
+    /// Creates a tuner for one system with a target output quality.
+    #[must_use]
+    pub fn new(system: &'a SystemModel, db: &'a InspectorDb, toq: f64) -> PreScaler<'a> {
+        PreScaler {
+            system,
+            db,
+            toq,
+            use_wildcard: true,
+            use_pfp_seed: true,
+        }
+    }
+
+    /// The configured TOQ.
+    #[must_use]
+    pub fn toq(&self) -> f64 {
+        self.toq
+    }
+
+    /// Disables the wildcard (transient-conversion) test — an ablation of
+    /// the paper's §4.4 design choice.
+    #[must_use]
+    pub fn without_wildcard(mut self) -> PreScaler<'a> {
+        self.use_wildcard = false;
+        self
+    }
+
+    /// Disables pre-full-precision seeding (§4.4.1) — the decision tree
+    /// starts from the original types instead.
+    #[must_use]
+    pub fn without_pfp_seed(mut self) -> PreScaler<'a> {
+        self.use_pfp_seed = false;
+        self
+    }
+
+    /// Runs the full pipeline: profile → PFP seed → decision tree → final
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates application failures ([`OclError`]); a failure of a
+    /// *candidate* configuration is treated as quality 0 rather than an
+    /// error.
+    pub fn tune(&self, app: &dyn HostApp) -> Result<Tuned, OclError> {
+        let profile = profile_app(app, self.system)?;
+        let mut trials = 1usize; // the profiling run
+
+        // --- Pre-full-precision scaling (also the PFP baseline). ---
+        let (mut current, mut current_eval) = (
+            ScalingSpec::baseline(),
+            Evaluation {
+                time: profile.baseline_time,
+                kernel_time: profile.log.timeline.kernel,
+                quality: 1.0,
+            },
+        );
+        if self.use_pfp_seed {
+            let (seed_types, seeded, seeded_eval, pfp_trials) =
+                self.pre_full_precision(app, &profile)?;
+            trials += pfp_trials;
+            let _ = seed_types;
+            current = seeded;
+            current_eval = seeded_eval;
+        }
+
+        // --- Decision tree over objects. ---
+        let order: Vec<ObjectProfile> = profile.scaling_order.clone();
+        for obj in &order {
+            let (cfg, eval, t) = self.tune_object(app, &profile, obj, current, current_eval)?;
+            trials += t;
+            current = cfg;
+            current_eval = eval;
+        }
+
+        // --- Final measured run of the chosen configuration. ---
+        let final_eval = self.evaluate(app, &profile, &current)?;
+        trials += 1;
+        let chosen = if final_eval.quality >= self.toq {
+            (current, final_eval)
+        } else {
+            // Safety net: an unverified prediction failed TOQ — fall back
+            // to the baseline configuration.
+            (
+                ScalingSpec::baseline(),
+                Evaluation {
+                    time: profile.baseline_time,
+                    kernel_time: profile.log.timeline.kernel,
+                    quality: 1.0,
+                },
+            )
+        };
+
+        Ok(Tuned {
+            config: chosen.0,
+            eval: chosen.1,
+            baseline_time: profile.baseline_time,
+            trials,
+            profile,
+        })
+    }
+
+    /// §4.4.1: test uniform-precision configurations and return the best
+    /// one as the tree's starting point.
+    #[allow(clippy::type_complexity)]
+    fn pre_full_precision(
+        &self,
+        app: &dyn HostApp,
+        profile: &AppProfile,
+    ) -> Result<(Precision, ScalingSpec, Evaluation, usize), OclError> {
+        let mut best = (
+            Precision::Double,
+            ScalingSpec::baseline(),
+            Evaluation {
+                time: profile.baseline_time,
+                kernel_time: profile.log.timeline.kernel,
+                quality: 1.0,
+            },
+        );
+        let mut trials = 0usize;
+        for target in [Precision::Single, Precision::Half] {
+            let mut spec = ScalingSpec::baseline();
+            for obj in &profile.scaling_order {
+                spec = self.apply_object_target(spec, profile, &obj.label, target, false);
+            }
+            let eval = self.evaluate(app, profile, &spec)?;
+            trials += 1;
+            let failed = eval.quality < self.toq;
+            if !failed && eval.time < best.2.time {
+                best = (target, spec, eval);
+            }
+            if failed {
+                // Lower uniform precisions will not recover quality.
+                break;
+            }
+        }
+        Ok((best.0, best.1, best.2, trials))
+    }
+
+    /// Algorithm 1 for one memory object.
+    fn tune_object(
+        &self,
+        app: &dyn HostApp,
+        profile: &AppProfile,
+        obj: &ObjectProfile,
+        current: ScalingSpec,
+        current_eval: Evaluation,
+    ) -> Result<(ScalingSpec, Evaluation, usize), OclError> {
+        let mut trials = 0usize;
+        let current_type = current.target_for(&obj.label, obj.original);
+
+        // ---------- Normal search ----------
+        let mut kernel_time_map: Vec<(Precision, SimTime)> =
+            vec![(current_type, current_eval.kernel_time)];
+        let mut accepted: Vec<Precision> = vec![current_type];
+        let mut failed: Option<Precision> = None;
+        let mut normal_best = (current.clone(), current_eval.clone());
+
+        for target in [Precision::Double, Precision::Single, Precision::Half] {
+            if target == current_type {
+                continue;
+            }
+            let candidate =
+                self.apply_object_target(current.clone(), profile, &obj.label, target, false);
+            let eval = self.evaluate(app, profile, &candidate)?;
+            trials += 1;
+            kernel_time_map.push((target, eval.kernel_time));
+            if eval.quality < self.toq {
+                failed = Some(target);
+                break; // do not descend further (Alg. 1, line 10)
+            }
+            accepted.push(target);
+            if eval.time < normal_best.1.time {
+                normal_best = (candidate, eval);
+            }
+        }
+
+        // ---------- Wildcard test ----------
+        // Intermediates the wildcard may route through: every accepted
+        // type plus the failed one (Alg. 1, line 18).
+        let mut wire_types = accepted.clone();
+        if let Some(f) = failed {
+            wire_types.push(f);
+        }
+
+        let mut wildcard_best: Option<(ScalingSpec, SimTime, Precision)> = None;
+        for &target in &accepted {
+            let candidate = self.apply_object_target_with_wires(
+                current.clone(),
+                profile,
+                &obj.label,
+                target,
+                &wire_types,
+            );
+            let kernel_time = kernel_time_map
+                .iter()
+                .find(|(t, _)| *t == target)
+                .map(|(_, kt)| *kt)
+                .expect("every accepted target was measured");
+            let expected = self.expected_transfer_time(profile, &candidate) + kernel_time;
+            if wildcard_best
+                .as_ref()
+                .is_none_or(|(_, t, _)| expected < *t)
+            {
+                wildcard_best = Some((candidate, expected, target));
+            }
+        }
+
+        if !self.use_wildcard {
+            wildcard_best = None;
+        }
+        if let Some((wc_config, wc_expected, _)) = wildcard_best {
+            if wc_expected < normal_best.1.time && wc_config != normal_best.0 {
+                // Verify by execution when the wildcard is numerically
+                // risky (failed type as wire, or a wire narrower than both
+                // endpoints); otherwise adopt it on predicted time and
+                // measure it to keep the running evaluation grounded.
+                let eval = self.evaluate(app, profile, &wc_config)?;
+                trials += 1;
+                if eval.quality >= self.toq && eval.time < normal_best.1.time {
+                    return Ok((wc_config, eval, trials));
+                }
+            }
+        }
+
+        Ok((normal_best.0, normal_best.1, trials))
+    }
+
+    /// Applies `target` to one object in a spec, choosing the best direct
+    /// conversion method per event from the inspector DB (Algorithm 2
+    /// restricted to direct wires).
+    fn apply_object_target(
+        &self,
+        spec: ScalingSpec,
+        profile: &AppProfile,
+        label: &str,
+        target: Precision,
+        _unused: bool,
+    ) -> ScalingSpec {
+        let obj = profile
+            .scaling_order
+            .iter()
+            .find(|o| o.label == label)
+            .expect("object from profile");
+        self.apply_object_target_with_wires(spec, profile, label, target, &[obj.original, target])
+    }
+
+    /// Applies `target` to one object, allowing the given wire types
+    /// (full Algorithm 2).
+    fn apply_object_target_with_wires(
+        &self,
+        mut spec: ScalingSpec,
+        profile: &AppProfile,
+        label: &str,
+        target: Precision,
+        wires: &[Precision],
+    ) -> ScalingSpec {
+        let obj = profile
+            .scaling_order
+            .iter()
+            .find(|o| o.label == label)
+            .expect("object from profile");
+
+        if target == obj.original {
+            spec.object_targets.remove(label);
+        } else {
+            spec.object_targets.insert(label.to_owned(), target);
+        }
+
+        if obj.written {
+            if let Some((key, _)) =
+                self.db
+                    .best_plan(Direction::HtoD, obj.original, target, obj.elems, wires)
+            {
+                spec.write_plans.insert(
+                    label.to_owned(),
+                    PlanChoice {
+                        intermediate: key.intermediate,
+                        host_method: key.host_method,
+                    },
+                );
+            }
+        } else {
+            spec.write_plans.remove(label);
+        }
+        if obj.read_back {
+            if let Some((key, _)) =
+                self.db
+                    .best_plan(Direction::DtoH, target, obj.original, obj.elems, wires)
+            {
+                spec.read_plans.insert(
+                    label.to_owned(),
+                    PlanChoice {
+                        intermediate: key.intermediate,
+                        host_method: key.host_method,
+                    },
+                );
+            }
+        } else {
+            spec.read_plans.remove(label);
+        }
+        spec
+    }
+
+    /// Predicted total transfer time of a configuration (the paper's
+    /// `getExpectedTransferTime`): per transferred object, the DB estimate
+    /// of its planned transfer.
+    fn expected_transfer_time(&self, profile: &AppProfile, spec: &ScalingSpec) -> SimTime {
+        let mut total = SimTime::ZERO;
+        for obj in &profile.scaling_order {
+            let target = spec.target_for(&obj.label, obj.original);
+            if obj.written {
+                let wires = spec
+                    .write_plans
+                    .get(&obj.label)
+                    .map(|p| vec![p.intermediate])
+                    .unwrap_or_else(|| vec![obj.original.min(target)]);
+                if let Some((_, t)) = self.db.best_plan(
+                    Direction::HtoD,
+                    obj.original,
+                    target,
+                    obj.elems,
+                    &wires,
+                ) {
+                    total += t;
+                }
+            }
+            if obj.read_back {
+                let wires = spec
+                    .read_plans
+                    .get(&obj.label)
+                    .map(|p| vec![p.intermediate])
+                    .unwrap_or_else(|| vec![obj.original.min(target)]);
+                if let Some((_, t)) = self.db.best_plan(
+                    Direction::DtoH,
+                    target,
+                    obj.original,
+                    obj.elems,
+                    &wires,
+                ) {
+                    total += t;
+                }
+            }
+        }
+        total
+    }
+
+    /// Runs one configuration and scores it against the reference.
+    fn evaluate(
+        &self,
+        app: &dyn HostApp,
+        profile: &AppProfile,
+        spec: &ScalingSpec,
+    ) -> Result<Evaluation, OclError> {
+        let (outputs, log) = run_app(app, self.system, spec)?;
+        Ok(Evaluation {
+            time: log.timeline.total(),
+            kernel_time: log.timeline.kernel,
+            quality: output_quality(&profile.reference, &outputs),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inspector::SystemInspector;
+    use prescaler_polybench::{BenchKind, InputSet, PolyApp};
+
+    fn tune(kind: BenchKind, input: InputSet, scale: f64, toq: f64) -> Tuned {
+        let system = SystemModel::system1();
+        let db = SystemInspector::inspect(&system);
+        let tuner = PreScaler::new(&system, &db, toq);
+        let app = PolyApp::scaled(kind, input, scale);
+        tuner.tune(&app).expect("tuning runs")
+    }
+
+    #[test]
+    fn tuned_gemm_beats_baseline_and_meets_toq() {
+        let r = tune(BenchKind::Gemm, InputSet::Default, 0.4, 0.9);
+        assert!(r.eval.quality >= 0.9, "quality {}", r.eval.quality);
+        assert!(
+            r.speedup() > 1.0,
+            "speedup {} must exceed 1 (baseline {} vs {})",
+            r.speedup(),
+            r.baseline_time,
+            r.eval.time
+        );
+        assert!(r.trials >= 4, "profile + PFP + tree trials, got {}", r.trials);
+        assert!(!r.config.is_baseline(), "some object must have been scaled");
+    }
+
+    #[test]
+    fn default_gemm_output_never_lands_on_half_storage() {
+        // GEMM's accumulated output overflows binary16 with default
+        // inputs (inner products reach millions, far beyond 65504), so
+        // the tuner must not store C as half. Input matrices *may* go to
+        // half — their element values fit, and the kernel promotes the
+        // multiply to the wider operand.
+        let r = tune(BenchKind::Gemm, InputSet::Default, 0.3, 0.9);
+        assert_ne!(
+            r.config.object_targets.get("C"),
+            Some(&Precision::Half),
+            "accumulated output stored as half"
+        );
+        assert!(r.eval.quality >= 0.9);
+    }
+
+    #[test]
+    fn random_inputs_unlock_lower_precision() {
+        let def = tune(BenchKind::Atax, InputSet::Default, 0.05, 0.9);
+        let rnd = tune(BenchKind::Atax, InputSet::Random, 0.05, 0.9);
+        let count_half = |t: &Tuned| {
+            t.config
+                .object_targets
+                .values()
+                .filter(|p| **p == Precision::Half)
+                .count()
+        };
+        assert!(
+            count_half(&rnd) >= count_half(&def),
+            "random inputs should allow at least as many half objects"
+        );
+        assert!(rnd.eval.quality >= 0.9);
+    }
+
+    #[test]
+    fn stricter_toq_never_improves_speedup() {
+        let loose = tune(BenchKind::Mvt, InputSet::Default, 0.05, 0.90);
+        let strict = tune(BenchKind::Mvt, InputSet::Default, 0.05, 0.99);
+        assert!(
+            strict.speedup() <= loose.speedup() + 1e-9,
+            "strict {} vs loose {}",
+            strict.speedup(),
+            loose.speedup()
+        );
+        assert!(strict.eval.quality >= 0.99);
+    }
+
+    #[test]
+    fn trials_are_a_vanishing_fraction_of_the_entire_space() {
+        let r = tune(BenchKind::Bicg, InputSet::Default, 0.05, 0.9);
+        let spaces = crate::search_space::object_spaces(&r.profile);
+        let entire = crate::search_space::entire(&spaces, 4);
+        assert!(
+            (r.trials as f64) < entire / 10.0,
+            "trials {} vs space {entire}",
+            r.trials
+        );
+    }
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+    use crate::inspector::SystemInspector;
+    use prescaler_polybench::{BenchKind, InputSet, PolyApp};
+
+    #[test]
+    fn ablated_variants_never_beat_the_full_tuner() {
+        let system = SystemModel::system1();
+        let db = SystemInspector::inspect(&system);
+        let app = PolyApp::scaled(BenchKind::Atax, InputSet::Random, 0.1);
+        let full = PreScaler::new(&system, &db, 0.9).tune(&app).unwrap();
+        let no_wc = PreScaler::new(&system, &db, 0.9)
+            .without_wildcard()
+            .tune(&app)
+            .unwrap();
+        let no_seed = PreScaler::new(&system, &db, 0.9)
+            .without_pfp_seed()
+            .tune(&app)
+            .unwrap();
+        assert!(full.eval.quality >= 0.9);
+        assert!(
+            full.speedup() >= no_wc.speedup() - 1e-9,
+            "full {} vs no-wildcard {}",
+            full.speedup(),
+            no_wc.speedup()
+        );
+        // Without PFP seeding the tree can get stuck at a local optimum
+        // (the paper's §4.4.1 motivation); it must never do better.
+        assert!(
+            full.speedup() >= no_seed.speedup() - 1e-9,
+            "full {} vs no-seed {}",
+            full.speedup(),
+            no_seed.speedup()
+        );
+    }
+}

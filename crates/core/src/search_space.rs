@@ -1,0 +1,119 @@
+//! Search-space accounting — the paper's Equations 1–3.
+//!
+//! These count *configurations*, not executions: Eq. 1 is the entire
+//! program-level space, Eq. 2 what a naive per-object decision tree would
+//! test, Eq. 3 what remains once the inspector database predicts the best
+//! conversion method per target type. Figure 10(b) plots Eq. 1 (with four
+//! conversion methods) against the trials PreScaler actually executed.
+
+use crate::profiler::AppProfile;
+
+/// Inputs to the space formulas for one memory object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObjectSpace {
+    /// `#Conv_Type`: how many precision changes are possible (2 for a
+    /// double-precision object: →single, →half).
+    pub conv_types: u64,
+    /// `#Event(m)`: data-transfer events touching the object.
+    pub events: u64,
+}
+
+/// Equation 1: the entire space
+/// `∏_m (1 + #Conv_Type × #Conv_Method^#Event(m))`.
+#[must_use]
+pub fn entire(objects: &[ObjectSpace], conv_methods: u64) -> f64 {
+    objects
+        .iter()
+        .map(|o| 1.0 + o.conv_types as f64 * (conv_methods as f64).powf(o.events as f64))
+        .product()
+}
+
+/// Equation 2: the decision-tree space
+/// `Σ_m (1 + #Conv_Type × #Conv_Method^#Event(m))`.
+#[must_use]
+pub fn tree(objects: &[ObjectSpace], conv_methods: u64) -> f64 {
+    objects
+        .iter()
+        .map(|o| 1.0 + o.conv_types as f64 * (conv_methods as f64).powf(o.events as f64))
+        .sum()
+}
+
+/// Equation 3: the inspector-pruned space `#MObj × (1 + #Conv_Type)`.
+#[must_use]
+pub fn pruned(objects: &[ObjectSpace]) -> f64 {
+    objects
+        .iter()
+        .map(|o| 1.0 + o.conv_types as f64)
+        .sum()
+}
+
+/// Extracts the per-object space parameters from a profile. Objects with
+/// no transfer events still count one kernel-side scaling opportunity
+/// (`events = 0` makes `#Conv_Method^0 = 1`).
+#[must_use]
+pub fn object_spaces(profile: &AppProfile) -> Vec<ObjectSpace> {
+    profile
+        .scaling_order
+        .iter()
+        .map(|o| ObjectSpace {
+            conv_types: o.original.lower_targets().len() as u64,
+            events: o.transfer_events as u64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_example_matches_the_paper() {
+        // Three double objects, one transfer event each, 2 type changes:
+        // kernel-level count (1 method) = 3^3 = 27; with 5 methods
+        // (1 + 5×2)^3 = 1331 — both quoted in §3.1.2.
+        let objs = vec![
+            ObjectSpace {
+                conv_types: 2,
+                events: 1
+            };
+            3
+        ];
+        assert_eq!(entire(&objs, 1), 27.0);
+        assert_eq!(entire(&objs, 5), 1331.0);
+    }
+
+    #[test]
+    fn tree_is_sum_not_product() {
+        let objs = vec![
+            ObjectSpace {
+                conv_types: 2,
+                events: 1
+            };
+            3
+        ];
+        assert_eq!(tree(&objs, 5), 33.0);
+        assert_eq!(pruned(&objs), 9.0);
+    }
+
+    #[test]
+    fn events_exponentiate_the_method_count() {
+        let o = ObjectSpace {
+            conv_types: 2,
+            events: 3,
+        };
+        assert_eq!(entire(&[o], 4), 1.0 + 2.0 * 64.0);
+    }
+
+    #[test]
+    fn entire_dwarfs_pruned_for_realistic_programs() {
+        let objs: Vec<ObjectSpace> = (0..7)
+            .map(|_| ObjectSpace {
+                conv_types: 2,
+                events: 2,
+            })
+            .collect();
+        let e = entire(&objs, 4);
+        let p = pruned(&objs);
+        assert!(e / p > 1e8, "entire {e} vs pruned {p}");
+    }
+}

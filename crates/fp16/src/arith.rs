@@ -1,0 +1,208 @@
+//! Arithmetic operators for [`F16`].
+//!
+//! Every operation widens both operands to `f32`, computes there, and rounds
+//! back to binary16 once. `f32` has 24 significand bits ≥ 2·11 + 2, so by
+//! Figueroa's double-rounding theorem the results of `+`, `-`, `*`, `/` are
+//! identical to directly-computed, correctly-rounded binary16 arithmetic.
+
+use crate::F16;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Rem, RemAssign, Sub, SubAssign};
+
+macro_rules! widen_binop {
+    ($trait_:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $op:tt) => {
+        impl $trait_ for F16 {
+            type Output = F16;
+
+            #[inline]
+            fn $method(self, rhs: F16) -> F16 {
+                F16::from_f32(self.to_f32() $op rhs.to_f32())
+            }
+        }
+
+        impl $assign_trait for F16 {
+            #[inline]
+            fn $assign_method(&mut self, rhs: F16) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+
+widen_binop!(Add, add, AddAssign, add_assign, +);
+widen_binop!(Sub, sub, SubAssign, sub_assign, -);
+widen_binop!(Mul, mul, MulAssign, mul_assign, *);
+widen_binop!(Div, div, DivAssign, div_assign, /);
+widen_binop!(Rem, rem, RemAssign, rem_assign, %);
+
+impl Neg for F16 {
+    type Output = F16;
+
+    #[inline]
+    fn neg(self) -> F16 {
+        F16::from_bits(self.to_bits() ^ 0x8000)
+    }
+}
+
+impl Sum for F16 {
+    fn sum<I: Iterator<Item = F16>>(iter: I) -> F16 {
+        iter.fold(F16::ZERO, Add::add)
+    }
+}
+
+impl<'a> Sum<&'a F16> for F16 {
+    fn sum<I: Iterator<Item = &'a F16>>(iter: I) -> F16 {
+        iter.copied().sum()
+    }
+}
+
+impl Product for F16 {
+    fn product<I: Iterator<Item = F16>>(iter: I) -> F16 {
+        iter.fold(F16::ONE, Mul::mul)
+    }
+}
+
+impl<'a> Product<&'a F16> for F16 {
+    fn product<I: Iterator<Item = &'a F16>>(iter: I) -> F16 {
+        iter.copied().product()
+    }
+}
+
+impl F16 {
+    /// Fused multiply-add `self * a + b`, rounded once at the end.
+    ///
+    /// The product of two binary16 values is exact in `f64`, and the
+    /// subsequent addition is correctly rounded from `f64`, so this matches
+    /// a hardware `fma.f16`.
+    #[inline]
+    #[must_use]
+    pub fn mul_add(self, a: F16, b: F16) -> F16 {
+        F16::from_f64(self.to_f64() * a.to_f64() + b.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(x: f32) -> F16 {
+        F16::from_f32(x)
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        assert_eq!((h(1.5) + h(2.25)).to_f32(), 3.75);
+        assert_eq!((h(5.0) - h(2.0)).to_f32(), 3.0);
+        assert_eq!((h(3.0) * h(4.0)).to_f32(), 12.0);
+        assert_eq!((h(9.0) / h(2.0)).to_f32(), 4.5);
+        assert_eq!((h(7.0) % h(4.0)).to_f32(), 3.0);
+        assert_eq!((-h(2.0)).to_f32(), -2.0);
+    }
+
+    #[test]
+    fn assign_ops_match_binary_ops() {
+        let mut x = h(1.0);
+        x += h(2.0);
+        assert_eq!(x, h(3.0));
+        x -= h(1.0);
+        assert_eq!(x, h(2.0));
+        x *= h(4.0);
+        assert_eq!(x, h(8.0));
+        x /= h(2.0);
+        assert_eq!(x, h(4.0));
+        x %= h(3.0);
+        assert_eq!(x, h(1.0));
+    }
+
+    #[test]
+    fn addition_saturates_to_infinity_in_range_overflow() {
+        let big = F16::MAX;
+        assert!(!(big + F16::ONE).is_infinite(), "65504+1 rounds back to MAX");
+        assert!((big + big).is_infinite());
+        assert!((h(40000.0) + h(40000.0)).is_infinite());
+    }
+
+    #[test]
+    fn multiplication_loses_small_products_to_zero() {
+        let tiny = F16::MIN_POSITIVE_SUBNORMAL;
+        assert!((tiny * tiny).is_zero(), "underflow flushes to zero by rounding");
+    }
+
+    #[test]
+    fn precision_is_eleven_bits() {
+        // 2048 + 1 is not representable: rounds to 2048 (ties-to-even).
+        assert_eq!((h(2048.0) + h(1.0)).to_f32(), 2048.0);
+        // 2048 + 2 is representable.
+        assert_eq!((h(2048.0) + h(2.0)).to_f32(), 2050.0);
+    }
+
+    #[test]
+    fn division_by_zero_follows_ieee() {
+        assert!((h(1.0) / F16::ZERO).is_infinite());
+        assert!((h(-1.0) / F16::ZERO).is_sign_negative());
+        assert!((F16::ZERO / F16::ZERO).is_nan());
+    }
+
+    #[test]
+    fn nan_propagates_through_all_ops() {
+        for f in [Add::add, Sub::sub, Mul::mul, Div::div, Rem::rem]
+            as [fn(F16, F16) -> F16; 5]
+        {
+            assert!(f(F16::NAN, h(1.0)).is_nan());
+            assert!(f(h(1.0), F16::NAN).is_nan());
+        }
+    }
+
+    #[test]
+    fn neg_flips_zero_sign() {
+        assert!((-F16::ZERO).is_sign_negative());
+        assert!((-F16::NEG_ZERO).is_sign_positive());
+    }
+
+    #[test]
+    fn sum_and_product_fold_in_order() {
+        let xs = [h(1.0), h(2.0), h(3.0)];
+        assert_eq!(xs.iter().sum::<F16>(), h(6.0));
+        assert_eq!(xs.iter().product::<F16>(), h(6.0));
+        assert_eq!(Vec::<F16>::new().into_iter().sum::<F16>(), F16::ZERO);
+        assert_eq!(Vec::<F16>::new().into_iter().product::<F16>(), F16::ONE);
+    }
+
+    #[test]
+    fn mul_add_rounds_once() {
+        // x*y alone rounds down to a value whose sum with b differs from
+        // the fused result. Pick x = 1+2^-10 so x*x = 1 + 2^-9 + 2^-20;
+        // the 2^-20 term survives only in the fused path.
+        let x = F16::from_bits(0x3C01); // 1 + 2^-10
+        let fused = x.mul_add(x, F16::from_bits(0x3C01));
+        let unfused = x * x + F16::from_bits(0x3C01);
+        // fused: 2 + 2^-9 + 2^-10 + 2^-20 → rounds to 2 + 2^-9 + 2^-10 ulp-wise
+        // unfused: (1+2^-9) + (1+2^-10)
+        // Both land in range; what matters is single rounding:
+        let exact = (1.0 + 2f64.powi(-10)) * (1.0 + 2f64.powi(-10)) + (1.0 + 2f64.powi(-10));
+        assert_eq!(fused, F16::from_f64(exact));
+        let _ = unfused;
+    }
+
+    #[test]
+    fn exhaustive_addition_against_f64_oracle() {
+        // A coarse lattice over all exponent ranges: widening to f64 and
+        // rounding once must equal our f32-widened implementation.
+        let mut bits = 0u16;
+        loop {
+            let a = F16::from_bits(bits);
+            let b = F16::from_bits(bits.wrapping_mul(2654435761u32 as u16).wrapping_add(17));
+            if !a.is_nan() && !b.is_nan() {
+                let via_f64 = F16::from_f64(a.to_f64() + b.to_f64());
+                let got = a + b;
+                if !via_f64.is_nan() {
+                    assert_eq!(got.to_bits(), via_f64.to_bits(), "a={a:?} b={b:?}");
+                }
+            }
+            bits = bits.wrapping_add(97);
+            if bits < 97 {
+                break;
+            }
+        }
+    }
+}

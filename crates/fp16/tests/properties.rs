@@ -1,0 +1,139 @@
+//! Property-based tests for the binary16 softfloat.
+
+use prescaler_fp16::F16;
+use proptest::prelude::*;
+
+/// Strategy over all non-NaN f16 bit patterns.
+fn finite_or_inf_f16() -> impl Strategy<Value = F16> {
+    any::<u16>()
+        .prop_map(F16::from_bits)
+        .prop_filter("not NaN", |x| !x.is_nan())
+}
+
+/// Strategy over finite f16 values.
+fn finite_f16() -> impl Strategy<Value = F16> {
+    any::<u16>()
+        .prop_map(F16::from_bits)
+        .prop_filter("finite", |x| x.is_finite())
+}
+
+proptest! {
+    /// Widening then narrowing is the identity on non-NaN values.
+    #[test]
+    fn round_trip_f32(x in finite_or_inf_f16()) {
+        let back = F16::from_f32(x.to_f32());
+        prop_assert_eq!(back.to_bits(), x.to_bits());
+    }
+
+    /// Widening then narrowing through f64 is the identity on non-NaN values.
+    #[test]
+    fn round_trip_f64(x in finite_or_inf_f16()) {
+        let back = F16::from_f64(x.to_f64());
+        prop_assert_eq!(back.to_bits(), x.to_bits());
+    }
+
+    /// Narrowing any f32 never increases the distance versus the two
+    /// neighbouring f16 values: the result is one of the two closest.
+    #[test]
+    fn narrowing_is_faithful(x in -1.0e5f32..1.0e5f32) {
+        let h = F16::from_f32(x);
+        if h.is_finite() {
+            let err = (h.to_f32() - x).abs();
+            // Half an ulp at the magnitude of x, conservatively bounded by
+            // x * 2^-11 + smallest subnormal.
+            let bound = x.abs() * 2f32.powi(-11) + 2f32.powi(-24);
+            prop_assert!(err <= bound, "x={x} h={h:?} err={err} bound={bound}");
+        }
+    }
+
+    /// Addition commutes.
+    #[test]
+    fn add_commutes(a in finite_f16(), b in finite_f16()) {
+        let ab = a + b;
+        let ba = b + a;
+        if !ab.is_nan() {
+            prop_assert_eq!(ab.to_bits(), ba.to_bits());
+        }
+    }
+
+    /// Multiplication commutes.
+    #[test]
+    fn mul_commutes(a in finite_f16(), b in finite_f16()) {
+        let ab = a * b;
+        let ba = b * a;
+        if !ab.is_nan() {
+            prop_assert_eq!(ab.to_bits(), ba.to_bits());
+        }
+    }
+
+    /// x + 0 == x (except for -0 + 0 which normalizes to +0).
+    #[test]
+    fn additive_identity(a in finite_f16()) {
+        let r = a + F16::ZERO;
+        if a.is_zero() {
+            prop_assert!(r.is_zero());
+        } else {
+            prop_assert_eq!(r.to_bits(), a.to_bits());
+        }
+    }
+
+    /// x * 1 == x.
+    #[test]
+    fn multiplicative_identity(a in finite_f16()) {
+        prop_assert_eq!((a * F16::ONE).to_bits(), a.to_bits());
+    }
+
+    /// Negation is an involution and flips exactly the sign bit.
+    #[test]
+    fn neg_involution(a in any::<u16>().prop_map(F16::from_bits)) {
+        prop_assert_eq!((-(-a)).to_bits(), a.to_bits());
+        prop_assert_eq!((-a).to_bits(), a.to_bits() ^ 0x8000);
+    }
+
+    /// Subtraction of equal values yields zero.
+    #[test]
+    fn self_subtraction_is_zero(a in finite_f16()) {
+        prop_assert!((a - a).is_zero());
+    }
+
+    /// Division agrees with the f64-widened, once-rounded oracle.
+    #[test]
+    fn div_matches_f64_oracle(a in finite_f16(), b in finite_f16()) {
+        prop_assume!(!b.is_zero());
+        let got = a / b;
+        let oracle = F16::from_f64(a.to_f64() / b.to_f64());
+        if got.is_nan() {
+            prop_assert!(oracle.is_nan());
+        } else {
+            prop_assert_eq!(got.to_bits(), oracle.to_bits());
+        }
+    }
+
+    /// `total_cmp` is consistent with `partial_cmp` on comparable values.
+    #[test]
+    fn total_cmp_refines_partial_cmp(a in finite_f16(), b in finite_f16()) {
+        if let Some(ord) = a.partial_cmp(&b) {
+            if !(a.is_zero() && b.is_zero()) {
+                prop_assert_eq!(a.total_cmp(b), ord);
+            }
+        }
+    }
+
+    /// Monotonicity: widening preserves order.
+    #[test]
+    fn widening_preserves_order(a in finite_f16(), b in finite_f16()) {
+        if a < b {
+            prop_assert!(a.to_f32() < b.to_f32());
+            prop_assert!(a.to_f64() < b.to_f64());
+        }
+    }
+
+    /// Parsing the display form loses at most one rounding step, and
+    /// printing is stable (parse∘print is identity for finite values).
+    #[test]
+    fn display_parse_round_trip(a in finite_f16()) {
+        let s = a.to_string();
+        let back: F16 = s.parse().unwrap();
+        prop_assert_eq!(back.to_bits(), a.to_bits(), "{}", s);
+    }
+}

@@ -1,0 +1,1290 @@
+//! A bytecode compiler and virtual machine for kernels.
+//!
+//! The tree-walking interpreter in [`crate::interp`] is the semantic
+//! reference; this module compiles a kernel once into a flat register
+//! bytecode that executes the same semantics an order of magnitude faster —
+//! which is what makes paper-scale experiments (millions of work-items,
+//! dozens of search trials) practical.
+//!
+//! Equivalence contract (pinned by tests here and across the benchmark
+//! suite): for any type-correct kernel, [`CompiledKernel::run`] produces
+//! **bit-identical buffer contents and identical [`OpCounts`]** to
+//! [`crate::interp::run_kernel`].
+//!
+//! Two implementation points matter for the equivalence:
+//!
+//! * Float registers hold `f64` values that are always exactly
+//!   representable at the operand's static precision, so computing a
+//!   binary16/32 operation by rounding the `f64` inputs is exact.
+//! * Counting is *static per straight-line region*: the compiler
+//!   pre-computes each region's [`OpCounts`] delta and the VM adds it once
+//!   per execution, which is exact because within a region every counted
+//!   operation executes unconditionally.
+
+use crate::array::FloatVec;
+use crate::ast::{Expr, Kernel, Param, Stmt, TypeRef};
+use crate::counts::OpCounts;
+use crate::interp::{ArgValue, BufferMap, ExecError, Launch};
+use crate::types::{Precision, ScalarType};
+use crate::value::{CmpOp, FloatBinOp, UnaryFn};
+use prescaler_fp16::F16;
+use std::collections::HashMap;
+
+/// Index of an integer register.
+type IReg = u32;
+/// Index of a float register.
+type FReg = u32;
+
+/// One VM instruction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Op {
+    /// Unconditional jump.
+    Jump(u32),
+    /// Jump when the integer register is zero (false).
+    JumpIfFalse { cond: IReg, target: u32 },
+    /// `i[dst] = v`.
+    IConst { dst: IReg, v: i64 },
+    /// `f[dst] = v` (already rounded to the static precision).
+    FConst { dst: FReg, v: f64 },
+    /// `i[dst] = i[src]`.
+    IMov { dst: IReg, src: IReg },
+    /// `f[dst] = f[src]`.
+    FMov { dst: FReg, src: FReg },
+    /// Integer arithmetic.
+    IBin { op: FloatBinOp, dst: IReg, a: IReg, b: IReg },
+    /// `i[dst] = i[a] + imm` (loop bookkeeping).
+    IAddImm { dst: IReg, a: IReg, imm: i64 },
+    /// Integer negate / abs.
+    IUn { op: UnaryFn, dst: IReg, a: IReg },
+    /// Integer comparison → 0/1.
+    ICmp { op: CmpOp, dst: IReg, a: IReg, b: IReg },
+    /// Float comparison (exact on the f64 representations) → 0/1.
+    FCmp { op: CmpOp, dst: IReg, a: FReg, b: FReg },
+    /// Float arithmetic at a precision.
+    FBin { prec: Precision, op: FloatBinOp, dst: FReg, a: FReg, b: FReg },
+    /// Float unary function at a precision.
+    FUn { prec: Precision, op: UnaryFn, dst: FReg, a: FReg },
+    /// Round to a (different) float precision.
+    Cvt { prec: Precision, dst: FReg, a: FReg },
+    /// Exact i64 → f64, then round to the precision.
+    IToF { prec: Precision, dst: FReg, a: IReg },
+    /// Truncating f64 → i64 (C cast semantics).
+    FToI { dst: IReg, a: FReg },
+    /// `f[dst] = buffers[buf][i[idx]]` widened to f64.
+    Load { buf: u16, idx: IReg, dst: FReg },
+    /// `buffers[buf][i[idx]] = f[src]` rounded to the element type.
+    Store { buf: u16, idx: IReg, src: FReg },
+    /// `f[dst] = i[cond] != 0 ? f[a] : f[b]`.
+    SelectF { cond: IReg, dst: FReg, a: FReg, b: FReg },
+    /// `i[dst] = i[cond] != 0 ? i[a] : i[b]`.
+    SelectI { cond: IReg, dst: IReg, a: IReg, b: IReg },
+    /// Add `counts_table[idx]` to the running counters.
+    Count { idx: u32 },
+    /// End of the work-item.
+    Halt,
+}
+
+/// How one kernel parameter binds at launch.
+#[derive(Clone, Debug, PartialEq)]
+enum ParamBind {
+    Buffer { name: String, elem: Precision },
+    ScalarInt { name: String, reg: IReg },
+    ScalarFloat { name: String, prec: Precision, reg: FReg },
+}
+
+/// A compiled kernel.
+#[derive(Clone, Debug)]
+pub struct CompiledKernel {
+    name: String,
+    ops: Vec<Op>,
+    counts_table: Vec<OpCounts>,
+    params: Vec<ParamBind>,
+    n_iregs: u32,
+    n_fregs: u32,
+}
+
+/// Compile-time value classification.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum CTy {
+    Int,
+    F(Precision),
+    Bool,
+}
+
+impl CTy {
+    fn precision(self) -> Option<Precision> {
+        match self {
+            CTy::F(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// Compile-time value location.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Val {
+    I(IReg),
+    F(FReg),
+}
+
+impl Val {
+    fn ireg(self) -> IReg {
+        match self {
+            Val::I(r) => r,
+            Val::F(_) => unreachable!("checked: expected an integer value"),
+        }
+    }
+
+    fn freg(self) -> FReg {
+        match self {
+            Val::F(r) => r,
+            Val::I(_) => unreachable!("checked: expected a float value"),
+        }
+    }
+}
+
+/// Compiles a kernel to bytecode.
+///
+/// The kernel must already pass [`crate::typeck::check_kernel`]; the
+/// compiler `panic!`s on constructs the checker rejects.
+#[must_use]
+pub fn compile_kernel(kernel: &Kernel) -> CompiledKernel {
+    let mut c = Compiler {
+        kernel,
+        ops: Vec::new(),
+        counts_table: Vec::new(),
+        pending: OpCounts::new(),
+        scopes: vec![HashMap::new()],
+        next_i: 2, // iregs 0/1 are get_global_id(0)/(1)
+        next_f: 0,
+        params: Vec::new(),
+        buf_index: HashMap::new(),
+    };
+
+    for p in &kernel.params {
+        match p {
+            Param::Buffer { name, elem, .. } => {
+                c.buf_index
+                    .insert(name.clone(), c.params.len() as u16);
+                c.params.push(ParamBind::Buffer {
+                    name: name.clone(),
+                    elem: *elem,
+                });
+            }
+            Param::Scalar { name, ty } => match kernel.resolve(ty) {
+                ScalarType::Int => {
+                    let reg = c.alloc_i();
+                    c.params.push(ParamBind::ScalarInt {
+                        name: name.clone(),
+                        reg,
+                    });
+                    c.scopes[0].insert(name.clone(), (Val::I(reg), CTy::Int));
+                }
+                ScalarType::Float(prec) => {
+                    let reg = c.alloc_f();
+                    c.params.push(ParamBind::ScalarFloat {
+                        name: name.clone(),
+                        prec,
+                        reg,
+                    });
+                    c.scopes[0].insert(name.clone(), (Val::F(reg), CTy::F(prec)));
+                }
+                ScalarType::Bool => unreachable!("checked: no bool parameters"),
+            },
+        }
+    }
+
+    c.block(&kernel.body);
+    c.flush();
+    c.ops.push(Op::Halt);
+
+    CompiledKernel {
+        name: kernel.name.clone(),
+        ops: c.ops,
+        counts_table: c.counts_table,
+        params: c.params,
+        n_iregs: c.next_i,
+        n_fregs: c.next_f,
+    }
+}
+
+struct Compiler<'k> {
+    kernel: &'k Kernel,
+    ops: Vec<Op>,
+    counts_table: Vec<OpCounts>,
+    pending: OpCounts,
+    scopes: Vec<HashMap<String, (Val, CTy)>>,
+    next_i: u32,
+    next_f: u32,
+    params: Vec<ParamBind>,
+    buf_index: HashMap<String, u16>,
+}
+
+impl<'k> Compiler<'k> {
+    fn alloc_i(&mut self) -> IReg {
+        let r = self.next_i;
+        self.next_i += 1;
+        r
+    }
+
+    fn alloc_f(&mut self) -> FReg {
+        let r = self.next_f;
+        self.next_f += 1;
+        r
+    }
+
+    fn lookup(&self, name: &str) -> (Val, CTy) {
+        for scope in self.scopes.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return *v;
+            }
+        }
+        unreachable!("checked: `{name}` is bound");
+    }
+
+    /// Flushes the pending straight-line counts as a `Count` op.
+    fn flush(&mut self) {
+        if self.pending == OpCounts::new() {
+            return;
+        }
+        let idx = self.counts_table.len() as u32;
+        self.counts_table.push(self.pending);
+        self.pending = OpCounts::new();
+        self.ops.push(Op::Count { idx });
+    }
+
+    fn here(&self) -> u32 {
+        self.ops.len() as u32
+    }
+
+    fn patch_jump(&mut self, at: usize, target: u32) {
+        match &mut self.ops[at] {
+            Op::Jump(t) => *t = target,
+            Op::JumpIfFalse { target: t, .. } => *t = target,
+            other => unreachable!("patching a non-jump {other:?}"),
+        }
+    }
+
+    fn block(&mut self, stmts: &'k [Stmt]) {
+        for s in stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn scoped(&mut self, f: impl FnOnce(&mut Self)) {
+        self.scopes.push(HashMap::new());
+        f(self);
+        self.scopes.pop();
+    }
+
+    fn stmt(&mut self, stmt: &'k Stmt) {
+        match stmt {
+            Stmt::Let { name, ty, value } => {
+                let hint = ty.as_ref().and_then(|t| match self.kernel.resolve(t) {
+                    ScalarType::Float(p) => Some(p),
+                    _ => None,
+                });
+                let (mut v, mut t) = self.expr(value, hint);
+                if let Some(tr) = ty {
+                    (v, t) = self.coerce(v, t, self.kernel.resolve(tr));
+                }
+                // Copy into a dedicated register so reassignment works.
+                let slot = match v {
+                    Val::I(src) => {
+                        let dst = self.alloc_i();
+                        self.ops.push(Op::IMov { dst, src });
+                        Val::I(dst)
+                    }
+                    Val::F(src) => {
+                        let dst = self.alloc_f();
+                        self.ops.push(Op::FMov { dst, src });
+                        Val::F(dst)
+                    }
+                };
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack is never empty")
+                    .insert(name.clone(), (slot, t));
+            }
+            Stmt::Assign { name, value } => {
+                let (slot, t) = self.lookup(name);
+                let hint = t.precision();
+                let (v, vt) = self.expr(value, hint);
+                let target = match t {
+                    CTy::Int => ScalarType::Int,
+                    CTy::F(p) => ScalarType::Float(p),
+                    CTy::Bool => ScalarType::Bool,
+                };
+                let (v, _) = self.coerce(v, vt, target);
+                match (slot, v) {
+                    (Val::I(dst), Val::I(src)) => self.ops.push(Op::IMov { dst, src }),
+                    (Val::F(dst), Val::F(src)) => self.ops.push(Op::FMov { dst, src }),
+                    _ => unreachable!("checked: assignment kinds match"),
+                }
+            }
+            Stmt::Store { buf, index, value } => {
+                let elem = self
+                    .kernel
+                    .buffer_elem(buf)
+                    .expect("checked: store target is a buffer");
+                let idx = self.expr(index, None).0.ireg();
+                let (v, vt) = self.expr(value, Some(elem));
+                // Mirror the interpreter: a store converts unless the value
+                // is already a float of the element precision.
+                let src = match vt {
+                    CTy::F(p) if p == elem => v.freg(),
+                    CTy::F(_) => {
+                        self.pending.converts += 1;
+                        v.freg() // Store itself rounds to the element type
+                    }
+                    CTy::Int => {
+                        self.pending.converts += 1;
+                        let dst = self.alloc_f();
+                        self.ops.push(Op::IToF {
+                            prec: Precision::Double,
+                            dst,
+                            a: v.ireg(),
+                        });
+                        dst
+                    }
+                    CTy::Bool => unreachable!("checked: no bool stores"),
+                };
+                self.pending.at_mut(elem).stores += 1;
+                let b = self.buf_index[buf];
+                self.ops.push(Op::Store { buf: b, idx, src });
+            }
+            Stmt::For {
+                var,
+                start,
+                end,
+                body,
+            } => {
+                let s = self.expr(start, None).0.ireg();
+                let e = self.expr(end, None).0.ireg();
+                // Copy the end bound: it must stay stable even if its
+                // source register is reused (it is not, but be explicit).
+                let var_reg = self.alloc_i();
+                self.ops.push(Op::IMov {
+                    dst: var_reg,
+                    src: s,
+                });
+                self.flush();
+                let head = self.here();
+                let cond = self.alloc_i();
+                self.ops.push(Op::ICmp {
+                    op: CmpOp::Lt,
+                    dst: cond,
+                    a: var_reg,
+                    b: e,
+                });
+                let exit_jump = self.ops.len();
+                self.ops.push(Op::JumpIfFalse {
+                    cond,
+                    target: u32::MAX,
+                });
+                // Per-iteration loop bookkeeping (compare + increment).
+                self.pending.int_ops += 2;
+                self.scoped(|c| {
+                    c.scopes
+                        .last_mut()
+                        .expect("scope stack is never empty")
+                        .insert(var.clone(), (Val::I(var_reg), CTy::Int));
+                    c.block(body);
+                });
+                self.flush();
+                self.ops.push(Op::IAddImm {
+                    dst: var_reg,
+                    a: var_reg,
+                    imm: 1,
+                });
+                self.ops.push(Op::Jump(head));
+                let after = self.here();
+                self.patch_jump(exit_jump, after);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = self.expr(cond, None).0.ireg();
+                self.flush();
+                let else_jump = self.ops.len();
+                self.ops.push(Op::JumpIfFalse {
+                    cond: c,
+                    target: u32::MAX,
+                });
+                self.scoped(|cc| cc.block(then_body));
+                self.flush();
+                if else_body.is_empty() {
+                    let after = self.here();
+                    self.patch_jump(else_jump, after);
+                } else {
+                    let end_jump = self.ops.len();
+                    self.ops.push(Op::Jump(u32::MAX));
+                    let else_start = self.here();
+                    self.patch_jump(else_jump, else_start);
+                    self.scoped(|cc| cc.block(else_body));
+                    self.flush();
+                    let after = self.here();
+                    self.patch_jump(end_jump, after);
+                }
+            }
+        }
+    }
+
+    /// Coerces a value to a scalar type, mirroring `Interp::coerce`
+    /// (counts a conversion when the representation changes).
+    fn coerce(&mut self, v: Val, t: CTy, target: ScalarType) -> (Val, CTy) {
+        match (t, target) {
+            (CTy::Bool, _) | (_, ScalarType::Bool) => (v, t),
+            (CTy::Int, ScalarType::Int) => (v, t),
+            (CTy::Int, ScalarType::Float(p)) => {
+                self.pending.converts += 1;
+                let dst = self.alloc_f();
+                self.ops.push(Op::IToF {
+                    prec: p,
+                    dst,
+                    a: v.ireg(),
+                });
+                (Val::F(dst), CTy::F(p))
+            }
+            (CTy::F(_), ScalarType::Int) => {
+                self.pending.converts += 1;
+                let dst = self.alloc_i();
+                self.ops.push(Op::FToI { dst, a: v.freg() });
+                (Val::I(dst), CTy::Int)
+            }
+            (CTy::F(q), ScalarType::Float(p)) => {
+                if q == p {
+                    (v, t)
+                } else {
+                    self.pending.converts += 1;
+                    let dst = self.alloc_f();
+                    self.ops.push(Op::Cvt {
+                        prec: p,
+                        dst,
+                        a: v.freg(),
+                    });
+                    (Val::F(dst), CTy::F(p))
+                }
+            }
+        }
+    }
+
+    /// Compiles an expression, mirroring `Interp::eval`'s hint threading.
+    fn expr(&mut self, e: &'k Expr, hint: Option<Precision>) -> (Val, CTy) {
+        match e {
+            Expr::FloatConst(v) => {
+                let p = hint.unwrap_or(Precision::Double);
+                let rounded = match p {
+                    Precision::Half => F16::from_f64(*v).to_f64(),
+                    Precision::Single => f64::from(*v as f32),
+                    Precision::Double => *v,
+                };
+                let dst = self.alloc_f();
+                self.ops.push(Op::FConst { dst, v: rounded });
+                (Val::F(dst), CTy::F(p))
+            }
+            Expr::IntConst(v) => {
+                let dst = self.alloc_i();
+                self.ops.push(Op::IConst { dst, v: *v });
+                (Val::I(dst), CTy::Int)
+            }
+            Expr::GlobalId(d) => {
+                if *d < 2 {
+                    (Val::I(*d as IReg), CTy::Int)
+                } else {
+                    let dst = self.alloc_i();
+                    self.ops.push(Op::IConst { dst, v: 0 });
+                    (Val::I(dst), CTy::Int)
+                }
+            }
+            Expr::Var(name) => self.lookup(name),
+            Expr::Load { buf, index } => {
+                let idx = self.expr(index, None).0.ireg();
+                let elem = self
+                    .kernel
+                    .buffer_elem(buf)
+                    .expect("checked: load source is a buffer");
+                self.pending.at_mut(elem).loads += 1;
+                let dst = self.alloc_f();
+                let b = self.buf_index[buf];
+                self.ops.push(Op::Load { buf: b, idx, dst });
+                (Val::F(dst), CTy::F(elem))
+            }
+            Expr::Unary { op, arg } => {
+                let (v, t) = self.expr(arg, hint);
+                match t {
+                    CTy::F(p) => {
+                        let slot = self.pending.at_mut(p);
+                        match op {
+                            UnaryFn::Neg | UnaryFn::Fabs => slot.add_sub += 1,
+                            _ => slot.special += 1,
+                        }
+                        let dst = self.alloc_f();
+                        self.ops.push(Op::FUn {
+                            prec: p,
+                            op: *op,
+                            dst,
+                            a: v.freg(),
+                        });
+                        (Val::F(dst), CTy::F(p))
+                    }
+                    CTy::Int => {
+                        self.pending.int_ops += 1;
+                        match op {
+                            UnaryFn::Neg | UnaryFn::Fabs => {
+                                let dst = self.alloc_i();
+                                self.ops.push(Op::IUn {
+                                    op: *op,
+                                    dst,
+                                    a: v.ireg(),
+                                });
+                                (Val::I(dst), CTy::Int)
+                            }
+                            _ => {
+                                // sqrt/exp/log of an int computes in double.
+                                let wide = self.alloc_f();
+                                self.ops.push(Op::IToF {
+                                    prec: Precision::Double,
+                                    dst: wide,
+                                    a: v.ireg(),
+                                });
+                                let dst = self.alloc_f();
+                                self.ops.push(Op::FUn {
+                                    prec: Precision::Double,
+                                    op: *op,
+                                    dst,
+                                    a: wide,
+                                });
+                                (Val::F(dst), CTy::F(Precision::Double))
+                            }
+                        }
+                    }
+                    CTy::Bool => unreachable!("checked: no bool math"),
+                }
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                let (a, ta, b, tb) = self.pair(lhs, rhs, hint);
+                match (ta, tb) {
+                    (CTy::Int, CTy::Int) => {
+                        self.pending.int_ops += 1;
+                        let dst = self.alloc_i();
+                        self.ops.push(Op::IBin {
+                            op: *op,
+                            dst,
+                            a: a.ireg(),
+                            b: b.ireg(),
+                        });
+                        (Val::I(dst), CTy::Int)
+                    }
+                    _ => {
+                        let p = promote_cty(ta, tb);
+                        let fa = self.float_operand(a, ta);
+                        let fb = self.float_operand(b, tb);
+                        let slot = self.pending.at_mut(p);
+                        match op {
+                            FloatBinOp::Add
+                            | FloatBinOp::Sub
+                            | FloatBinOp::Min
+                            | FloatBinOp::Max => slot.add_sub += 1,
+                            FloatBinOp::Mul => slot.mul += 1,
+                            FloatBinOp::Div => slot.div += 1,
+                        }
+                        let dst = self.alloc_f();
+                        self.ops.push(Op::FBin {
+                            prec: p,
+                            op: *op,
+                            dst,
+                            a: fa,
+                            b: fb,
+                        });
+                        (Val::F(dst), CTy::F(p))
+                    }
+                }
+            }
+            Expr::Cmp { op, lhs, rhs } => {
+                let (a, ta, b, tb) = self.pair(lhs, rhs, None);
+                match (ta, tb) {
+                    (CTy::Int, CTy::Int) => {
+                        self.pending.int_ops += 1;
+                        let dst = self.alloc_i();
+                        self.ops.push(Op::ICmp {
+                            op: *op,
+                            dst,
+                            a: a.ireg(),
+                            b: b.ireg(),
+                        });
+                        (Val::I(dst), CTy::Bool)
+                    }
+                    _ => {
+                        let p = promote_cty(ta, tb);
+                        self.pending.at_mut(p).cmp += 1;
+                        let fa = self.float_operand(a, ta);
+                        let fb = self.float_operand(b, tb);
+                        let dst = self.alloc_i();
+                        self.ops.push(Op::FCmp {
+                            op: *op,
+                            dst,
+                            a: fa,
+                            b: fb,
+                        });
+                        (Val::I(dst), CTy::Bool)
+                    }
+                }
+            }
+            Expr::Cast { to, arg } => {
+                let (v, t) = self.expr(arg, None);
+                let target = match to {
+                    TypeRef::Concrete(t) => *t,
+                    TypeRef::ElemOf(_) => self.kernel.resolve(to),
+                };
+                self.coerce(v, t, target)
+            }
+            Expr::Select { cond, then, els } => {
+                let c = self.expr(cond, None).0.ireg();
+                let (a, ta, b, tb) = self.pair(then, els, hint);
+                match (ta, tb) {
+                    (CTy::Int, CTy::Int) => {
+                        let dst = self.alloc_i();
+                        self.ops.push(Op::SelectI {
+                            cond: c,
+                            dst,
+                            a: a.ireg(),
+                            b: b.ireg(),
+                        });
+                        (Val::I(dst), CTy::Int)
+                    }
+                    (CTy::F(pa), CTy::F(pb)) => {
+                        let p = pa.max(pb);
+                        let (fa, _) = if pa < p {
+                            let (v2, _) = self.coerce(a, ta, ScalarType::Float(p));
+                            (v2.freg(), ())
+                        } else {
+                            (a.freg(), ())
+                        };
+                        let (fb, _) = if pb < p {
+                            let (v2, _) = self.coerce(b, tb, ScalarType::Float(p));
+                            (v2.freg(), ())
+                        } else {
+                            (b.freg(), ())
+                        };
+                        let dst = self.alloc_f();
+                        self.ops.push(Op::SelectF {
+                            cond: c,
+                            dst,
+                            a: fa,
+                            b: fb,
+                        });
+                        (Val::F(dst), CTy::F(p))
+                    }
+                    _ => unreachable!("checked: select arms agree in kind"),
+                }
+            }
+        }
+    }
+
+    /// Mirror of `Interp::eval_pair`'s weak-literal resolution.
+    fn pair(
+        &mut self,
+        lhs: &'k Expr,
+        rhs: &'k Expr,
+        hint: Option<Precision>,
+    ) -> (Val, CTy, Val, CTy) {
+        let lw = expr_is_weak(lhs);
+        let rw = expr_is_weak(rhs);
+        if lw && !rw {
+            let (b, tb) = self.expr(rhs, hint);
+            let (a, ta) = self.expr(lhs, tb.precision());
+            (a, ta, b, tb)
+        } else if rw && !lw {
+            let (a, ta) = self.expr(lhs, hint);
+            let (b, tb) = self.expr(rhs, ta.precision());
+            (a, ta, b, tb)
+        } else {
+            let (a, ta) = self.expr(lhs, hint);
+            let (b, tb) = self.expr(rhs, hint);
+            (a, ta, b, tb)
+        }
+    }
+
+    /// Materializes an operand as a float register for a promoted binop
+    /// (uncounted, mirroring `Scalar::binop`'s internal widening).
+    fn float_operand(&mut self, v: Val, t: CTy) -> FReg {
+        match t {
+            CTy::F(_) => v.freg(),
+            CTy::Int => {
+                let dst = self.alloc_f();
+                self.ops.push(Op::IToF {
+                    prec: Precision::Double,
+                    dst,
+                    a: v.ireg(),
+                });
+                dst
+            }
+            CTy::Bool => unreachable!("checked: no bool arithmetic"),
+        }
+    }
+}
+
+fn expr_is_weak(e: &Expr) -> bool {
+    match e {
+        Expr::FloatConst(_) => true,
+        Expr::Unary { arg, .. } => expr_is_weak(arg),
+        Expr::Bin { lhs, rhs, .. } => expr_is_weak(lhs) && expr_is_weak(rhs),
+        Expr::Select { then, els, .. } => expr_is_weak(then) && expr_is_weak(els),
+        _ => false,
+    }
+}
+
+fn promote_cty(a: CTy, b: CTy) -> Precision {
+    match (a.precision(), b.precision()) {
+        (Some(x), Some(y)) => x.max(y),
+        (Some(x), None) | (None, Some(x)) => x,
+        (None, None) => Precision::Double,
+    }
+}
+
+/// Rounds an exact f64 representation to a precision.
+#[inline]
+fn round_to(p: Precision, v: f64) -> f64 {
+    match p {
+        Precision::Half => F16::from_f64(v).to_f64(),
+        Precision::Single => f64::from(v as f32),
+        Precision::Double => v,
+    }
+}
+
+#[inline]
+fn apply_fbin(p: Precision, op: FloatBinOp, a: f64, b: f64) -> f64 {
+    match p {
+        Precision::Double => apply_f64(op, a, b),
+        Precision::Single => {
+            let (x, y) = (a as f32, b as f32);
+            f64::from(match op {
+                FloatBinOp::Add => x + y,
+                FloatBinOp::Sub => x - y,
+                FloatBinOp::Mul => x * y,
+                FloatBinOp::Div => x / y,
+                FloatBinOp::Min => x.min(y),
+                FloatBinOp::Max => x.max(y),
+            })
+        }
+        Precision::Half => {
+            let (x, y) = (F16::from_f64(a), F16::from_f64(b));
+            (match op {
+                FloatBinOp::Add => x + y,
+                FloatBinOp::Sub => x - y,
+                FloatBinOp::Mul => x * y,
+                FloatBinOp::Div => x / y,
+                FloatBinOp::Min => x.min(y),
+                FloatBinOp::Max => x.max(y),
+            })
+            .to_f64()
+        }
+    }
+}
+
+#[inline]
+fn apply_f64(op: FloatBinOp, a: f64, b: f64) -> f64 {
+    match op {
+        FloatBinOp::Add => a + b,
+        FloatBinOp::Sub => a - b,
+        FloatBinOp::Mul => a * b,
+        FloatBinOp::Div => a / b,
+        FloatBinOp::Min => a.min(b),
+        FloatBinOp::Max => a.max(b),
+    }
+}
+
+#[inline]
+fn apply_fun(p: Precision, op: UnaryFn, a: f64) -> f64 {
+    use crate::value::Scalar;
+    // Route through the reference implementation to guarantee identical
+    // semantics (precision-faithful special functions).
+    let s = match p {
+        Precision::Half => Scalar::F16(F16::from_f64(a)),
+        Precision::Single => Scalar::F32(a as f32),
+        Precision::Double => Scalar::F64(a),
+    };
+    op.apply(s).as_f64()
+}
+
+#[inline]
+fn apply_icmp(op: CmpOp, a: i64, b: i64) -> bool {
+    match op {
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+    }
+}
+
+#[inline]
+fn apply_fcmp(op: CmpOp, a: f64, b: f64) -> bool {
+    match op {
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+    }
+}
+
+#[inline]
+fn apply_ibin(op: FloatBinOp, a: i64, b: i64) -> i64 {
+    match op {
+        FloatBinOp::Add => a.wrapping_add(b),
+        FloatBinOp::Sub => a.wrapping_sub(b),
+        FloatBinOp::Mul => a.wrapping_mul(b),
+        FloatBinOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        FloatBinOp::Min => a.min(b),
+        FloatBinOp::Max => a.max(b),
+    }
+}
+
+impl CompiledKernel {
+    /// The kernel name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of bytecode instructions (for diagnostics).
+    #[must_use]
+    pub fn code_len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Executes the compiled kernel over the launch NDRange. Semantics and
+    /// error behaviour match [`crate::interp::run_kernel`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`].
+    pub fn run(&self, buffers: &mut BufferMap, launch: &Launch) -> Result<OpCounts, ExecError> {
+        // Bind parameters.
+        let mut iregs = vec![0i64; self.n_iregs as usize];
+        let mut fregs = vec![0f64; self.n_fregs as usize];
+        let mut bufs: Vec<(String, FloatVec)> = Vec::new();
+
+        for p in &self.params {
+            match p {
+                ParamBind::Buffer { name, elem } => match buffers.get(name.as_str()) {
+                    None => {
+                        self.restore(buffers, bufs);
+                        return Err(ExecError::MissingBuffer(name.clone()));
+                    }
+                    Some(v) if v.precision() != *elem => {
+                        let bound = v.precision();
+                        self.restore(buffers, bufs);
+                        return Err(ExecError::BufferPrecisionMismatch {
+                            name: name.clone(),
+                            declared: *elem,
+                            bound,
+                        });
+                    }
+                    Some(_) => {
+                        let data = buffers.remove(name.as_str()).expect("just checked");
+                        bufs.push((name.clone(), data));
+                    }
+                },
+                ParamBind::ScalarInt { name, reg } => {
+                    let arg = find_arg(launch, name);
+                    match arg {
+                        Some(ArgValue::Int(v)) => iregs[*reg as usize] = v,
+                        Some(ArgValue::Float(_)) => {
+                            self.restore(buffers, bufs);
+                            return Err(ExecError::ArgKindMismatch(name.clone()));
+                        }
+                        None => {
+                            self.restore(buffers, bufs);
+                            return Err(ExecError::MissingArg(name.clone()));
+                        }
+                    }
+                }
+                ParamBind::ScalarFloat { name, prec, reg } => {
+                    let arg = find_arg(launch, name);
+                    match arg {
+                        Some(ArgValue::Float(v)) => fregs[*reg as usize] = round_to(*prec, v),
+                        Some(ArgValue::Int(v)) => {
+                            fregs[*reg as usize] = round_to(*prec, v as f64)
+                        }
+                        None => {
+                            self.restore(buffers, bufs);
+                            return Err(ExecError::MissingArg(name.clone()));
+                        }
+                    }
+                }
+            }
+        }
+
+        let result = self.exec(&mut iregs, &mut fregs, &mut bufs, launch);
+        self.restore(buffers, bufs);
+        result
+    }
+
+    fn restore(&self, buffers: &mut BufferMap, bufs: Vec<(String, FloatVec)>) {
+        for (name, data) in bufs {
+            buffers.insert(name, data);
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec(
+        &self,
+        iregs: &mut [i64],
+        fregs: &mut [f64],
+        bufs: &mut [(String, FloatVec)],
+        launch: &Launch,
+    ) -> Result<OpCounts, ExecError> {
+        let mut counts = OpCounts::new();
+        let ops = &self.ops[..];
+        for gy in 0..launch.global[1] {
+            for gx in 0..launch.global[0] {
+                iregs[0] = gx as i64;
+                iregs[1] = gy as i64;
+                let mut pc = 0usize;
+                loop {
+                    match ops[pc] {
+                        Op::Halt => break,
+                        Op::Jump(t) => {
+                            pc = t as usize;
+                            continue;
+                        }
+                        Op::JumpIfFalse { cond, target } => {
+                            if iregs[cond as usize] == 0 {
+                                pc = target as usize;
+                                continue;
+                            }
+                        }
+                        Op::IConst { dst, v } => iregs[dst as usize] = v,
+                        Op::FConst { dst, v } => fregs[dst as usize] = v,
+                        Op::IMov { dst, src } => iregs[dst as usize] = iregs[src as usize],
+                        Op::FMov { dst, src } => fregs[dst as usize] = fregs[src as usize],
+                        Op::IBin { op, dst, a, b } => {
+                            iregs[dst as usize] =
+                                apply_ibin(op, iregs[a as usize], iregs[b as usize]);
+                        }
+                        Op::IAddImm { dst, a, imm } => {
+                            iregs[dst as usize] = iregs[a as usize].wrapping_add(imm);
+                        }
+                        Op::IUn { op, dst, a } => {
+                            let v = iregs[a as usize];
+                            iregs[dst as usize] = match op {
+                                UnaryFn::Neg => v.wrapping_neg(),
+                                UnaryFn::Fabs => v.wrapping_abs(),
+                                _ => unreachable!("compiler emits IUn for neg/abs only"),
+                            };
+                        }
+                        Op::ICmp { op, dst, a, b } => {
+                            iregs[dst as usize] =
+                                i64::from(apply_icmp(op, iregs[a as usize], iregs[b as usize]));
+                        }
+                        Op::FCmp { op, dst, a, b } => {
+                            iregs[dst as usize] =
+                                i64::from(apply_fcmp(op, fregs[a as usize], fregs[b as usize]));
+                        }
+                        Op::FBin { prec, op, dst, a, b } => {
+                            fregs[dst as usize] =
+                                apply_fbin(prec, op, fregs[a as usize], fregs[b as usize]);
+                        }
+                        Op::FUn { prec, op, dst, a } => {
+                            fregs[dst as usize] = apply_fun(prec, op, fregs[a as usize]);
+                        }
+                        Op::Cvt { prec, dst, a } => {
+                            fregs[dst as usize] = round_to(prec, fregs[a as usize]);
+                        }
+                        Op::IToF { prec, dst, a } => {
+                            fregs[dst as usize] = round_to(prec, iregs[a as usize] as f64);
+                        }
+                        Op::FToI { dst, a } => {
+                            iregs[dst as usize] = fregs[a as usize].trunc() as i64;
+                        }
+                        Op::Load { buf, idx, dst } => {
+                            let i = iregs[idx as usize];
+                            let (name, data) = &bufs[buf as usize];
+                            let len = data.len();
+                            if i < 0 || i as usize >= len {
+                                return Err(ExecError::OutOfBounds {
+                                    buf: name.clone(),
+                                    index: i,
+                                    len,
+                                });
+                            }
+                            fregs[dst as usize] = match data {
+                                FloatVec::F16(v) => v[i as usize].to_f64(),
+                                FloatVec::F32(v) => f64::from(v[i as usize]),
+                                FloatVec::F64(v) => v[i as usize],
+                            };
+                        }
+                        Op::Store { buf, idx, src } => {
+                            let i = iregs[idx as usize];
+                            let v = fregs[src as usize];
+                            let (name, data) = &mut bufs[buf as usize];
+                            let len = data.len();
+                            if i < 0 || i as usize >= len {
+                                return Err(ExecError::OutOfBounds {
+                                    buf: name.clone(),
+                                    index: i,
+                                    len,
+                                });
+                            }
+                            match data {
+                                FloatVec::F16(vec) => vec[i as usize] = F16::from_f64(v),
+                                FloatVec::F32(vec) => vec[i as usize] = v as f32,
+                                FloatVec::F64(vec) => vec[i as usize] = v,
+                            }
+                        }
+                        Op::SelectF { cond, dst, a, b } => {
+                            fregs[dst as usize] = if iregs[cond as usize] != 0 {
+                                fregs[a as usize]
+                            } else {
+                                fregs[b as usize]
+                            };
+                        }
+                        Op::SelectI { cond, dst, a, b } => {
+                            iregs[dst as usize] = if iregs[cond as usize] != 0 {
+                                iregs[a as usize]
+                            } else {
+                                iregs[b as usize]
+                            };
+                        }
+                        Op::Count { idx } => {
+                            counts += self.counts_table[idx as usize];
+                        }
+                    }
+                    pc += 1;
+                }
+            }
+        }
+        Ok(counts)
+    }
+}
+
+fn find_arg(launch: &Launch, name: &str) -> Option<ArgValue> {
+    launch
+        .args
+        .iter()
+        .rev()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Access;
+    use crate::dsl::*;
+    use crate::interp::run_kernel;
+    use crate::typeck::check_kernel;
+
+    /// Runs a kernel through both engines and asserts identical buffers
+    /// and counts.
+    fn assert_equiv(kernel: &Kernel, mut bufs: BufferMap, launch: &Launch) {
+        check_kernel(kernel).unwrap();
+        let mut bufs_vm = bufs.clone();
+        let counts_interp = run_kernel(kernel, &mut bufs, launch).unwrap();
+        let compiled = compile_kernel(kernel);
+        let counts_vm = compiled.run(&mut bufs_vm, launch).unwrap();
+        assert_eq!(counts_interp, counts_vm, "operation counts must match");
+        for (name, data) in &bufs {
+            assert_eq!(
+                data, &bufs_vm[name],
+                "buffer `{name}` diverged between interpreter and VM"
+            );
+        }
+    }
+
+    fn saxpy(elem: Precision) -> Kernel {
+        kernel("saxpy")
+            .buffer("x", elem, Access::Read)
+            .buffer("y", elem, Access::ReadWrite)
+            .float_param_like("a", "x")
+            .int_param("n")
+            .body(vec![
+                let_("i", global_id(0)),
+                if_(
+                    lt(var("i"), var("n")),
+                    vec![store(
+                        "y",
+                        var("i"),
+                        var("a") * load("x", var("i")) + load("y", var("i")),
+                    )],
+                ),
+            ])
+    }
+
+    #[test]
+    fn saxpy_equivalence_all_precisions() {
+        for elem in Precision::ALL {
+            let k = saxpy(elem);
+            let n = 40usize;
+            let mut bufs = BufferMap::new();
+            let xs: Vec<f64> = (0..n).map(|i| (i as f64).sin() * 100.0).collect();
+            let ys: Vec<f64> = (0..n).map(|i| (i as f64).cos() * 100.0).collect();
+            bufs.insert("x".into(), FloatVec::from_f64_slice(&xs, elem));
+            bufs.insert("y".into(), FloatVec::from_f64_slice(&ys, elem));
+            // Launch wider than n to exercise the guard.
+            let launch = Launch::one_d(64).arg_float("a", 2.5).arg_int("n", n as i64);
+            assert_equiv(&k, bufs, &launch);
+        }
+    }
+
+    #[test]
+    fn loops_casts_and_selects_are_equivalent() {
+        let k = kernel("mix")
+            .buffer("a", Precision::Double, Access::Read)
+            .buffer("b", Precision::Single, Access::Read)
+            .buffer("c", Precision::Half, Access::ReadWrite)
+            .int_param("n")
+            .body(vec![
+                let_("i", global_id(0)),
+                let_acc("acc", "c", flit(0.0)),
+                for_(
+                    "j",
+                    int(0),
+                    var("n"),
+                    vec![
+                        let_("prod", load("a", var("j")) * load("b", var("j"))),
+                        add_assign(
+                            "acc",
+                            select(
+                                gt(var("prod"), flit(10.0)),
+                                cast(Precision::Half, sqrt(var("prod"))),
+                                cast(Precision::Half, var("prod")),
+                            ),
+                        ),
+                    ],
+                ),
+                store("c", var("i"), var("acc") + cast_elem_of("c", var("i"))),
+            ]);
+        let n = 12usize;
+        let mut bufs = BufferMap::new();
+        let xs: Vec<f64> = (0..n).map(|i| 0.7 * i as f64).collect();
+        bufs.insert("a".into(), FloatVec::from_f64_slice(&xs, Precision::Double));
+        bufs.insert("b".into(), FloatVec::from_f64_slice(&xs, Precision::Single));
+        bufs.insert("c".into(), FloatVec::zeros(n, Precision::Half));
+        let launch = Launch::one_d(n).arg_int("n", n as i64);
+        assert_equiv(&k, bufs, &launch);
+    }
+
+    #[test]
+    fn triangular_loops_and_two_d_ids_are_equivalent() {
+        let k = kernel("tri")
+            .buffer("c", Precision::Single, Access::ReadWrite)
+            .int_param("n")
+            .body(vec![
+                let_("j", global_id(0)),
+                let_("i", global_id(1)),
+                let_acc("acc", "c", flit(1.0)),
+                for_(
+                    "kk",
+                    var("j") + int(1),
+                    var("n"),
+                    vec![assign("acc", var("acc") * flit(1.5) - flit(0.25))],
+                ),
+                if_else(
+                    lt(var("i"), var("j")),
+                    vec![store("c", var("i") * var("n") + var("j"), var("acc"))],
+                    vec![store("c", var("j") * var("n") + var("i"), -var("acc"))],
+                ),
+            ]);
+        let n = 9usize;
+        let mut bufs = BufferMap::new();
+        bufs.insert("c".into(), FloatVec::zeros(n * n, Precision::Single));
+        let launch = Launch::two_d(n, n).arg_int("n", n as i64);
+        assert_equiv(&k, bufs, &launch);
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported_identically() {
+        let k = kernel("oob")
+            .buffer("x", Precision::Double, Access::Read)
+            .body(vec![let_("v", load("x", global_id(0)))]);
+        check_kernel(&k).unwrap();
+        let mut bufs = BufferMap::new();
+        bufs.insert("x".into(), FloatVec::zeros(4, Precision::Double));
+        let compiled = compile_kernel(&k);
+        let err = compiled.run(&mut bufs, &Launch::one_d(8)).unwrap_err();
+        assert!(matches!(err, ExecError::OutOfBounds { index: 4, len: 4, .. }));
+        // Buffers are restored even on error.
+        assert!(bufs.contains_key("x"));
+    }
+
+    #[test]
+    fn missing_bindings_error_like_the_interpreter() {
+        let k = saxpy(Precision::Double);
+        let compiled = compile_kernel(&k);
+        let mut bufs = BufferMap::new();
+        assert!(matches!(
+            compiled.run(&mut bufs, &Launch::one_d(1)),
+            Err(ExecError::MissingBuffer(_))
+        ));
+        bufs.insert("x".into(), FloatVec::zeros(1, Precision::Double));
+        bufs.insert("y".into(), FloatVec::zeros(1, Precision::Single));
+        assert!(matches!(
+            compiled.run(&mut bufs, &Launch::one_d(1)),
+            Err(ExecError::BufferPrecisionMismatch { .. })
+        ));
+        bufs.insert("y".into(), FloatVec::zeros(1, Precision::Double));
+        assert!(matches!(
+            compiled.run(&mut bufs, &Launch::one_d(1)),
+            Err(ExecError::MissingArg(_))
+        ));
+    }
+
+    #[test]
+    fn compiled_code_is_compact() {
+        let k = saxpy(Precision::Double);
+        let compiled = compile_kernel(&k);
+        assert!(compiled.code_len() < 40, "{} ops", compiled.code_len());
+        assert_eq!(compiled.name(), "saxpy");
+    }
+
+    #[test]
+    fn empty_loop_counts_match() {
+        // A loop with zero trips: bounds evaluated, no body counts.
+        let k = kernel("z")
+            .buffer("c", Precision::Double, Access::Write)
+            .body(vec![for_(
+                "i",
+                int(5),
+                int(2),
+                vec![store("c", var("i"), flit(0.0))],
+            )]);
+        let mut bufs = BufferMap::new();
+        bufs.insert("c".into(), FloatVec::zeros(1, Precision::Double));
+        assert_equiv(&k, bufs, &Launch::one_d(3));
+    }
+
+    #[test]
+    fn weak_literal_chains_match() {
+        // Literal arithmetic adopting a buffer's precision through nesting.
+        let k = kernel("w")
+            .buffer("c", Precision::Half, Access::ReadWrite)
+            .body(vec![
+                let_("i", global_id(0)),
+                store(
+                    "c",
+                    var("i"),
+                    (flit(0.1) + flit(0.2)) * load("c", var("i")) + flit(0.3),
+                ),
+            ]);
+        let mut bufs = BufferMap::new();
+        bufs.insert(
+            "c".into(),
+            FloatVec::from_f64_slice(&[1.0, 2.0, 4.0], Precision::Half),
+        );
+        assert_equiv(&k, bufs, &Launch::one_d(3));
+    }
+}

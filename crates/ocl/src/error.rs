@@ -1,0 +1,121 @@
+//! Runtime errors.
+
+use core::fmt;
+use prescaler_ir::interp::ExecError;
+use prescaler_ir::typeck::TypeError;
+use prescaler_ir::Precision;
+
+/// An error raised by the mini OpenCL runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OclError {
+    /// A kernel name was not found in the program.
+    UnknownKernel(String),
+    /// A buffer handle did not belong to this session.
+    InvalidBuffer(usize),
+    /// Two buffers were created with the same label.
+    DuplicateLabel(String),
+    /// A kernel parameter was left unbound at launch.
+    UnboundParam {
+        /// Kernel name.
+        kernel: String,
+        /// Parameter name.
+        param: String,
+    },
+    /// Host data passed to a write did not match the expected precision.
+    HostPrecisionMismatch {
+        /// Buffer label.
+        label: String,
+        /// Precision the session expected (the app's original type).
+        expected: Precision,
+        /// Precision of the supplied data.
+        got: Precision,
+    },
+    /// Host data length did not match the buffer.
+    LengthMismatch {
+        /// Buffer label.
+        label: String,
+        /// Buffer length.
+        expected: usize,
+        /// Supplied length.
+        got: usize,
+    },
+    /// The (possibly transformed) kernel failed the type checker — a bug
+    /// in a scaling configuration.
+    BadKernel(TypeError),
+    /// The kernel failed at execution time.
+    Exec(ExecError),
+}
+
+impl fmt::Display for OclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OclError::UnknownKernel(n) => write!(f, "unknown kernel `{n}`"),
+            OclError::InvalidBuffer(id) => write!(f, "invalid buffer handle {id}"),
+            OclError::DuplicateLabel(l) => write!(f, "duplicate buffer label `{l}`"),
+            OclError::UnboundParam { kernel, param } => {
+                write!(f, "parameter `{param}` of kernel `{kernel}` is unbound")
+            }
+            OclError::HostPrecisionMismatch {
+                label,
+                expected,
+                got,
+            } => write!(
+                f,
+                "host data for `{label}` is {got}, expected {expected}"
+            ),
+            OclError::LengthMismatch {
+                label,
+                expected,
+                got,
+            } => write!(
+                f,
+                "host data for `{label}` has {got} elements, buffer holds {expected}"
+            ),
+            OclError::BadKernel(e) => write!(f, "scaled kernel rejected: {e}"),
+            OclError::Exec(e) => write!(f, "kernel execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OclError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OclError::BadKernel(e) => Some(e),
+            OclError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TypeError> for OclError {
+    fn from(e: TypeError) -> OclError {
+        OclError::BadKernel(e)
+    }
+}
+
+impl From<ExecError> for OclError {
+    fn from(e: ExecError) -> OclError {
+        OclError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = OclError::UnboundParam {
+            kernel: "gemm".into(),
+            param: "a".into(),
+        };
+        assert!(e.to_string().contains("gemm"));
+        assert!(e.to_string().contains("`a`"));
+        let e = OclError::HostPrecisionMismatch {
+            label: "A".into(),
+            expected: Precision::Double,
+            got: Precision::Half,
+        };
+        assert!(e.to_string().contains("half"));
+    }
+}

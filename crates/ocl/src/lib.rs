@@ -1,0 +1,31 @@
+//! A miniature OpenCL-like runtime on the PreScaler system simulator.
+//!
+//! The paper implements PreScaler as a link-time interposition layer over
+//! the OpenCL API (its Table 2): buffer creation, transfers and kernel
+//! launches are wrapped so that (a) a dynamic profiler observes the
+//! application's memory objects and events, and (b) a chosen precision
+//! configuration is applied without touching application code. This crate
+//! is that runtime:
+//!
+//! * [`session::Session`] — context + command queue: buffers, writes/reads
+//!   with conversion plans, kernel launches (functionally executed,
+//!   virtually timed);
+//! * [`spec::ScalingSpec`] — the applied configuration (mechanism only);
+//! * [`profile::ProfileLog`] — the recorded event stream and timeline;
+//! * [`app::HostApp`] — the application abstraction the framework re-runs
+//!   under different configurations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod error;
+pub mod profile;
+pub mod session;
+pub mod spec;
+
+pub use app::{run_app, HostApp, Outputs};
+pub use error::OclError;
+pub use profile::{Event, ObjectInfo, ProfileLog, Timeline};
+pub use session::{BufferId, KernelArg, Session};
+pub use spec::{PlanChoice, ScalingSpec};

@@ -1,0 +1,576 @@
+//! The command-queue session: buffers, transfers, kernel launches.
+//!
+//! A [`Session`] plays the role of an OpenCL context + command queue on one
+//! simulated system. Every API call both *performs* the operation
+//! functionally (real data, real rounding) and *accounts* its virtual time,
+//! while the profiling layer records the event stream — exactly the split
+//! of the paper's interposition library (Table 2): the application code
+//! never changes; the active [`ScalingSpec`] changes what the calls do.
+
+use crate::error::OclError;
+use crate::profile::{ObjectInfo, ProfileLog, Timeline};
+use crate::spec::ScalingSpec;
+use prescaler_ir::interp::{run_kernel, BufferMap, Launch};
+use prescaler_ir::passes::{insert_casts, retype_buffers};
+use prescaler_ir::typeck::check_kernel;
+use prescaler_ir::vm::{compile_kernel, CompiledKernel};
+use prescaler_ir::{FloatVec, Param, Precision, Program};
+use prescaler_sim::{Direction, HostMethod, SimTime, SystemModel, TransferPlan};
+use std::collections::HashMap;
+
+/// Handle to a device memory object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BufferId(usize);
+
+/// A device buffer: label, shape, and live device-resident data.
+#[derive(Clone, Debug)]
+struct DeviceBuffer {
+    label: String,
+    declared: Precision,
+    device_precision: Precision,
+    data: FloatVec,
+}
+
+/// An argument binding for a kernel launch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum KernelArg {
+    /// Bind a buffer to a buffer parameter.
+    Buffer(BufferId),
+    /// Bind an integer scalar.
+    Int(i64),
+    /// Bind a float scalar (converted to the kernel's parameter type).
+    Float(f64),
+}
+
+/// An OpenCL-like session on one simulated system.
+#[derive(Debug)]
+pub struct Session {
+    system: SystemModel,
+    program: Program,
+    spec: ScalingSpec,
+    buffers: Vec<DeviceBuffer>,
+    log: ProfileLog,
+    /// Precision-scaled kernel variants, compiled on first use (the
+    /// paper's "compiler generates precision-scaled kernel in all
+    /// possible cases" — here compiled lazily and cached).
+    compiled: HashMap<(String, Vec<Precision>), std::sync::Arc<CompiledKernel>>,
+    /// Use the reference tree-walking interpreter instead of the bytecode
+    /// VM (slow; for differential testing).
+    use_interpreter: bool,
+}
+
+impl Session {
+    /// Creates a session for `program` on `system` under `spec`
+    /// (`clCreateContext` + `clCreateProgramWithSource` + custom compile).
+    #[must_use]
+    pub fn new(system: SystemModel, program: Program, spec: ScalingSpec) -> Session {
+        Session {
+            system,
+            program,
+            spec,
+            buffers: Vec::new(),
+            log: ProfileLog::default(),
+            compiled: HashMap::new(),
+            use_interpreter: false,
+        }
+    }
+
+    /// Switches kernel execution to the reference interpreter (an order
+    /// of magnitude slower; produces bit-identical results — used for
+    /// differential testing of the VM).
+    pub fn set_use_interpreter(&mut self, yes: bool) {
+        self.use_interpreter = yes;
+    }
+
+    /// The simulated system.
+    #[must_use]
+    pub fn system(&self) -> &SystemModel {
+        &self.system
+    }
+
+    /// The active scaling specification.
+    #[must_use]
+    pub fn spec(&self) -> &ScalingSpec {
+        &self.spec
+    }
+
+    /// The profile recorded so far.
+    #[must_use]
+    pub fn log(&self) -> &ProfileLog {
+        &self.log
+    }
+
+    /// Consumes the session, returning the profile.
+    #[must_use]
+    pub fn into_log(self) -> ProfileLog {
+        self.log
+    }
+
+    /// Aggregate virtual times.
+    #[must_use]
+    pub fn timeline(&self) -> Timeline {
+        self.log.timeline
+    }
+
+    /// Creates a device buffer (`clCreateBuffer`). The device storage
+    /// precision is the scaling spec's target for this label, defaulting
+    /// to the declared precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OclError::DuplicateLabel`] if the label is already used.
+    pub fn create_buffer(
+        &mut self,
+        label: impl Into<String>,
+        len: usize,
+        declared: Precision,
+    ) -> Result<BufferId, OclError> {
+        let label = label.into();
+        if self.buffers.iter().any(|b| b.label == label) {
+            return Err(OclError::DuplicateLabel(label));
+        }
+        let device_precision = self.spec.target_for(&label, declared);
+        self.log.objects.push(ObjectInfo {
+            label: label.clone(),
+            len,
+            declared,
+            device_precision,
+        });
+        self.buffers.push(DeviceBuffer {
+            label,
+            declared,
+            device_precision,
+            data: FloatVec::zeros(len, device_precision),
+        });
+        Ok(BufferId(self.buffers.len() - 1))
+    }
+
+    fn buffer(&self, id: BufferId) -> Result<&DeviceBuffer, OclError> {
+        self.buffers.get(id.0).ok_or(OclError::InvalidBuffer(id.0))
+    }
+
+    /// The current device-resident contents of a buffer (test/debug aid;
+    /// not a timed operation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OclError::InvalidBuffer`] for foreign handles.
+    pub fn peek(&self, id: BufferId) -> Result<&FloatVec, OclError> {
+        Ok(&self.buffer(id)?.data)
+    }
+
+    /// Writes host data into a device buffer (`clEnqueueWriteBuffer`),
+    /// applying the spec's HtoD plan: host-side conversion, wire
+    /// transfer, device-side conversion — all functional and all timed.
+    ///
+    /// # Errors
+    ///
+    /// Rejects wrong-precision or wrong-length host data and foreign
+    /// handles.
+    pub fn enqueue_write(&mut self, id: BufferId, host: &FloatVec) -> Result<(), OclError> {
+        let buf = self.buffer(id)?;
+        if host.precision() != buf.declared {
+            return Err(OclError::HostPrecisionMismatch {
+                label: buf.label.clone(),
+                expected: buf.declared,
+                got: host.precision(),
+            });
+        }
+        if host.len() != buf.data.len() {
+            return Err(OclError::LengthMismatch {
+                label: buf.label.clone(),
+                expected: buf.data.len(),
+                got: host.len(),
+            });
+        }
+        let plan = self.transfer_plan(Direction::HtoD, &buf.label, buf.declared, buf.device_precision);
+        let cost = plan.time(&self.system, host.len());
+        let data = plan.apply(host);
+        let wire_bytes = host.len() * plan.intermediate.size_bytes();
+        let label = buf.label.clone();
+        let elems = host.len();
+        self.buffers[id.0].data = data;
+        self.log
+            .record_transfer(&label, Direction::HtoD, elems, wire_bytes, cost);
+        Ok(())
+    }
+
+    /// Reads a device buffer back to the host (`clEnqueueReadBuffer`) at
+    /// the application's original precision, applying the spec's DtoH
+    /// plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OclError::InvalidBuffer`] for foreign handles.
+    pub fn enqueue_read(&mut self, id: BufferId) -> Result<FloatVec, OclError> {
+        let buf = self.buffer(id)?;
+        let plan = self.transfer_plan(Direction::DtoH, &buf.label, buf.device_precision, buf.declared);
+        let cost = plan.time(&self.system, buf.data.len());
+        let out = plan.apply(&buf.data);
+        let wire_bytes = buf.data.len() * plan.intermediate.size_bytes();
+        let label = buf.label.clone();
+        let elems = buf.data.len();
+        self.log
+            .record_transfer(&label, Direction::DtoH, elems, wire_bytes, cost);
+        Ok(out)
+    }
+
+    fn transfer_plan(
+        &self,
+        direction: Direction,
+        label: &str,
+        src: Precision,
+        dst: Precision,
+    ) -> TransferPlan {
+        let choice = match direction {
+            Direction::HtoD => self.spec.write_plans.get(label),
+            Direction::DtoH => self.spec.read_plans.get(label),
+        };
+        match choice {
+            Some(c) => TransferPlan {
+                direction,
+                src,
+                intermediate: c.intermediate,
+                dst,
+                host_method: c.host_method,
+            },
+            None if src == dst => TransferPlan::direct(direction, src),
+            // A scaled object without an explicit plan converts on the
+            // host with a plain loop — the least surprising default.
+            None => TransferPlan::host_scaled(direction, src, dst, HostMethod::Loop),
+        }
+    }
+
+    /// Launches a kernel (`clSetKernelArg`* + `clEnqueueNDRangeKernel`).
+    ///
+    /// The kernel actually executed is the program's kernel *re-typed to
+    /// the bound buffers' device precisions* (the spec's memory-object
+    /// scaling), then transformed by the spec's in-kernel cast map if one
+    /// is present. The transformed kernel is re-checked, interpreted
+    /// functionally, and its dynamic operation counts are priced on the
+    /// GPU model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown kernels, unbound/foreign arguments, a scaled
+    /// kernel failing the type checker, and execution errors.
+    pub fn launch_kernel(
+        &mut self,
+        name: &str,
+        global: [usize; 2],
+        args: &[(&str, KernelArg)],
+    ) -> Result<SimTime, OclError> {
+        let kernel = self
+            .program
+            .kernel(name)
+            .ok_or_else(|| OclError::UnknownKernel(name.to_owned()))?
+            .clone();
+
+        // Resolve bindings.
+        let mut retype: HashMap<String, Precision> = HashMap::new();
+        let mut buffer_args: Vec<(String, BufferId)> = Vec::new();
+        let mut launch = Launch {
+            global,
+            args: Vec::new(),
+        };
+        for p in &kernel.params {
+            let supplied = args
+                .iter()
+                .find(|(n, _)| *n == p.name())
+                .map(|(_, v)| v)
+                .ok_or_else(|| OclError::UnboundParam {
+                    kernel: name.to_owned(),
+                    param: p.name().to_owned(),
+                })?;
+            match (p, supplied) {
+                (Param::Buffer { name: pname, .. }, KernelArg::Buffer(id)) => {
+                    let b = self.buffer(*id)?;
+                    retype.insert(pname.clone(), b.device_precision);
+                    buffer_args.push((pname.clone(), *id));
+                }
+                (Param::Scalar { name: pname, .. }, KernelArg::Int(v)) => {
+                    launch = launch.arg_int(pname.clone(), *v);
+                }
+                (Param::Scalar { name: pname, .. }, KernelArg::Float(v)) => {
+                    launch = launch.arg_float(pname.clone(), *v);
+                }
+                _ => {
+                    return Err(OclError::UnboundParam {
+                        kernel: name.to_owned(),
+                        param: p.name().to_owned(),
+                    })
+                }
+            }
+        }
+
+        // Select (or compile) the precision-scaled kernel variant.
+        let variant_key = (
+            name.to_owned(),
+            kernel
+                .params
+                .iter()
+                .filter_map(|p| match p {
+                    Param::Buffer { name: pn, .. } => retype.get(pn).copied(),
+                    Param::Scalar { .. } => None,
+                })
+                .collect::<Vec<Precision>>(),
+        );
+        let interp_kernel = if self.use_interpreter {
+            let mut scaled = retype_buffers(&kernel, &retype);
+            if let Some(compute) = self.spec.in_kernel.get(name) {
+                scaled = insert_casts(&scaled, compute);
+            }
+            check_kernel(&scaled)?;
+            Some(scaled)
+        } else {
+            None
+        };
+        let compiled = match self.compiled.get(&variant_key) {
+            Some(c) => Some(c.clone()),
+            None if interp_kernel.is_none() => {
+                let mut scaled = retype_buffers(&kernel, &retype);
+                if let Some(compute) = self.spec.in_kernel.get(name) {
+                    scaled = insert_casts(&scaled, compute);
+                }
+                check_kernel(&scaled)?;
+                let c = std::sync::Arc::new(compile_kernel(&scaled));
+                self.compiled.insert(variant_key, c.clone());
+                Some(c)
+            }
+            None => None,
+        };
+
+        // Move the bound buffers into an interpreter map, run, move back.
+        let mut map = BufferMap::new();
+        for (pname, id) in &buffer_args {
+            map.insert(pname.clone(), std::mem::replace(
+                &mut self.buffers[id.0].data,
+                FloatVec::zeros(0, Precision::Half),
+            ));
+        }
+        let result = match &interp_kernel {
+            Some(k) => run_kernel(k, &mut map, &launch),
+            None => compiled
+                .as_ref()
+                .expect("compiled variant exists when not interpreting")
+                .run(&mut map, &launch),
+        };
+        for (pname, id) in &buffer_args {
+            if let Some(data) = map.remove(pname.as_str()) {
+                self.buffers[id.0].data = data;
+            }
+        }
+        let counts = result?;
+
+        let time = self.system.gpu.kernel_time(&counts);
+        let arg_map: Vec<(String, String)> = buffer_args
+            .iter()
+            .map(|(pname, id)| (pname.clone(), self.buffers[id.0].label.clone()))
+            .collect();
+        self.log.record_kernel(name, arg_map, counts, time);
+        Ok(time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PlanChoice;
+    use prescaler_ir::dsl::*;
+    use prescaler_ir::Access;
+
+    fn vec_scale_program() -> Program {
+        Program::new("vscale").with_kernel(
+            kernel("vscale")
+                .buffer("x", Precision::Double, Access::Read)
+                .buffer("y", Precision::Double, Access::Write)
+                .float_param_like("a", "x")
+                .int_param("n")
+                .body(vec![
+                    let_("i", global_id(0)),
+                    if_(
+                        lt(var("i"), var("n")),
+                        vec![store("y", var("i"), var("a") * load("x", var("i")))],
+                    ),
+                ]),
+        )
+    }
+
+    fn run_once(spec: ScalingSpec) -> (FloatVec, Timeline) {
+        let mut s = Session::new(SystemModel::system1(), vec_scale_program(), spec);
+        let n = 1024usize;
+        let x = s.create_buffer("X", n, Precision::Double).unwrap();
+        let y = s.create_buffer("Y", n, Precision::Double).unwrap();
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        s.enqueue_write(x, &FloatVec::from_f64_slice(&xs, Precision::Double))
+            .unwrap();
+        s.launch_kernel(
+            "vscale",
+            [n, 1],
+            &[
+                ("x", KernelArg::Buffer(x)),
+                ("y", KernelArg::Buffer(y)),
+                ("a", KernelArg::Float(3.0)),
+                ("n", KernelArg::Int(n as i64)),
+            ],
+        )
+        .unwrap();
+        let out = s.enqueue_read(y).unwrap();
+        (out, s.timeline())
+    }
+
+    #[test]
+    fn baseline_run_is_exact_in_double() {
+        let (out, tl) = run_once(ScalingSpec::baseline());
+        assert_eq!(out.precision(), Precision::Double);
+        assert_eq!(out.get(10), 15.0);
+        assert!(tl.kernel > SimTime::ZERO);
+        assert!(tl.htod > SimTime::ZERO);
+        assert!(tl.dtoh > SimTime::ZERO);
+        assert_eq!(tl.host_convert, SimTime::ZERO);
+        assert_eq!(tl.device_convert, SimTime::ZERO);
+    }
+
+    #[test]
+    fn scaled_run_converts_and_computes_in_target_precision() {
+        let spec = ScalingSpec::baseline()
+            .with_target("X", Precision::Half)
+            .with_target("Y", Precision::Half);
+        let (out, tl) = run_once(spec);
+        // Output is read back at the app's declared double precision…
+        assert_eq!(out.precision(), Precision::Double);
+        // …but values went through binary16: 3 * 511.5 = 1534.5 is an
+        // exact tie at ulp=1 and rounds to the even neighbour 1534.
+        let exact = 3.0 * 511.5;
+        let got = out.get(1023);
+        assert_eq!(got, 1534.0, "exact {exact} must round to even in f16");
+        assert!(tl.host_convert > SimTime::ZERO, "loop conversion on write");
+    }
+
+    #[test]
+    fn scaled_wire_is_smaller() {
+        let mut s_base = Session::new(
+            SystemModel::system1(),
+            vec_scale_program(),
+            ScalingSpec::baseline(),
+        );
+        let mut s_scaled = Session::new(
+            SystemModel::system1(),
+            vec_scale_program(),
+            ScalingSpec::baseline().with_target("X", Precision::Half).with_write_plan(
+                "X",
+                PlanChoice::host_direct(
+                    Direction::HtoD,
+                    Precision::Double,
+                    Precision::Half,
+                    8,
+                ),
+            ),
+        );
+        let n = 1 << 16;
+        let xs = FloatVec::from_f64_slice(&vec![1.0; n], Precision::Double);
+        for s in [&mut s_base, &mut s_scaled] {
+            let x = s.create_buffer("X", n, Precision::Double).unwrap();
+            s.enqueue_write(x, &xs).unwrap();
+        }
+        let wire = |s: &Session| match &s.log().events[0] {
+            crate::profile::Event::Transfer { wire_bytes, .. } => *wire_bytes,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(wire(&s_base), n * 8);
+        assert_eq!(wire(&s_scaled), n * 2);
+        assert!(s_scaled.timeline().htod < s_base.timeline().htod);
+    }
+
+    #[test]
+    fn in_kernel_spec_pays_conversions_but_keeps_buffers() {
+        let mut spec = ScalingSpec::baseline();
+        spec.in_kernel.insert(
+            "vscale".into(),
+            HashMap::from([
+                ("x".to_owned(), Precision::Single),
+                ("y".to_owned(), Precision::Single),
+            ]),
+        );
+        let mut s = Session::new(SystemModel::system1(), vec_scale_program(), spec);
+        let n = 256usize;
+        let x = s.create_buffer("X", n, Precision::Double).unwrap();
+        let y = s.create_buffer("Y", n, Precision::Double).unwrap();
+        s.enqueue_write(x, &FloatVec::from_f64_slice(&vec![0.1; n], Precision::Double))
+            .unwrap();
+        s.launch_kernel(
+            "vscale",
+            [n, 1],
+            &[
+                ("x", KernelArg::Buffer(x)),
+                ("y", KernelArg::Buffer(y)),
+                ("a", KernelArg::Float(1.0)),
+                ("n", KernelArg::Int(n as i64)),
+            ],
+        )
+        .unwrap();
+        // Device buffer stays double…
+        assert_eq!(s.peek(y).unwrap().precision(), Precision::Double);
+        // …but the value went through single precision.
+        assert_eq!(s.peek(y).unwrap().get(0), f64::from(0.1f32));
+        // And the launch logged conversion instructions.
+        match &s.log().events[1] {
+            crate::profile::Event::KernelLaunch { counts, .. } => {
+                assert!(counts.converts >= n as u64, "casts in the kernel");
+                assert!(counts.at(Precision::Single).mul == n as u64);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_surface_cleanly() {
+        let mut s = Session::new(
+            SystemModel::system1(),
+            vec_scale_program(),
+            ScalingSpec::baseline(),
+        );
+        let x = s.create_buffer("X", 4, Precision::Double).unwrap();
+        assert!(matches!(
+            s.create_buffer("X", 4, Precision::Double),
+            Err(OclError::DuplicateLabel(_))
+        ));
+        assert!(matches!(
+            s.enqueue_write(x, &FloatVec::zeros(4, Precision::Single)),
+            Err(OclError::HostPrecisionMismatch { .. })
+        ));
+        assert!(matches!(
+            s.enqueue_write(x, &FloatVec::zeros(8, Precision::Double)),
+            Err(OclError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            s.launch_kernel("ghost", [1, 1], &[]),
+            Err(OclError::UnknownKernel(_))
+        ));
+        assert!(matches!(
+            s.launch_kernel("vscale", [1, 1], &[("x", KernelArg::Buffer(x))]),
+            Err(OclError::UnboundParam { .. })
+        ));
+    }
+
+    #[test]
+    fn transient_write_plan_rounds_through_the_wire_type() {
+        let spec = ScalingSpec::baseline()
+            .with_target("X", Precision::Single)
+            .with_write_plan(
+                "X",
+                PlanChoice {
+                    intermediate: Precision::Half,
+                    host_method: HostMethod::Loop,
+                },
+            );
+        let mut s = Session::new(SystemModel::system1(), vec_scale_program(), spec);
+        let x = s.create_buffer("X", 1, Precision::Double).unwrap();
+        s.enqueue_write(x, &FloatVec::from_f64_slice(&[0.1], Precision::Double))
+            .unwrap();
+        let dev = s.peek(x).unwrap();
+        assert_eq!(dev.precision(), Precision::Single);
+        // The value carries binary16 rounding even though storage is f32.
+        assert_ne!(dev.get(0), f64::from(0.1f32));
+    }
+}

@@ -1,0 +1,6 @@
+//! Per-family benchmark implementations.
+
+pub(crate) mod linalg;
+pub(crate) mod stats;
+pub(crate) mod stencil;
+pub(crate) mod vector;

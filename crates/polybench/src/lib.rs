@@ -1,0 +1,37 @@
+//! The fourteen Polybench-GPU benchmarks the PreScaler paper evaluates,
+//! written against the reproduction's kernel IR and mini OpenCL runtime.
+//!
+//! * [`spec::BenchKind`] — the catalogue with the paper's Table 4 input
+//!   ranges, sizes and Fig. 4 categorization;
+//! * [`bench::PolyApp`] — a runnable benchmark instance
+//!   (kind × dimensions × input set × seed);
+//! * [`input`] — deterministic Default / Image / Random input generation;
+//! * [`quality`] — the mean-relative-error quality metric and TOQ gating.
+//!
+//! # Example
+//!
+//! ```
+//! use prescaler_polybench::{BenchKind, PolyApp};
+//! use prescaler_ocl::{run_app, ScalingSpec};
+//! use prescaler_sim::SystemModel;
+//!
+//! let app = PolyApp::tiny(BenchKind::Gemm);
+//! let (outputs, profile) = run_app(&app, &SystemModel::system1(), &ScalingSpec::baseline())?;
+//! assert_eq!(outputs[0].0, "C");
+//! assert_eq!(profile.objects.len(), 3);
+//! # Ok::<(), prescaler_ocl::OclError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apps;
+pub mod bench;
+pub mod input;
+pub mod quality;
+pub mod spec;
+
+pub use bench::PolyApp;
+pub use input::{InputGen, InputSet};
+pub use quality::{array_quality, output_quality};
+pub use spec::{BenchKind, Dims};

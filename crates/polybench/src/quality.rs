@@ -1,0 +1,135 @@
+//! Output-quality evaluation.
+//!
+//! The paper uses mean relative error as its quality metric with a default
+//! target output quality (TOQ) of 0.9. Quality is `1 − mean relative
+//! error`, with each element's relative error capped at 1 so that NaN and
+//! infinity (half-precision range overflow) count as total loss rather
+//! than poisoning the mean.
+
+use prescaler_ir::FloatVec;
+use prescaler_ocl::Outputs;
+
+/// Relative error of one element, capped at 1.
+fn rel_err(reference: f64, test: f64) -> f64 {
+    if reference == test {
+        return 0.0; // covers the 0 == 0 case exactly
+    }
+    if !test.is_finite() || !reference.is_finite() {
+        return 1.0;
+    }
+    let denom = reference.abs().max(1e-12);
+    ((test - reference).abs() / denom).min(1.0)
+}
+
+/// Quality (`1 − mean relative error`) of one array against a reference.
+///
+/// # Panics
+///
+/// Panics if lengths differ — outputs of the same program always agree in
+/// shape.
+#[must_use]
+pub fn array_quality(reference: &FloatVec, test: &FloatVec) -> f64 {
+    assert_eq!(
+        reference.len(),
+        test.len(),
+        "comparing outputs of different shapes"
+    );
+    if reference.is_empty() {
+        return 1.0;
+    }
+    let total: f64 = (0..reference.len())
+        .map(|i| rel_err(reference.get(i), test.get(i)))
+        .sum();
+    1.0 - total / reference.len() as f64
+}
+
+/// Overall quality of a run: the minimum per-output quality, so a single
+/// ruined output array fails the run (matching how TOQ gates a
+/// configuration).
+///
+/// # Panics
+///
+/// Panics if the two runs produced different output sets.
+#[must_use]
+pub fn output_quality(reference: &Outputs, test: &Outputs) -> f64 {
+    assert_eq!(
+        reference.len(),
+        test.len(),
+        "runs produced different numbers of outputs"
+    );
+    let mut min_q = 1.0f64;
+    for ((rname, rdata), (tname, tdata)) in reference.iter().zip(test) {
+        assert_eq!(rname, tname, "output order must be deterministic");
+        min_q = min_q.min(array_quality(rdata, tdata));
+    }
+    min_q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prescaler_ir::Precision;
+
+    fn vecs(r: &[f64], t: &[f64]) -> (FloatVec, FloatVec) {
+        (
+            FloatVec::from_f64_slice(r, Precision::Double),
+            FloatVec::from_f64_slice(t, Precision::Double),
+        )
+    }
+
+    #[test]
+    fn identical_outputs_have_quality_one() {
+        let (r, t) = vecs(&[1.0, 2.0, 0.0], &[1.0, 2.0, 0.0]);
+        assert_eq!(array_quality(&r, &t), 1.0);
+    }
+
+    #[test]
+    fn quality_reflects_mean_relative_error() {
+        // 10% error on one of two elements → MRE 5% → quality 0.95.
+        let (r, t) = vecs(&[10.0, 10.0], &[10.0, 11.0]);
+        let q = array_quality(&r, &t);
+        assert!((q - 0.95).abs() < 1e-12, "{q}");
+    }
+
+    #[test]
+    fn infinities_count_as_total_loss() {
+        let (r, t) = vecs(&[1.0, 1.0], &[1.0, f64::INFINITY]);
+        assert!((array_quality(&r, &t) - 0.5).abs() < 1e-12);
+        let (r, t) = vecs(&[1.0], &[f64::NAN]);
+        assert_eq!(array_quality(&r, &t), 0.0);
+    }
+
+    #[test]
+    fn error_is_capped_per_element() {
+        // 100x the reference is an error of 1, not 99.
+        let (r, t) = vecs(&[1.0, 1.0], &[100.0, 1.0]);
+        assert!((array_quality(&r, &t) - 0.5).abs() < 1e-12);
+        // Quality never goes below 0.
+        let (r, t) = vecs(&[1.0], &[1e9]);
+        assert_eq!(array_quality(&r, &t), 0.0);
+    }
+
+    #[test]
+    fn zero_reference_elements_are_handled() {
+        let (r, t) = vecs(&[0.0], &[0.0]);
+        assert_eq!(array_quality(&r, &t), 1.0);
+        let (r, t) = vecs(&[0.0], &[1.0]);
+        assert_eq!(array_quality(&r, &t), 0.0, "any deviation from exact 0 caps at 1");
+    }
+
+    #[test]
+    fn run_quality_is_the_minimum_output_quality() {
+        let (r1, t1) = vecs(&[1.0], &[1.0]);
+        let (r2, t2) = vecs(&[1.0], &[1.05]);
+        let reference = vec![("a".to_owned(), r1), ("b".to_owned(), r2)];
+        let test = vec![("a".to_owned(), t1), ("b".to_owned(), t2)];
+        let q = output_quality(&reference, &test);
+        assert!((q - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_arrays_are_perfect() {
+        let (r, t) = vecs(&[], &[]);
+        assert_eq!(array_quality(&r, &t), 1.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! The host CPU model: cores, SIMD capability, and the cost of host-side
+//! type conversion.
+//!
+//! The paper's host conversions use SSE/AVX intrinsics plus an open-source
+//! half-precision library; the decisive system property is how many
+//! nanoseconds one element conversion costs for each `(src, dst)` pair
+//! under the CPU's best instruction set, and how much launching extra
+//! threads costs. Both are model parameters here.
+
+use crate::time::SimTime;
+use prescaler_ir::Precision;
+use serde::{Deserialize, Serialize};
+
+/// The widest SIMD extension the host supports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SimdLevel {
+    /// Scalar code only (no vector conversion, software half).
+    None,
+    /// SSE4.2-class: vector f32↔f64, software half.
+    Sse42,
+    /// AVX2 + F16C: hardware half conversion, 256-bit vectors.
+    Avx2,
+    /// AVX-512: 512-bit vectors.
+    Avx512,
+}
+
+/// A host CPU model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CpuModel {
+    /// Marketing name ("Xeon E5-2640 v4").
+    pub name: String,
+    /// Physical cores.
+    pub cores: u32,
+    /// Hardware threads (with SMT).
+    pub threads: u32,
+    /// Max clock in GHz.
+    pub clock_ghz: f64,
+    /// Widest usable SIMD extension.
+    pub simd: SimdLevel,
+    /// Fixed cost of dispatching work to a thread pool.
+    pub thread_spawn_base: SimTime,
+    /// Additional dispatch cost per participating thread.
+    pub thread_spawn_per_thread: SimTime,
+}
+
+impl CpuModel {
+    /// Cost of converting **one element** between two precisions on one
+    /// thread, using the best available instructions.
+    ///
+    /// Shapes encoded here (all in nanoseconds, scaled by clock):
+    ///
+    /// * f32↔f64 is cheap and vectorizes extremely well;
+    /// * half conversions are software loops without F16C (≈3 ns/elem, the
+    ///   cost profile of a software half library) but nearly free with
+    ///   F16C (AVX2+);
+    /// * f64↔f16 always pays a two-step narrowing.
+    #[must_use]
+    pub fn convert_ns_per_elem(&self, from: Precision, to: Precision) -> f64 {
+        if from == to {
+            return 0.0;
+        }
+        let involves_half = from == Precision::Half || to == Precision::Half;
+        let wide_pair = (from == Precision::Double) ^ (to == Precision::Double);
+        let base = if involves_half {
+            match self.simd {
+                SimdLevel::None | SimdLevel::Sse42 => {
+                    // Software binary16: shifts, masks, rounding in scalar
+                    // code.
+                    if wide_pair && from != Precision::Single && to != Precision::Single {
+                        3.5
+                    } else {
+                        3.0
+                    }
+                }
+                SimdLevel::Avx2 => {
+                    if from == Precision::Single || to == Precision::Single {
+                        0.20
+                    } else {
+                        0.40 // f64↔f16 via f32
+                    }
+                }
+                SimdLevel::Avx512 => {
+                    if from == Precision::Single || to == Precision::Single {
+                        0.10
+                    } else {
+                        0.20
+                    }
+                }
+            }
+        } else {
+            // f32↔f64.
+            match self.simd {
+                SimdLevel::None => 1.0,
+                SimdLevel::Sse42 => 0.30,
+                SimdLevel::Avx2 => 0.15,
+                SimdLevel::Avx512 => 0.08,
+            }
+        };
+        // Normalize to a 3.4 GHz reference clock.
+        base * (3.4 / self.clock_ghz)
+    }
+
+    /// Time for one thread to convert `elems` elements.
+    #[must_use]
+    pub fn convert_time_single(&self, elems: usize, from: Precision, to: Precision) -> SimTime {
+        SimTime::from_nanos(self.convert_ns_per_elem(from, to) * elems as f64)
+    }
+
+    /// Time for `threads` threads to convert `elems` elements, including
+    /// dispatch overhead. `threads` is clamped to `[1, self.threads]`.
+    #[must_use]
+    pub fn convert_time_multi(
+        &self,
+        elems: usize,
+        from: Precision,
+        to: Precision,
+        threads: usize,
+    ) -> SimTime {
+        let t = threads.clamp(1, self.threads as usize);
+        if t == 1 {
+            self.convert_time_single(elems, from, to)
+        } else {
+            // SMT threads beyond physical cores contribute little for a
+            // memory-streaming conversion; model diminishing returns.
+            let effective = self.effective_parallelism(t);
+            let work = self.convert_time_single(elems, from, to) * (1.0 / effective);
+            work + self.thread_spawn_base + self.thread_spawn_per_thread * t as f64
+        }
+    }
+
+    /// How much useful parallelism `threads` threads deliver: linear up to
+    /// the physical core count, then 0.3× per SMT thread.
+    #[must_use]
+    pub fn effective_parallelism(&self, threads: usize) -> f64 {
+        let t = threads.clamp(1, self.threads as usize);
+        if t > self.cores as usize {
+            self.cores as f64 + (t - self.cores as usize) as f64 * 0.3
+        } else {
+            t as f64
+        }
+    }
+
+    /// Streaming memory bandwidth available to one core, in GB/s.
+    #[must_use]
+    pub fn per_core_stream_gbps(&self) -> f64 {
+        12.0
+    }
+
+    /// Whole-socket streaming memory bandwidth in GB/s — the hard ceiling
+    /// for any host conversion regardless of thread count.
+    #[must_use]
+    pub fn socket_stream_gbps(&self) -> f64 {
+        match self.simd {
+            SimdLevel::None => 25.0,
+            SimdLevel::Sse42 => 30.0,
+            SimdLevel::Avx2 => 40.0,
+            SimdLevel::Avx512 => 50.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xeon_avx2() -> CpuModel {
+        CpuModel {
+            name: "Xeon E5-2640 v4".into(),
+            cores: 10,
+            threads: 20,
+            clock_ghz: 3.4,
+            simd: SimdLevel::Avx2,
+            thread_spawn_base: SimTime::from_micros(8.0),
+            thread_spawn_per_thread: SimTime::from_micros(1.0),
+        }
+    }
+
+    #[test]
+    fn same_precision_conversion_is_free() {
+        let cpu = xeon_avx2();
+        assert_eq!(
+            cpu.convert_ns_per_elem(Precision::Double, Precision::Double),
+            0.0
+        );
+    }
+
+    #[test]
+    fn f16c_makes_half_conversion_cheap() {
+        let mut cpu = xeon_avx2();
+        let with = cpu.convert_ns_per_elem(Precision::Single, Precision::Half);
+        cpu.simd = SimdLevel::None;
+        let without = cpu.convert_ns_per_elem(Precision::Single, Precision::Half);
+        assert!(
+            without / with > 10.0,
+            "software half must be an order of magnitude slower"
+        );
+    }
+
+    #[test]
+    fn avx512_beats_avx2() {
+        let mut cpu = xeon_avx2();
+        let avx2 = cpu.convert_ns_per_elem(Precision::Double, Precision::Single);
+        cpu.simd = SimdLevel::Avx512;
+        let avx512 = cpu.convert_ns_per_elem(Precision::Double, Precision::Single);
+        assert!(avx512 < avx2);
+    }
+
+    #[test]
+    fn multithreading_helps_large_arrays_only() {
+        let cpu = xeon_avx2();
+        let big = 1 << 24;
+        let small = 1 << 8;
+        let pair = (Precision::Double, Precision::Single);
+        assert!(
+            cpu.convert_time_multi(big, pair.0, pair.1, 20)
+                < cpu.convert_time_single(big, pair.0, pair.1),
+            "20 threads must win on 16M elements"
+        );
+        assert!(
+            cpu.convert_time_multi(small, pair.0, pair.1, 20)
+                > cpu.convert_time_single(small, pair.0, pair.1),
+            "spawn overhead must dominate on 256 elements"
+        );
+    }
+
+    #[test]
+    fn thread_count_is_clamped() {
+        let cpu = xeon_avx2();
+        let a = cpu.convert_time_multi(1 << 20, Precision::Double, Precision::Half, 64);
+        let b = cpu.convert_time_multi(1 << 20, Precision::Double, Precision::Half, 20);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn smt_threads_have_diminishing_returns() {
+        let cpu = xeon_avx2();
+        let elems = 1 << 24;
+        let t10 = cpu.convert_time_multi(elems, Precision::Double, Precision::Single, 10);
+        let t20 = cpu.convert_time_multi(elems, Precision::Double, Precision::Single, 20);
+        // 20 threads still help, but not 2x.
+        assert!(t20 < t10);
+        let speedup = t10 / t20;
+        assert!(speedup < 1.6, "SMT speedup should be modest, got {speedup}");
+    }
+
+    #[test]
+    fn slower_clock_means_slower_conversion() {
+        let mut cpu = xeon_avx2();
+        let fast = cpu.convert_ns_per_elem(Precision::Double, Precision::Single);
+        cpu.clock_ghz = 1.7;
+        let slow = cpu.convert_ns_per_elem(Precision::Double, Precision::Single);
+        assert!(slow > fast);
+    }
+}

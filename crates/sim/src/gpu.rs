@@ -1,0 +1,368 @@
+//! The GPU device model.
+//!
+//! Kernel time is computed from exact per-precision operation counts (from
+//! the IR interpreter or static analysis) against the per-architecture
+//! instruction throughput table the paper reproduces in its Table 1
+//! (sourced from NVIDIA's CUDA programming guide): results per cycle per
+//! SM for FP16/FP32/FP64, per compute capability. The model is a roofline:
+//! `kernel time = max(compute time, memory time) + launch latency`.
+
+use crate::time::SimTime;
+use prescaler_ir::{OpCounts, Precision};
+use serde::{Deserialize, Serialize};
+
+/// NVIDIA compute capabilities covered by the paper's Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComputeCapability {
+    /// Kepler (3.0, 3.2).
+    Cc30,
+    /// Kepler (3.5, 3.7).
+    Cc35,
+    /// Maxwell (5.0, 5.2).
+    Cc50,
+    /// Maxwell/Tegra (5.3) — first with fast FP16.
+    Cc53,
+    /// Pascal P100 (6.0).
+    Cc60,
+    /// Pascal consumer (6.1) — Titan Xp; FP16 is *slower* than FP64.
+    Cc61,
+    /// Pascal Tegra (6.2).
+    Cc62,
+    /// Volta (7.0) — V100.
+    Cc70,
+    /// Turing (7.5) — RTX 2080 Ti; FP64 is crippled.
+    Cc75,
+}
+
+impl ComputeCapability {
+    /// All capabilities, in Table 1 order.
+    pub const ALL: [ComputeCapability; 9] = [
+        ComputeCapability::Cc30,
+        ComputeCapability::Cc35,
+        ComputeCapability::Cc50,
+        ComputeCapability::Cc53,
+        ComputeCapability::Cc60,
+        ComputeCapability::Cc61,
+        ComputeCapability::Cc62,
+        ComputeCapability::Cc70,
+        ComputeCapability::Cc75,
+    ];
+
+    /// Human-readable version string ("6.1" etc.).
+    #[must_use]
+    pub const fn version(self) -> &'static str {
+        match self {
+            ComputeCapability::Cc30 => "3.0",
+            ComputeCapability::Cc35 => "3.5",
+            ComputeCapability::Cc50 => "5.0",
+            ComputeCapability::Cc53 => "5.3",
+            ComputeCapability::Cc60 => "6.0",
+            ComputeCapability::Cc61 => "6.1",
+            ComputeCapability::Cc62 => "6.2",
+            ComputeCapability::Cc70 => "7.0",
+            ComputeCapability::Cc75 => "7.5",
+        }
+    }
+}
+
+/// Native arithmetic throughput in results per cycle per SM (paper Table 1
+/// / CUDA programming guide §5.4.1). `None` means "not supported" — the
+/// operation is emulated through FP32 at a steep penalty.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputTable {
+    /// FP16 results/cycle/SM, if natively supported.
+    pub fp16: Option<f64>,
+    /// FP32 results/cycle/SM.
+    pub fp32: f64,
+    /// FP64 results/cycle/SM.
+    pub fp64: f64,
+}
+
+impl ThroughputTable {
+    /// The table row for a compute capability.
+    ///
+    /// Values follow the CUDA programming guide (the paper's source): note
+    /// the two famous anomalies the paper leans on — cc 6.1 executes FP16
+    /// at 2 results/cycle/SM (slower than its FP64), and cc 7.5 executes
+    /// FP64 at 2 (so precision scaling pays off most there).
+    #[must_use]
+    pub const fn for_capability(cc: ComputeCapability) -> ThroughputTable {
+        match cc {
+            ComputeCapability::Cc30 => ThroughputTable {
+                fp16: None,
+                fp32: 192.0,
+                fp64: 8.0,
+            },
+            ComputeCapability::Cc35 => ThroughputTable {
+                fp16: None,
+                fp32: 192.0,
+                fp64: 64.0,
+            },
+            ComputeCapability::Cc50 => ThroughputTable {
+                fp16: None,
+                fp32: 128.0,
+                fp64: 4.0,
+            },
+            ComputeCapability::Cc53 => ThroughputTable {
+                fp16: Some(256.0),
+                fp32: 128.0,
+                fp64: 4.0,
+            },
+            ComputeCapability::Cc60 => ThroughputTable {
+                fp16: Some(128.0),
+                fp32: 64.0,
+                fp64: 32.0,
+            },
+            ComputeCapability::Cc61 => ThroughputTable {
+                fp16: Some(2.0),
+                fp32: 128.0,
+                fp64: 4.0,
+            },
+            ComputeCapability::Cc62 => ThroughputTable {
+                fp16: Some(256.0),
+                fp32: 128.0,
+                fp64: 4.0,
+            },
+            ComputeCapability::Cc70 => ThroughputTable {
+                fp16: Some(128.0),
+                fp32: 64.0,
+                fp64: 32.0,
+            },
+            ComputeCapability::Cc75 => ThroughputTable {
+                fp16: Some(128.0),
+                fp32: 64.0,
+                fp64: 2.0,
+            },
+        }
+    }
+
+    /// Results/cycle/SM for a precision; unsupported FP16 is emulated at a
+    /// quarter of the FP32 rate (widen, compute, narrow).
+    #[must_use]
+    pub fn rate(&self, p: Precision) -> f64 {
+        match p {
+            Precision::Half => self.fp16.unwrap_or(self.fp32 / 4.0),
+            Precision::Single => self.fp32,
+            Precision::Double => self.fp64,
+        }
+    }
+}
+
+/// A GPU device model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GpuModel {
+    /// Marketing name ("Titan Xp").
+    pub name: String,
+    /// Architecture generation.
+    pub compute_capability: ComputeCapability,
+    /// Number of streaming multiprocessors.
+    pub sms: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Device (global) memory bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Device memory size in bytes.
+    pub global_mem_bytes: u64,
+    /// Fixed overhead per kernel launch.
+    pub launch_latency: SimTime,
+    /// Fraction of element loads that miss in cache and reach DRAM.
+    ///
+    /// Kernels reuse loaded data heavily (tiling, caches); counting every
+    /// IR-level load as DRAM traffic would make everything memory-bound.
+    /// 1/16 is a deliberately coarse but stable stand-in for L1/L2 reuse.
+    pub load_miss_rate: f64,
+}
+
+impl GpuModel {
+    /// The device's Table 1 row.
+    #[must_use]
+    pub fn throughput(&self) -> ThroughputTable {
+        ThroughputTable::for_capability(self.compute_capability)
+    }
+
+    /// Arithmetic throughput for a precision, in results per second
+    /// across the whole device.
+    #[must_use]
+    pub fn flops(&self, p: Precision) -> f64 {
+        self.throughput().rate(p) * f64::from(self.sms) * self.clock_ghz * 1e9
+    }
+
+    /// Special-function (sqrt/exp/log) throughput in results/s.
+    ///
+    /// SFUs run at roughly a quarter of the FMA rate; double-precision
+    /// special functions are software sequences, modelled at half the
+    /// (already slow) FP64 rate.
+    #[must_use]
+    pub fn special_flops(&self, p: Precision) -> f64 {
+        match p {
+            Precision::Double => self.flops(p) / 2.0,
+            _ => self.flops(p) / 4.0,
+        }
+    }
+
+    /// Type-conversion instruction throughput in conversions/s (the
+    /// `convert_*` instructions inserted by in-kernel scaling and used by
+    /// device-side conversion kernels): 32/cycle/SM on every modelled
+    /// architecture.
+    #[must_use]
+    pub fn convert_throughput(&self) -> f64 {
+        32.0 * f64::from(self.sms) * self.clock_ghz * 1e9
+    }
+
+    /// Integer ALU throughput in ops/s.
+    #[must_use]
+    pub fn int_throughput(&self) -> f64 {
+        128.0 * f64::from(self.sms) * self.clock_ghz * 1e9
+    }
+
+    /// Virtual execution time of a kernel with the given operation counts.
+    ///
+    /// Roofline: `max(compute, memory) + launch latency`, where compute
+    /// sums per-precision arithmetic at Table 1 rates (plus conversions
+    /// and integer ops), and memory is the cache-filtered DRAM traffic at
+    /// the device bandwidth.
+    #[must_use]
+    pub fn kernel_time(&self, counts: &OpCounts) -> SimTime {
+        let mut compute = 0.0f64;
+        for p in Precision::ALL {
+            let c = counts.at(p);
+            let fma_class = (c.add_sub + c.mul + c.cmp) as f64;
+            // A division costs several FMA-class slots.
+            let div_cost = c.div as f64 * 4.0;
+            compute += (fma_class + div_cost) / self.flops(p);
+            compute += c.special as f64 / self.special_flops(p);
+        }
+        compute += counts.converts as f64 / self.convert_throughput();
+        compute += counts.int_ops as f64 / self.int_throughput();
+
+        let mut dram_bytes = 0.0f64;
+        for p in Precision::ALL {
+            let c = counts.at(p);
+            dram_bytes += (c.loads as f64 * self.load_miss_rate + c.stores as f64)
+                * p.size_bytes() as f64;
+        }
+        let memory = dram_bytes / (self.mem_bandwidth_gbps * 1e9);
+
+        SimTime::from_secs(compute.max(memory)) + self.launch_latency
+    }
+
+    /// Virtual time of the device-side conversion of `elems` elements
+    /// (one load, one convert, one store per element, plus a launch).
+    #[must_use]
+    pub fn device_convert_time(&self, elems: usize, from: Precision, to: Precision) -> SimTime {
+        if from == to || elems == 0 {
+            return SimTime::ZERO;
+        }
+        let n = elems as f64;
+        let compute = n / self.convert_throughput();
+        let bytes = n * (from.size_bytes() + to.size_bytes()) as f64;
+        let memory = bytes / (self.mem_bandwidth_gbps * 1e9);
+        SimTime::from_secs(compute.max(memory)) + self.launch_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn titan_xp() -> GpuModel {
+        GpuModel {
+            name: "Titan Xp".into(),
+            compute_capability: ComputeCapability::Cc61,
+            sms: 30,
+            clock_ghz: 1.582,
+            mem_bandwidth_gbps: 547.0,
+            global_mem_bytes: 12 << 30,
+            launch_latency: SimTime::from_micros(6.0),
+            load_miss_rate: 1.0 / 16.0,
+        }
+    }
+
+    #[test]
+    fn table1_rows_match_the_paper() {
+        let t61 = ThroughputTable::for_capability(ComputeCapability::Cc61);
+        assert_eq!(t61.fp16, Some(2.0), "cc 6.1 FP16 is pathologically slow");
+        assert_eq!(t61.fp32, 128.0);
+        assert_eq!(t61.fp64, 4.0);
+
+        let t70 = ThroughputTable::for_capability(ComputeCapability::Cc70);
+        assert_eq!((t70.fp16, t70.fp32, t70.fp64), (Some(128.0), 64.0, 32.0));
+
+        let t75 = ThroughputTable::for_capability(ComputeCapability::Cc75);
+        assert_eq!(t75.fp64, 2.0, "Turing FP64 is crippled");
+
+        let t30 = ThroughputTable::for_capability(ComputeCapability::Cc30);
+        assert_eq!(t30.fp16, None, "pre-5.3 has no native FP16");
+    }
+
+    #[test]
+    fn unsupported_fp16_is_emulated_slower_than_fp32() {
+        let t = ThroughputTable::for_capability(ComputeCapability::Cc50);
+        assert!(t.rate(Precision::Half) < t.rate(Precision::Single));
+    }
+
+    #[test]
+    fn on_cc61_half_compute_is_slower_than_double() {
+        let gpu = titan_xp();
+        assert!(gpu.flops(Precision::Half) < gpu.flops(Precision::Double));
+        assert!(gpu.flops(Precision::Single) > gpu.flops(Precision::Double));
+    }
+
+    #[test]
+    fn compute_bound_kernel_time_scales_with_rate() {
+        let gpu = titan_xp();
+        let mut c64 = OpCounts::new();
+        c64.at_mut(Precision::Double).mul = 1_000_000_000;
+        let mut c32 = OpCounts::new();
+        c32.at_mut(Precision::Single).mul = 1_000_000_000;
+        let t64 = gpu.kernel_time(&c64).saturating_sub(gpu.launch_latency);
+        let t32 = gpu.kernel_time(&c32).saturating_sub(gpu.launch_latency);
+        let ratio = t64 / t32;
+        assert!((ratio - 32.0).abs() < 0.5, "fp32/fp64 = 128/4, got {ratio}");
+    }
+
+    #[test]
+    fn memory_bound_kernel_benefits_from_smaller_elements() {
+        let gpu = titan_xp();
+        // Streaming kernel: 2 loads + 1 store, 1 add per element.
+        let make = |p: Precision| {
+            let mut c = OpCounts::new();
+            let n = 50_000_000;
+            c.at_mut(p).loads = 2 * n;
+            c.at_mut(p).stores = n;
+            c.at_mut(p).add_sub = n;
+            c
+        };
+        let t64 = gpu.kernel_time(&make(Precision::Double));
+        let t32 = gpu.kernel_time(&make(Precision::Single));
+        assert!(
+            t32 < t64,
+            "halving element size must speed up a memory-bound kernel"
+        );
+    }
+
+    #[test]
+    fn launch_latency_floors_empty_kernels() {
+        let gpu = titan_xp();
+        assert_eq!(gpu.kernel_time(&OpCounts::new()), gpu.launch_latency);
+    }
+
+    #[test]
+    fn device_conversion_is_fast_but_not_free() {
+        let gpu = titan_xp();
+        let t = gpu.device_convert_time(1 << 20, Precision::Double, Precision::Single);
+        assert!(t > gpu.launch_latency);
+        assert!(t < SimTime::from_millis(1.0));
+        assert_eq!(
+            gpu.device_convert_time(1 << 20, Precision::Single, Precision::Single),
+            SimTime::ZERO
+        );
+    }
+
+    #[test]
+    fn version_strings_cover_all_capabilities() {
+        for cc in ComputeCapability::ALL {
+            assert!(!cc.version().is_empty());
+        }
+    }
+}

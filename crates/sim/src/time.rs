@@ -1,0 +1,214 @@
+//! Virtual time.
+//!
+//! Every duration in the simulator is a [`SimTime`] — seconds on a virtual
+//! clock, computed analytically from the system model. Using virtual time
+//! keeps every experiment deterministic and host-independent.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub};
+use serde::{Deserialize, Serialize};
+
+/// A non-negative duration (or instant) on the virtual clock, in seconds.
+///
+/// ```
+/// use prescaler_sim::SimTime;
+/// let t = SimTime::from_micros(1500.0);
+/// assert_eq!(t.as_millis(), 1.5);
+/// assert!(SimTime::from_micros(1.0) < t);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Zero duration.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// From seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on negative or NaN input.
+    #[must_use]
+    pub fn from_secs(s: f64) -> SimTime {
+        debug_assert!(s >= 0.0, "negative virtual duration {s}");
+        SimTime(s)
+    }
+
+    /// From milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: f64) -> SimTime {
+        SimTime::from_secs(ms * 1e-3)
+    }
+
+    /// From microseconds.
+    #[must_use]
+    pub fn from_micros(us: f64) -> SimTime {
+        SimTime::from_secs(us * 1e-6)
+    }
+
+    /// From nanoseconds.
+    #[must_use]
+    pub fn from_nanos(ns: f64) -> SimTime {
+        SimTime::from_secs(ns * 1e-9)
+    }
+
+    /// In seconds.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// In milliseconds.
+    #[must_use]
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// In microseconds.
+    #[must_use]
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// The larger of two durations.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two durations.
+    #[must_use]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    #[must_use]
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime((self.0 - other.0).max(0.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics (debug) if the result would be negative; use
+    /// [`SimTime::saturating_sub`] when that is expected.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime::from_secs(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, k: f64) -> SimTime {
+        SimTime::from_secs(self.0 * k)
+    }
+}
+
+impl Div for SimTime {
+    type Output = f64;
+    fn div(self, rhs: SimTime) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0;
+        if s >= 1.0 {
+            write!(f, "{s:.3}s")
+        } else if s >= 1e-3 {
+            write!(f, "{:.3}ms", s * 1e3)
+        } else if s >= 1e-6 {
+            write!(f, "{:.3}us", s * 1e6)
+        } else {
+            write!(f, "{:.1}ns", s * 1e9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert!(close(
+            SimTime::from_millis(1.0).as_secs(),
+            SimTime::from_micros(1000.0).as_secs()
+        ));
+        assert!(close(
+            SimTime::from_micros(1.0).as_secs(),
+            SimTime::from_nanos(1000.0).as_secs()
+        ));
+        assert!(close(SimTime::from_secs(0.25).as_millis(), 250.0));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_micros(10.0);
+        let b = SimTime::from_micros(4.0);
+        assert!(close((a + b).as_micros(), 14.0));
+        assert!(close((a - b).as_micros(), 6.0));
+        assert!(close((a * 2.0).as_micros(), 20.0));
+        assert!(close(a / b, 2.5));
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sum_folds() {
+        let total: SimTime = (1..=4).map(|i| SimTime::from_micros(f64::from(i))).sum();
+        assert_eq!(total.as_micros(), 10.0);
+    }
+
+    #[test]
+    fn display_picks_readable_units() {
+        assert_eq!(SimTime::from_secs(2.5).to_string(), "2.500s");
+        assert_eq!(SimTime::from_millis(2.5).to_string(), "2.500ms");
+        assert_eq!(SimTime::from_micros(2.5).to_string(), "2.500us");
+        assert_eq!(SimTime::from_nanos(2.5).to_string(), "2.5ns");
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    #[cfg(debug_assertions)]
+    fn negative_durations_are_rejected() {
+        let _ = SimTime::from_micros(1.0) - SimTime::from_micros(2.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests over the system cost models — the invariants the
+//! decision maker's reasoning depends on.
+
+use prescaler_ir::{OpCounts, Precision};
+use prescaler_sim::convert::{Direction, HostMethod, TransferPlan};
+use prescaler_sim::{SimTime, SystemModel};
+use proptest::prelude::*;
+
+fn arb_system() -> impl Strategy<Value = SystemModel> {
+    prop_oneof![
+        Just(SystemModel::system1()),
+        Just(SystemModel::system2()),
+        Just(SystemModel::system3()),
+        Just(SystemModel::system1().with_pcie_lanes(8)),
+    ]
+}
+
+fn arb_precision() -> impl Strategy<Value = Precision> {
+    prop_oneof![
+        Just(Precision::Half),
+        Just(Precision::Single),
+        Just(Precision::Double),
+    ]
+}
+
+proptest! {
+    /// Kernel time is monotone in every operation counter.
+    #[test]
+    fn kernel_time_is_monotone_in_counts(
+        system in arb_system(),
+        p in arb_precision(),
+        muls in 0u64..1_000_000,
+        loads in 0u64..1_000_000,
+        extra in 1u64..100_000,
+    ) {
+        let mut c = OpCounts::new();
+        c.at_mut(p).mul = muls;
+        c.at_mut(p).loads = loads;
+        let t0 = system.gpu.kernel_time(&c);
+        let mut c2 = c;
+        c2.at_mut(p).mul += extra;
+        prop_assert!(system.gpu.kernel_time(&c2) >= t0);
+        let mut c3 = c;
+        c3.at_mut(p).loads += extra;
+        prop_assert!(system.gpu.kernel_time(&c3) >= t0);
+        let mut c4 = c;
+        c4.converts += extra;
+        prop_assert!(system.gpu.kernel_time(&c4) >= t0);
+    }
+
+    /// Compute-bound kernel time orders by the throughput table: at a
+    /// fixed operation count, a faster-rated precision is never slower.
+    #[test]
+    fn kernel_time_orders_by_throughput(
+        system in arb_system(),
+        muls in 1_000_000u64..100_000_000,
+    ) {
+        let time_of = |p: Precision| {
+            let mut c = OpCounts::new();
+            c.at_mut(p).mul = muls;
+            system.gpu.kernel_time(&c)
+        };
+        let rate_of = |p: Precision| system.gpu.flops(p);
+        for a in Precision::ALL {
+            for b in Precision::ALL {
+                if rate_of(a) >= rate_of(b) {
+                    prop_assert!(
+                        time_of(a) <= time_of(b),
+                        "{a:?} rated faster than {b:?} but slower in time"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every transfer plan's cost is finite, positive for nonzero sizes,
+    /// and no cheaper than the raw wire time of its intermediate type.
+    #[test]
+    fn plan_cost_is_bounded_below_by_wire_time(
+        system in arb_system(),
+        src in arb_precision(),
+        mid in arb_precision(),
+        dst in arb_precision(),
+        elems in 1usize..5_000_000,
+        threads in 1usize..40,
+        chunks in 2usize..16,
+        which in 0u8..3,
+    ) {
+        let host_method = match which {
+            0 => HostMethod::Loop,
+            1 => HostMethod::Multithread { threads },
+            _ => HostMethod::Pipelined { threads, chunks },
+        };
+        let plan = TransferPlan {
+            direction: Direction::HtoD,
+            src,
+            intermediate: mid,
+            dst,
+            host_method,
+        };
+        let cost = plan.time(&system, elems);
+        let total = cost.total();
+        prop_assert!(total > SimTime::ZERO);
+        prop_assert!(total.as_secs().is_finite());
+        // The wire itself is a hard lower bound... except for pipelining,
+        // which may overlap, but never below the pure bandwidth term.
+        let wire_bytes = (elems * mid.size_bytes()) as f64;
+        let floor = wire_bytes / (system.pcie.effective_gbps() * 1e9);
+        prop_assert!(
+            total.as_secs() >= floor * 0.999,
+            "plan {total} under the bandwidth floor {floor}s"
+        );
+    }
+
+    /// Narrower wire types never increase pure wire time.
+    #[test]
+    fn narrower_wires_are_never_slower(
+        system in arb_system(),
+        elems in 1usize..10_000_000,
+    ) {
+        let t = |p: Precision| {
+            TransferPlan::direct(Direction::HtoD, p).time(&system, elems).total()
+        };
+        prop_assert!(t(Precision::Half) <= t(Precision::Single));
+        prop_assert!(t(Precision::Single) <= t(Precision::Double));
+    }
+
+    /// Halving PCIe lanes never makes any transfer faster, and for pure
+    /// (conversion-free) transfers it is strictly slower.
+    #[test]
+    fn fewer_lanes_never_help(
+        elems in 1usize..5_000_000,
+        p in arb_precision(),
+    ) {
+        let s16 = SystemModel::system1();
+        let s8 = SystemModel::system1().with_pcie_lanes(8);
+        let plan = TransferPlan::direct(Direction::HtoD, p);
+        let t16 = plan.time(&s16, elems).total();
+        let t8 = plan.time(&s8, elems).total();
+        prop_assert!(t8 > t16);
+    }
+
+    /// Device conversion time is symmetric in direction of the pair and
+    /// zero only for the identity.
+    #[test]
+    fn device_conversion_properties(
+        system in arb_system(),
+        a in arb_precision(),
+        b in arb_precision(),
+        elems in 1usize..2_000_000,
+    ) {
+        let t_ab = system.gpu.device_convert_time(elems, a, b);
+        let t_ba = system.gpu.device_convert_time(elems, b, a);
+        if a == b {
+            prop_assert_eq!(t_ab, SimTime::ZERO);
+        } else {
+            prop_assert!(t_ab > SimTime::ZERO);
+            prop_assert_eq!(t_ab, t_ba);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! The one-time system inspection, persisted and reloaded — the workflow
+//! of the paper's artifact, where inspection takes hours and its result
+//! database is shipped with the evaluation systems.
+//!
+//! ```text
+//! cargo run --release --example inspect_and_persist
+//! ```
+
+use prescaler_core::{InspectorDb, SystemInspector};
+use prescaler_ir::Precision;
+use prescaler_sim::{Direction, SystemModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+
+    for (tag, system) in [
+        ("system1", SystemModel::system1()),
+        ("system2", SystemModel::system2()),
+        ("system3", SystemModel::system3()),
+    ] {
+        let path = dir.join(format!("inspector_{tag}.json"));
+        // Inspect once; afterwards always load from disk.
+        let db = if path.exists() {
+            println!("loading cached inspection from {}", path.display());
+            InspectorDb::load(&path)?
+        } else {
+            let t0 = std::time::Instant::now();
+            let db = SystemInspector::inspect(&system);
+            db.save(&path)?;
+            println!(
+                "inspected {} in {:.1?} ({} curves) -> {}",
+                system.name,
+                t0.elapsed(),
+                db.curve_count(),
+                path.display()
+            );
+            db
+        };
+
+        // Ask the database the question Algorithm 2 asks: the best way to
+        // ship 4M doubles to the device as halves.
+        let (key, t) = db
+            .best_plan(
+                Direction::HtoD,
+                Precision::Double,
+                Precision::Half,
+                4 << 20,
+                &Precision::ALL,
+            )
+            .expect("path is in the database");
+        println!(
+            "  best double->half HtoD @4M elems: wire {} via {} (predicted {})",
+            key.intermediate,
+            key.host_method.label(),
+            t
+        );
+    }
+    Ok(())
+}

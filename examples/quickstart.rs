@@ -1,0 +1,64 @@
+//! Quickstart: tune one benchmark with PreScaler and print the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use prescaler_core::{PreScaler, SystemInspector};
+use prescaler_polybench::{BenchKind, InputSet, PolyApp};
+use prescaler_sim::SystemModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a (simulated) heterogeneous system — the paper's System 1:
+    //    a 10-core Xeon plus a Titan Xp behind PCIe 3.0 x16.
+    let system = SystemModel::system1();
+
+    // 2. Run the one-time system inspection. On real hardware this takes
+    //    hours; on the virtual system it is instantaneous, but the
+    //    contract is identical: a database of {conversion method ×
+    //    type-path × size} → time, consulted instead of execution trials.
+    let db = SystemInspector::inspect(&system);
+    println!(
+        "inspected `{}`: {} conversion curves, fast FP16: {}",
+        db.summary.name,
+        db.curve_count(),
+        db.summary.fast_fp16,
+    );
+
+    // 3. Tune an application. GEMM with its default (large-valued) inputs
+    //    is a good showcase: half precision overflows, so the tuner must
+    //    find a mixed configuration.
+    let app = PolyApp::scaled(BenchKind::Gemm, InputSet::Default, 0.5);
+    let tuner = PreScaler::new(&system, &db, 0.9);
+    let tuned = tuner.tune(&app)?;
+
+    println!(
+        "\nGEMM: {:.2}x speedup at quality {:.4} ({} execution trials)",
+        tuned.speedup(),
+        tuned.eval.quality,
+        tuned.trials
+    );
+    println!(
+        "baseline {} -> tuned {}",
+        tuned.baseline_time, tuned.eval.time
+    );
+
+    // 4. Inspect the chosen configuration.
+    println!("\nchosen configuration:");
+    for obj in &tuned.profile.scaling_order {
+        let target = tuned.config.target_for(&obj.label, obj.original);
+        let write = tuned
+            .config
+            .write_plans
+            .get(&obj.label)
+            .map(|p| format!("wire {} via {}", p.intermediate, p.host_method.label()));
+        println!(
+            "  {:<6} {} -> {}  {}",
+            obj.label,
+            obj.original,
+            target,
+            write.unwrap_or_default()
+        );
+    }
+    Ok(())
+}

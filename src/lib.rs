@@ -1,0 +1,24 @@
+//! Umbrella crate for the PreScaler (CGO'20) reproduction.
+//!
+//! This package exists to host the repository-level `examples/` and
+//! `tests/`; the functionality lives in the workspace members:
+//!
+//! * [`prescaler_fp16`] — IEEE 754 binary16 softfloat;
+//! * [`prescaler_ir`] — kernel IR, passes, parser/printer, interpreter,
+//!   bytecode VM, static analysis;
+//! * [`prescaler_sim`] — CPU/GPU/PCIe system models and conversion
+//!   methods;
+//! * [`prescaler_ocl`] — the mini OpenCL runtime with profiling
+//!   interposition;
+//! * [`prescaler_polybench`] — the 14 evaluation benchmarks;
+//! * [`prescaler_core`] — the PreScaler framework itself (inspector,
+//!   profiler, decision maker, baselines).
+//!
+//! Start with `examples/quickstart.rs`, or the README.
+
+pub use prescaler_core;
+pub use prescaler_fp16;
+pub use prescaler_ir;
+pub use prescaler_ocl;
+pub use prescaler_polybench;
+pub use prescaler_sim;

@@ -1,0 +1,116 @@
+//! Differential test: the bytecode VM and the reference tree-walking
+//! interpreter must produce bit-identical results across the entire
+//! benchmark suite, at every storage precision and with in-kernel casts.
+
+use prescaler_ir::Precision;
+use prescaler_ocl::{HostApp, ScalingSpec, Session};
+use prescaler_polybench::{BenchKind, PolyApp};
+use prescaler_sim::SystemModel;
+use std::collections::HashMap;
+
+fn run_with(app: &PolyApp, spec: &ScalingSpec, use_interp: bool) -> prescaler_ocl::Outputs {
+    let mut session = Session::new(SystemModel::system1(), app.program(), spec.clone());
+    session.set_use_interpreter(use_interp);
+    app.run(&mut session).expect("benchmark runs")
+}
+
+fn assert_engines_agree(app: &PolyApp, spec: &ScalingSpec) {
+    let vm = run_with(app, spec, false);
+    let interp = run_with(app, spec, true);
+    assert_eq!(vm.len(), interp.len());
+    for ((n1, d1), (n2, d2)) in vm.iter().zip(&interp) {
+        assert_eq!(n1, n2);
+        assert_eq!(d1.len(), d2.len());
+        assert_eq!(d1.precision(), d2.precision());
+        for i in 0..d1.len() {
+            let (a, b) = (d1.get(i), d2.get(i));
+            // Half-precision overflow legitimately produces NaN (inf−inf);
+            // both engines must produce it at the same elements.
+            let equal = a == b || (a.is_nan() && b.is_nan());
+            assert!(
+                equal,
+                "{}: output `{n1}`[{i}] diverged: VM {a} vs interpreter {b}",
+                app.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_benchmarks_agree_at_baseline() {
+    for kind in BenchKind::ALL {
+        let app = PolyApp::tiny(kind);
+        assert_engines_agree(&app, &ScalingSpec::baseline());
+    }
+}
+
+#[test]
+fn all_benchmarks_agree_fully_scaled_to_single() {
+    for kind in BenchKind::ALL {
+        let app = PolyApp::tiny(kind);
+        let mut spec = ScalingSpec::baseline();
+        // Scale every object the profiler would see. Labels are stable,
+        // so collect them from a quick baseline run.
+        let mut s = Session::new(SystemModel::system1(), app.program(), spec.clone());
+        app.run(&mut s).expect("baseline");
+        for obj in &s.log().objects {
+            spec = spec.with_target(&obj.label, Precision::Single);
+        }
+        assert_engines_agree(&app, &spec);
+    }
+}
+
+#[test]
+fn all_benchmarks_agree_fully_scaled_to_half() {
+    for kind in BenchKind::ALL {
+        let app = PolyApp::tiny(kind);
+        let mut spec = ScalingSpec::baseline();
+        let mut s = Session::new(SystemModel::system1(), app.program(), spec.clone());
+        app.run(&mut s).expect("baseline");
+        for obj in &s.log().objects {
+            spec = spec.with_target(&obj.label, Precision::Half);
+        }
+        assert_engines_agree(&app, &spec);
+    }
+}
+
+#[test]
+fn in_kernel_casts_agree() {
+    for kind in [BenchKind::Gemm, BenchKind::Atax, BenchKind::Corr, BenchKind::Fdtd2d] {
+        let app = PolyApp::tiny(kind);
+        let mut spec = ScalingSpec::baseline();
+        // Lower every kernel's every buffer param to single, in-kernel.
+        for kernel in &app.program().kernels {
+            let mut map = HashMap::new();
+            for b in kernel.buffer_names() {
+                map.insert(b.to_owned(), Precision::Single);
+            }
+            spec.in_kernel.insert(kernel.name.clone(), map);
+        }
+        assert_engines_agree(&app, &spec);
+    }
+}
+
+#[test]
+fn mixed_precision_objects_agree() {
+    // Alternate precisions across objects to exercise promotion paths.
+    for kind in BenchKind::ALL {
+        let app = PolyApp::tiny(kind);
+        let mut s = Session::new(
+            SystemModel::system1(),
+            app.program(),
+            ScalingSpec::baseline(),
+        );
+        app.run(&mut s).expect("baseline");
+        let mut spec = ScalingSpec::baseline();
+        for (i, obj) in s.log().objects.iter().enumerate() {
+            let p = match i % 3 {
+                0 => Precision::Double,
+                1 => Precision::Single,
+                _ => Precision::Half,
+            };
+            spec = spec.with_target(&obj.label, p);
+        }
+        assert_engines_agree(&app, &spec);
+    }
+}

@@ -1,0 +1,175 @@
+//! Integration tests for the paper's headline claims, at a reduced but
+//! meaningful scale (the `figures` binary runs the full-scale versions).
+
+use prescaler_core::baselines::{in_kernel, pfp};
+use prescaler_core::{profile_app, PreScaler, SystemInspector};
+use prescaler_polybench::{BenchKind, InputSet, PolyApp};
+use prescaler_sim::SystemModel;
+
+const SCALE: f64 = 0.3;
+
+/// A small representative mix: one data-intensive, one compute-intensive,
+/// one stencil.
+const MIX: [BenchKind; 3] = [BenchKind::Atax, BenchKind::Gemm, BenchKind::TwoDConv];
+
+fn geomean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[test]
+fn prescaler_beats_both_baseline_techniques_on_the_mix() {
+    let system = SystemModel::system1();
+    let db = SystemInspector::inspect(&system);
+    let tuner = PreScaler::new(&system, &db, 0.9);
+
+    let mut ik_speedups = Vec::new();
+    let mut pfp_speedups = Vec::new();
+    let mut ps_speedups = Vec::new();
+    for kind in MIX {
+        let app = PolyApp::scaled(kind, InputSet::Default, SCALE);
+        let profile = profile_app(&app, &system).unwrap();
+        let base = profile.baseline_time;
+
+        let ik = in_kernel(&app, &system, &profile, 0.9, 40).unwrap();
+        let p = pfp(&app, &system, &profile, 0.9).unwrap();
+        let tuned = tuner.tune(&app).unwrap();
+
+        assert!(ik.eval.quality >= 0.9, "{kind} in-kernel TOQ");
+        assert!(p.eval.quality >= 0.9, "{kind} pfp TOQ");
+        assert!(tuned.eval.quality >= 0.9, "{kind} prescaler TOQ");
+
+        ik_speedups.push(base / ik.eval.time);
+        pfp_speedups.push(base / p.eval.time);
+        ps_speedups.push(tuned.speedup());
+
+        // PreScaler must never lose to PFP: its search starts from the
+        // PFP winner.
+        assert!(
+            tuned.speedup() >= base / p.eval.time - 1e-9,
+            "{kind}: PreScaler {} below PFP {}",
+            tuned.speedup(),
+            base / p.eval.time
+        );
+    }
+    let (g_ik, g_pfp, g_ps) = (
+        geomean(&ik_speedups),
+        geomean(&pfp_speedups),
+        geomean(&ps_speedups),
+    );
+    assert!(
+        g_ps > g_pfp && g_ps > g_ik,
+        "geomeans: prescaler {g_ps}, pfp {g_pfp}, in-kernel {g_ik}"
+    );
+    assert!(g_ps > 1.1, "PreScaler should give a real gain, got {g_ps}");
+}
+
+#[test]
+fn narrower_pcie_increases_prescaler_gain_on_data_bound_apps() {
+    // Paper §5.4: with x8 the transfer fraction grows, so the scaling
+    // opportunity grows.
+    let kind = BenchKind::Mvt;
+    let mut speedups = Vec::new();
+    for lanes in [16u8, 8] {
+        let system = SystemModel::system1().with_pcie_lanes(lanes);
+        let db = SystemInspector::inspect(&system);
+        let tuned = PreScaler::new(&system, &db, 0.9)
+            .tune(&PolyApp::scaled(kind, InputSet::Default, SCALE))
+            .unwrap();
+        assert!(tuned.eval.quality >= 0.9);
+        speedups.push(tuned.speedup());
+    }
+    assert!(
+        speedups[1] > speedups[0],
+        "x8 speedup {} must exceed x16 speedup {}",
+        speedups[1],
+        speedups[0]
+    );
+}
+
+#[test]
+fn random_inputs_enable_at_least_default_gains() {
+    // Paper Fig. 12: the 0..1 input range avoids half-precision overflow,
+    // so the tuner can scale more aggressively.
+    let system = SystemModel::system1();
+    let db = SystemInspector::inspect(&system);
+    let tuner = PreScaler::new(&system, &db, 0.9);
+    let mut by_input = Vec::new();
+    for input in [InputSet::Default, InputSet::Random] {
+        let mut speedups = Vec::new();
+        for kind in [BenchKind::Atax, BenchKind::Gesummv] {
+            let tuned = tuner
+                .tune(&PolyApp::scaled(kind, input, SCALE))
+                .unwrap();
+            assert!(tuned.eval.quality >= 0.9);
+            speedups.push(tuned.speedup());
+        }
+        by_input.push(geomean(&speedups));
+    }
+    assert!(
+        by_input[1] >= by_input[0] - 1e-9,
+        "random {} should not trail default {}",
+        by_input[1],
+        by_input[0]
+    );
+}
+
+#[test]
+fn fast_fp16_systems_use_more_half_objects() {
+    // System 1 (cc 6.1) has pathological FP16 compute; system 2 (V100)
+    // does not. On a benchmark whose values fit half precision, the V100
+    // configuration should use at least as many half-typed objects.
+    let app = PolyApp::scaled(BenchKind::Mvt, InputSet::Default, SCALE);
+    let mut halves = Vec::new();
+    for system in [SystemModel::system1(), SystemModel::system2()] {
+        let db = SystemInspector::inspect(&system);
+        let tuned = PreScaler::new(&system, &db, 0.9).tune(&app).unwrap();
+        let h = tuned
+            .config
+            .object_targets
+            .values()
+            .filter(|p| **p == prescaler_ir::Precision::Half)
+            .count();
+        halves.push(h);
+    }
+    assert!(
+        halves[1] >= halves[0],
+        "V100 half objects {} < Titan Xp half objects {}",
+        halves[1],
+        halves[0]
+    );
+}
+
+#[test]
+fn tuning_is_deterministic() {
+    let system = SystemModel::system1();
+    let db = SystemInspector::inspect(&system);
+    let tuner = PreScaler::new(&system, &db, 0.9);
+    let app = PolyApp::scaled(BenchKind::Bicg, InputSet::Default, 0.15);
+    let a = tuner.tune(&app).unwrap();
+    let b = tuner.tune(&app).unwrap();
+    assert_eq!(a.config, b.config);
+    assert_eq!(a.trials, b.trials);
+    assert_eq!(a.eval.time, b.eval.time);
+}
+
+#[test]
+fn stricter_toq_costs_speedup_but_holds_quality() {
+    let system = SystemModel::system1();
+    let db = SystemInspector::inspect(&system);
+    let app = PolyApp::scaled(BenchKind::Gesummv, InputSet::Random, SCALE);
+    let mut last = f64::INFINITY;
+    for toq in [0.90, 0.99] {
+        let tuned = PreScaler::new(&system, &db, toq).tune(&app).unwrap();
+        assert!(
+            tuned.eval.quality >= toq,
+            "TOQ {toq} violated: {}",
+            tuned.eval.quality
+        );
+        assert!(
+            tuned.speedup() <= last + 1e-9,
+            "TOQ {toq} speedup {} above looser setting {last}",
+            tuned.speedup()
+        );
+        last = tuned.speedup();
+    }
+}

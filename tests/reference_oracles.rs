@@ -1,0 +1,259 @@
+//! Bit-exactness oracles: at double precision the simulated pipeline must
+//! match straightforward Rust implementations of the benchmark math
+//! exactly (same accumulation order ⇒ same bits).
+
+use prescaler_ocl::{run_app, ScalingSpec};
+use prescaler_polybench::{BenchKind, Dims, InputGen, InputSet, PolyApp};
+use prescaler_sim::SystemModel;
+
+fn inputs_for(kind: BenchKind) -> InputGen {
+    // PolyApp::tiny uses Default inputs with seed 7.
+    InputGen::new(InputSet::Default, kind.default_range(), 7)
+}
+
+fn run_tiny(kind: BenchKind) -> (Dims, Vec<(String, Vec<f64>)>) {
+    let app = PolyApp::tiny(kind);
+    let dims = *app.dims();
+    let (outs, _) = run_app(&app, &SystemModel::system1(), &ScalingSpec::baseline()).unwrap();
+    (
+        dims,
+        outs.into_iter().map(|(n, d)| (n, d.to_f64_vec())).collect(),
+    )
+}
+
+#[test]
+fn atax_matches_reference() {
+    let (d, outs) = run_tiny(BenchKind::Atax);
+    let gen = inputs_for(BenchKind::Atax);
+    let n = d.ni;
+    let a = gen.array("A", n * n).to_f64_vec();
+    let x = gen.array("X", n).to_f64_vec();
+    let mut tmp = vec![0.0; n];
+    for i in 0..n {
+        let mut acc = 0.0;
+        for j in 0..n {
+            acc += a[i * n + j] * x[j];
+        }
+        tmp[i] = acc;
+    }
+    let mut y = vec![0.0; n];
+    for (j, slot) in y.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += a[i * n + j] * tmp[i];
+        }
+        *slot = acc;
+    }
+    assert_eq!(outs[0].1, y, "ATAX must be bit-exact at double");
+}
+
+#[test]
+fn mvt_matches_reference() {
+    let (d, outs) = run_tiny(BenchKind::Mvt);
+    let gen = inputs_for(BenchKind::Mvt);
+    let n = d.ni;
+    let a = gen.array("A", n * n).to_f64_vec();
+    let mut x1 = gen.array("X1", n).to_f64_vec();
+    let mut x2 = gen.array("X2", n).to_f64_vec();
+    let y1 = gen.array("Y1", n).to_f64_vec();
+    let y2 = gen.array("Y2", n).to_f64_vec();
+    for i in 0..n {
+        let mut acc = x1[i];
+        for j in 0..n {
+            acc += a[i * n + j] * y1[j];
+        }
+        x1[i] = acc;
+    }
+    for i in 0..n {
+        let mut acc = x2[i];
+        for j in 0..n {
+            acc += a[j * n + i] * y2[j];
+        }
+        x2[i] = acc;
+    }
+    assert_eq!(outs[0].1, x1, "MVT x1");
+    assert_eq!(outs[1].1, x2, "MVT x2");
+}
+
+#[test]
+fn gesummv_matches_reference() {
+    let (d, outs) = run_tiny(BenchKind::Gesummv);
+    let gen = inputs_for(BenchKind::Gesummv);
+    let n = d.ni;
+    let a = gen.array("A", n * n).to_f64_vec();
+    let b = gen.array("B", n * n).to_f64_vec();
+    let x = gen.array("X", n).to_f64_vec();
+    let (alpha, beta) = (1.5, 1.2);
+    let mut y = vec![0.0; n];
+    for (i, slot) in y.iter_mut().enumerate() {
+        let mut t = 0.0;
+        let mut u = 0.0;
+        for j in 0..n {
+            t += a[i * n + j] * x[j];
+            u += b[i * n + j] * x[j];
+        }
+        *slot = alpha * t + beta * u;
+    }
+    assert_eq!(outs[0].1, y, "GESUMMV");
+}
+
+#[test]
+fn syrk_matches_reference() {
+    let (d, outs) = run_tiny(BenchKind::Syrk);
+    let gen = inputs_for(BenchKind::Syrk);
+    let (n, m) = (d.ni, d.nj);
+    let a = gen.array("A", n * m).to_f64_vec();
+    let c0 = gen.array("C", n * n).to_f64_vec();
+    let (alpha, beta) = (1.5, 1.2);
+    let mut c = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for k in 0..m {
+                acc += a[i * m + k] * a[j * m + k];
+            }
+            c[i * n + j] = beta * c0[i * n + j] + alpha * acc;
+        }
+    }
+    assert_eq!(outs[0].1, c, "SYRK");
+}
+
+#[test]
+fn twodconv_matches_reference() {
+    let (d, outs) = run_tiny(BenchKind::TwoDConv);
+    let gen = inputs_for(BenchKind::TwoDConv);
+    let (ni, nj) = (d.ni, d.nj);
+    let a = gen.array("A", ni * nj).to_f64_vec();
+    let mut b = vec![0.0; ni * nj];
+    let at = |i: usize, j: usize| a[i * nj + j];
+    for i in 1..ni - 1 {
+        for j in 1..nj - 1 {
+            // Mirror the kernel's exact operand and accumulation order.
+            b[i * nj + j] = 0.2 * at(i - 1, j - 1)
+                + 0.5 * at(i - 1, j)
+                + -0.8 * at(i - 1, j + 1)
+                + -0.3 * at(i, j - 1)
+                + 0.6 * at(i, j)
+                + -0.9 * at(i, j + 1)
+                + 0.4 * at(i + 1, j - 1)
+                + 0.7 * at(i + 1, j)
+                + 0.1 * at(i + 1, j + 1);
+        }
+    }
+    assert_eq!(outs[0].1, b, "2DCONV");
+}
+
+#[test]
+fn covar_matches_reference() {
+    let (d, outs) = run_tiny(BenchKind::Covar);
+    let gen = inputs_for(BenchKind::Covar);
+    let (m, n) = (d.ni, d.nj);
+    let mut data = gen.array("DATA", n * m).to_f64_vec();
+    // mean
+    let mut mean = vec![0.0; m];
+    for (j, slot) in mean.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += data[i * m + j];
+        }
+        *slot = acc / n as f64;
+    }
+    // center
+    for i in 0..n {
+        for j in 0..m {
+            data[i * m + j] -= mean[j];
+        }
+    }
+    // covariance
+    let mut symmat = vec![0.0; m * m];
+    for j1 in 0..m {
+        for j2 in j1..m {
+            let mut acc = 0.0;
+            for i in 0..n {
+                acc += data[i * m + j1] * data[i * m + j2];
+            }
+            symmat[j1 * m + j2] = acc;
+            symmat[j2 * m + j1] = acc;
+        }
+    }
+    assert_eq!(outs[0].1, symmat, "COVAR");
+}
+
+#[test]
+fn bicg_matches_reference() {
+    let (d, outs) = run_tiny(BenchKind::Bicg);
+    let gen = inputs_for(BenchKind::Bicg);
+    let n = d.ni;
+    let a = gen.array("A", n * n).to_f64_vec();
+    let p = gen.array("P", n).to_f64_vec();
+    let r = gen.array("R", n).to_f64_vec();
+    let mut q = vec![0.0; n];
+    for (i, slot) in q.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for j in 0..n {
+            acc += a[i * n + j] * p[j];
+        }
+        *slot = acc;
+    }
+    let mut s = vec![0.0; n];
+    for (j, slot) in s.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += r[i] * a[i * n + j];
+        }
+        *slot = acc;
+    }
+    assert_eq!(outs[0].1, q, "BICG q");
+    assert_eq!(outs[1].1, s, "BICG s");
+}
+
+#[test]
+fn corr_matches_reference() {
+    let (d, outs) = run_tiny(BenchKind::Corr);
+    let gen = inputs_for(BenchKind::Corr);
+    let (m, n) = (d.ni, d.nj);
+    let float_n = n as f64;
+    let eps = 0.1;
+    let mut data = gen.array("DATA", n * m).to_f64_vec();
+    // mean
+    let mut mean = vec![0.0; m];
+    for (j, slot) in mean.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += data[i * m + j];
+        }
+        *slot = acc / float_n;
+    }
+    // stddev (kernel order: dv = x - mean; acc += dv*dv; sqrt(acc/n))
+    let mut std = vec![0.0; m];
+    for (j, slot) in std.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for i in 0..n {
+            let dv = data[i * m + j] - mean[j];
+            acc += dv * dv;
+        }
+        let sd = (acc / float_n).sqrt();
+        *slot = if sd <= eps { 1.0 } else { sd };
+    }
+    // reduce
+    for i in 0..n {
+        for j in 0..m {
+            data[i * m + j] = (data[i * m + j] - mean[j]) / (float_n.sqrt() * std[j]);
+        }
+    }
+    // correlation
+    let mut symmat = vec![0.0; m * m];
+    for j1 in 0..m - 1 {
+        symmat[j1 * m + j1] = 1.0;
+        for j2 in j1 + 1..m {
+            let mut acc = 0.0;
+            for i in 0..n {
+                acc += data[i * m + j1] * data[i * m + j2];
+            }
+            symmat[j1 * m + j2] = acc;
+            symmat[j2 * m + j1] = acc;
+        }
+    }
+    symmat[(m - 1) * m + (m - 1)] = 1.0;
+    assert_eq!(outs[0].1, symmat, "CORR");
+}
