@@ -38,7 +38,7 @@ fn bench_arithmetic(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = F16::ZERO;
             for &h in &hs {
-                acc = acc + black_box(h);
+                acc += black_box(h);
             }
             acc
         })

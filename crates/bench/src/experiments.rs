@@ -52,10 +52,15 @@ pub fn table1() -> Experiment {
     let mut csv = String::from("cc,fp16,fp32,fp64\n");
     for cc in ComputeCapability::ALL {
         let t = ThroughputTable::for_capability(cc);
-        let h = t
-            .fp16
-            .map_or("N".to_owned(), |v| format!("{v:.0}"));
-        let _ = writeln!(report, "{:<7} {:<7} {:<7} {:<7}", cc.version(), h, t.fp32, t.fp64);
+        let h = t.fp16.map_or("N".to_owned(), |v| format!("{v:.0}"));
+        let _ = writeln!(
+            report,
+            "{:<7} {:<7} {:<7} {:<7}",
+            cc.version(),
+            h,
+            t.fp32,
+            t.fp64
+        );
         let _ = writeln!(csv, "{},{},{},{}", cc.version(), h, t.fp32, t.fp64);
     }
     Experiment {
@@ -69,9 +74,7 @@ pub fn table1() -> Experiment {
 #[must_use]
 pub fn table3() -> Experiment {
     let mut report = String::from("Table 3: target system configurations\n");
-    let mut csv = String::from(
-        "system,cpu,cores,threads,simd,gpu,sms,cc,pcie,pcie_gbps\n",
-    );
+    let mut csv = String::from("system,cpu,cores,threads,simd,gpu,sms,cc,pcie,pcie_gbps\n");
     for s in SystemModel::paper_systems() {
         let _ = writeln!(
             report,
@@ -378,7 +381,8 @@ pub fn fig6(scale: f64) -> Experiment {
 // ---------------------------------------------------------------------------
 
 fn suite_report(results: &[BenchResult], title: &str, csv: &mut String, system: &str) -> String {
-    let mut report = format!("{title}\nname      technique  speedup quality trials time_ms kernel_ms\n");
+    let mut report =
+        format!("{title}\nname      technique  speedup quality trials time_ms kernel_ms\n");
     for r in results {
         for row in &r.rows {
             let _ = writeln!(

@@ -222,10 +222,7 @@ pub fn aggregate_types(results: &[BenchResult], technique: &str) -> TypeDistribu
 
 /// Aggregate conversion distribution across benchmarks for a technique.
 #[must_use]
-pub fn aggregate_conversions(
-    results: &[BenchResult],
-    technique: &str,
-) -> ConversionDistribution {
+pub fn aggregate_conversions(results: &[BenchResult], technique: &str) -> ConversionDistribution {
     let mut agg = ConversionDistribution::default();
     for r in results {
         if let Some(row) = r.row(technique) {

@@ -1,0 +1,629 @@
+//! Offline shim of the `serde` surface this workspace uses.
+//!
+//! The build container cannot reach a crate registry, so the real `serde`
+//! stack is replaced by this JSON-direct implementation: [`Serialize`]
+//! appends compact JSON to a `String`, [`Deserialize`] reads from a parsed
+//! [`json::Value`] tree. The derive macros (re-exported from the companion
+//! `serde_derive` shim) generate impls of these traits for the shapes the
+//! workspace actually contains: named structs, newtype structs, and enums
+//! with unit or struct variants (externally tagged, matching the committed
+//! `results/*.json` format).
+//!
+//! Not a general serde: no serializer abstraction, no attributes, no
+//! borrowed deserialization.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can append themselves as compact JSON.
+pub trait Serialize {
+    /// Appends this value's JSON encoding to `out`.
+    fn serialize(&self, out: &mut String);
+}
+
+/// Types reconstructible from a parsed JSON [`json::Value`].
+pub trait Deserialize: Sized {
+    /// Builds a value from the JSON tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`json::Error`] describing the first mismatch between the
+    /// tree and the expected shape.
+    fn deserialize(v: &json::Value) -> Result<Self, json::Error>;
+
+    /// Called when a struct field's key is absent. `Option` fields decode
+    /// to `None`; everything else reports a missing-field error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a missing-field [`json::Error`] by default.
+    fn missing(field: &str) -> Result<Self, json::Error> {
+        Err(json::Error::new(format!("missing field `{field}`")))
+    }
+}
+
+pub mod json {
+    //! The JSON data model, parser, and writer backing the shim traits.
+
+    use std::fmt;
+
+    /// A parsed JSON document.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Integer without fraction/exponent that fits `i64`.
+        Int(i64),
+        /// Non-negative integer too large for `i64`.
+        UInt(u64),
+        /// Any number with a fraction or exponent.
+        Float(f64),
+        /// String literal (escapes resolved).
+        Str(String),
+        /// Array.
+        Arr(Vec<Value>),
+        /// Object; insertion order preserved.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The object entries, if this is an object.
+        #[must_use]
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(entries) => Some(entries),
+                _ => None,
+            }
+        }
+
+        /// The string contents, if this is a string.
+        #[must_use]
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    /// Looks up a key in an object's entries (first match).
+    #[must_use]
+    pub fn get<'v>(entries: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+        entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// For externally tagged enums: the single `{"Variant": inner}` entry.
+    ///
+    /// # Errors
+    ///
+    /// Errors unless `v` is an object with exactly one entry.
+    pub fn single_entry<'v>(v: &'v Value, type_name: &str) -> Result<(&'v str, &'v Value), Error> {
+        match v.as_object() {
+            Some([(name, inner)]) => Ok((name.as_str(), inner)),
+            _ => Err(Error::new(format!(
+                "expected single-entry object for enum {type_name}"
+            ))),
+        }
+    }
+
+    /// Deserialization/parse error.
+    #[derive(Clone, Debug)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl Error {
+        /// An error with the given message.
+        #[must_use]
+        pub fn new(msg: impl Into<String>) -> Error {
+            Error { msg: msg.into() }
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Appends a JSON string literal (with escaping) to `out`.
+    pub fn write_str(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                '\u{08}' => out.push_str("\\b"),
+                '\u{0C}' => out.push_str("\\f"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Appends a float. Integral finite values keep a trailing `.0` so the
+    /// output stays distinguishable from integers (matching serde_json);
+    /// non-finite values become `null`.
+    pub fn write_f64(out: &mut String, v: f64) {
+        if !v.is_finite() {
+            out.push_str("null");
+            return;
+        }
+        let s = v.to_string();
+        out.push_str(&s);
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            out.push_str(".0");
+        }
+    }
+
+    /// Parses a complete JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Errors on malformed or truncated input, or trailing garbage, with
+    /// the byte offset of the problem.
+    pub fn parse(input: &str) -> Result<Value, Error> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON document"));
+        }
+        Ok(v)
+    }
+
+    const MAX_DEPTH: usize = 128;
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn err(&self, msg: &str) -> Error {
+            Error::new(format!("{msg} at byte {}", self.pos))
+        }
+
+        fn skip_ws(&mut self) {
+            while let Some(b) = self.bytes.get(self.pos) {
+                match b {
+                    b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                    _ => break,
+                }
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), Error> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(self.err(&format!("expected `{}`", b as char)))
+            }
+        }
+
+        fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(v)
+            } else {
+                Err(self.err("invalid literal"))
+            }
+        }
+
+        fn value(&mut self, depth: usize) -> Result<Value, Error> {
+            if depth > MAX_DEPTH {
+                return Err(self.err("nesting too deep"));
+            }
+            match self.peek() {
+                None => Err(self.err("unexpected end of input")),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'"') => self.string().map(Value::Str),
+                Some(b'[') => self.array(depth),
+                Some(b'{') => self.object(depth),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                Some(_) => Err(self.err("unexpected character")),
+            }
+        }
+
+        fn array(&mut self, depth: usize) -> Result<Value, Error> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value(depth + 1)?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(self.err("expected `,` or `]` in array")),
+                }
+            }
+        }
+
+        fn object(&mut self, depth: usize) -> Result<Value, Error> {
+            self.expect(b'{')?;
+            let mut entries = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(entries));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let val = self.value(depth + 1)?;
+                entries.push((key, val));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(entries));
+                    }
+                    _ => return Err(self.err("expected `,` or `}` in object")),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, Error> {
+            self.expect(b'"')?;
+            let mut s = String::new();
+            loop {
+                let Some(b) = self.peek() else {
+                    return Err(self.err("unterminated string"));
+                };
+                self.pos += 1;
+                match b {
+                    b'"' => return Ok(s),
+                    b'\\' => {
+                        let Some(esc) = self.peek() else {
+                            return Err(self.err("unterminated escape"));
+                        };
+                        self.pos += 1;
+                        match esc {
+                            b'"' => s.push('"'),
+                            b'\\' => s.push('\\'),
+                            b'/' => s.push('/'),
+                            b'b' => s.push('\u{08}'),
+                            b'f' => s.push('\u{0C}'),
+                            b'n' => s.push('\n'),
+                            b'r' => s.push('\r'),
+                            b't' => s.push('\t'),
+                            b'u' => {
+                                let cp = self.hex4()?;
+                                // Surrogate pairs for non-BMP characters.
+                                let c = if (0xD800..0xDC00).contains(&cp) {
+                                    if self.peek() == Some(b'\\') {
+                                        self.pos += 1;
+                                        self.expect(b'u')?;
+                                        let lo = self.hex4()?;
+                                        let combined = 0x10000
+                                            + ((cp - 0xD800) << 10)
+                                            + (lo.wrapping_sub(0xDC00) & 0x3FF);
+                                        char::from_u32(combined)
+                                    } else {
+                                        None
+                                    }
+                                } else {
+                                    char::from_u32(cp)
+                                };
+                                match c {
+                                    Some(c) => s.push(c),
+                                    None => return Err(self.err("invalid \\u escape")),
+                                }
+                            }
+                            _ => return Err(self.err("invalid escape")),
+                        }
+                    }
+                    b if b < 0x80 => s.push(b as char),
+                    _ => {
+                        // Multi-byte UTF-8: the input is a &str, so the
+                        // sequence is valid; copy it through.
+                        let start = self.pos - 1;
+                        let mut end = self.pos;
+                        while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                            end += 1;
+                        }
+                        let chunk = std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| self.err("invalid UTF-8"))?;
+                        s.push_str(chunk);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+
+        fn hex4(&mut self) -> Result<u32, Error> {
+            let mut cp = 0u32;
+            for _ in 0..4 {
+                let Some(b) = self.peek() else {
+                    return Err(self.err("truncated \\u escape"));
+                };
+                self.pos += 1;
+                let d = (b as char)
+                    .to_digit(16)
+                    .ok_or_else(|| self.err("invalid hex digit"))?;
+                cp = cp * 16 + d;
+            }
+            Ok(cp)
+        }
+
+        fn number(&mut self) -> Result<Value, Error> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            let mut fractional = false;
+            while let Some(b) = self.peek() {
+                match b {
+                    b'0'..=b'9' => self.pos += 1,
+                    b'.' | b'e' | b'E' | b'+' | b'-' => {
+                        fractional = true;
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| self.err("invalid number"))?;
+            if text.is_empty() || text == "-" {
+                return Err(self.err("invalid number"));
+            }
+            if !fractional {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Value::Int(i));
+                }
+                if let Ok(u) = text.parse::<u64>() {
+                    return Ok(Value::UInt(u));
+                }
+            }
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err("invalid number"))
+        }
+    }
+}
+
+use json::{Error, Value};
+
+impl Serialize for String {
+    fn serialize(&self, out: &mut String) {
+        json::write_str(out, self);
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, out: &mut String) {
+        json::write_str(out, self);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<String, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::new("expected string"))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<bool, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, out: &mut String) {
+        json::write_f64(out, *self);
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<f64, Error> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            _ => Err(Error::new("expected number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, out: &mut String) {
+        json::write_f64(out, f64::from(*self));
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<f32, Error> {
+        f64::deserialize(v).map(|f| f as f32)
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<$t, Error> {
+                let raw = match v {
+                    Value::Int(i) if *i >= 0 => *i as u64,
+                    Value::UInt(u) => *u,
+                    _ => return Err(Error::new("expected unsigned integer")),
+                };
+                <$t>::try_from(raw).map_err(|_| Error::new("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<$t, Error> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i).map_err(|_| Error::new("integer out of range")),
+                    Value::UInt(u) => <$t>::try_from(*u).map_err(|_| Error::new("integer out of range")),
+                    _ => Err(Error::new("expected integer")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Option<T>, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+
+    fn missing(_field: &str) -> Result<Option<T>, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Vec<T>, Error> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(Error::new("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, out: &mut String) {
+        (**self).serialize(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::{parse, Value};
+    use super::{Deserialize, Serialize};
+
+    #[test]
+    fn parse_round_trips_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("42").unwrap(), Value::Int(42));
+        assert_eq!(parse("-7").unwrap(), Value::Int(-7));
+        assert_eq!(
+            parse("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
+        assert_eq!(parse("1.5").unwrap(), Value::Float(1.5));
+        assert_eq!(parse("1e-5").unwrap(), Value::Float(1e-5));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Value::Str("a\nb".into()));
+    }
+
+    #[test]
+    fn truncated_documents_error_cleanly() {
+        for bad in [
+            "", "{", "{\"a\":", "[1,", "\"abc", "{\"a\":1", "tru", "1.2.3",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+        assert!(parse("{} extra").is_err());
+    }
+
+    #[test]
+    fn floats_keep_a_fraction_marker() {
+        let mut out = String::new();
+        2.0f64.serialize(&mut out);
+        assert_eq!(out, "2.0");
+        out.clear();
+        0.000010041650396980345f64.serialize(&mut out);
+        assert_eq!(out, "0.000010041650396980345");
+    }
+
+    #[test]
+    fn option_handles_null_and_missing() {
+        assert_eq!(Option::<f64>::deserialize(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<f64>::deserialize(&Value::Float(1.5)).unwrap(),
+            Some(1.5)
+        );
+        assert_eq!(Option::<f64>::missing("fp16").unwrap(), None);
+        assert!(f64::missing("x").is_err());
+    }
+}

@@ -1,0 +1,329 @@
+//! Offline shim of `serde_derive`, implemented without `syn`/`quote`.
+//!
+//! Parses the deriving item's token stream directly (only the shapes this
+//! workspace contains: named structs, single-field newtype structs, and
+//! enums with unit or struct variants) and emits impls of the shim `serde`
+//! traits as source text. Enums use the externally tagged representation —
+//! unit variants as `"Name"`, struct variants as `{"Name":{...}}` — which
+//! matches both upstream serde and the committed `results/*.json` files.
+//!
+//! No attributes (`#[serde(...)]`) and no generics are supported; hitting
+//! either is a compile-time panic with a clear message rather than silent
+//! misbehavior.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shapes this shim can derive for.
+enum Item {
+    /// `struct Name { a: A, b: B }`
+    Struct { name: String, fields: Vec<String> },
+    /// `struct Name(Inner);`
+    Newtype { name: String },
+    /// `enum Name { Unit, Struct { a: A } }` — fields are `None` for unit
+    /// variants.
+    Enum {
+        name: String,
+        variants: Vec<(String, Option<Vec<String>>)>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Newtype { name } => format!(
+            "impl serde::Serialize for {name} {{\n\
+             fn serialize(&self, out: &mut std::string::String) {{\n\
+             serde::Serialize::serialize(&self.0, out);\n}}\n}}\n"
+        ),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Newtype { name } => format!(
+            "impl serde::Deserialize for {name} {{\n\
+             fn deserialize(v: &serde::json::Value) \
+             -> std::result::Result<{name}, serde::json::Error> {{\n\
+             std::result::Result::Ok({name}(serde::Deserialize::deserialize(v)?))\n}}\n}}\n"
+        ),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+fn serialize_struct(name: &str, fields: &[String]) -> String {
+    let mut body = String::new();
+    for (i, f) in fields.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        body.push_str(&format!(
+            "out.push_str(\"{sep}\\\"{f}\\\":\");\n\
+             serde::Serialize::serialize(&self.{f}, out);\n"
+        ));
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn serialize(&self, out: &mut std::string::String) {{\n\
+         out.push('{{');\n{body}out.push('}}');\n}}\n}}\n"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[(String, Option<Vec<String>>)]) -> String {
+    let mut arms = String::new();
+    for (vname, vfields) in variants {
+        match vfields {
+            None => arms.push_str(&format!(
+                "{name}::{vname} => serde::json::write_str(out, \"{vname}\"),\n"
+            )),
+            Some(fields) => {
+                let bindings = fields.join(", ");
+                let mut body = String::new();
+                for (i, f) in fields.iter().enumerate() {
+                    let sep = if i == 0 { "" } else { "," };
+                    body.push_str(&format!(
+                        "out.push_str(\"{sep}\\\"{f}\\\":\");\n\
+                         serde::Serialize::serialize({f}, out);\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {bindings} }} => {{\n\
+                     out.push_str(\"{{\\\"{vname}\\\":{{\");\n\
+                     {body}out.push_str(\"}}}}\");\n}}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn serialize(&self, out: &mut std::string::String) {{\n\
+         match self {{\n{arms}}}\n}}\n}}\n"
+    )
+}
+
+fn field_initializers(fields: &[String]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        out.push_str(&format!(
+            "{f}: match serde::json::get(entries, \"{f}\") {{\n\
+             std::option::Option::Some(v) => serde::Deserialize::deserialize(v)?,\n\
+             std::option::Option::None => serde::Deserialize::missing(\"{f}\")?,\n\
+             }},\n"
+        ));
+    }
+    out
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let inits = field_initializers(fields);
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &serde::json::Value) \
+         -> std::result::Result<{name}, serde::json::Error> {{\n\
+         let entries = v.as_object().ok_or_else(|| \
+         serde::json::Error::new(\"expected object for {name}\"))?;\n\
+         std::result::Result::Ok({name} {{\n{inits}}})\n}}\n}}\n"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, Option<Vec<String>>)]) -> String {
+    let mut unit_arms = String::new();
+    let mut struct_arms = String::new();
+    for (vname, vfields) in variants {
+        match vfields {
+            None => unit_arms.push_str(&format!(
+                "\"{vname}\" => std::result::Result::Ok({name}::{vname}),\n"
+            )),
+            Some(fields) => {
+                let inits = field_initializers(fields);
+                struct_arms.push_str(&format!(
+                    "\"{vname}\" => {{\n\
+                     let entries = inner.as_object().ok_or_else(|| \
+                     serde::json::Error::new(\"expected object for {name}::{vname}\"))?;\n\
+                     std::result::Result::Ok({name}::{vname} {{\n{inits}}})\n}}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &serde::json::Value) \
+         -> std::result::Result<{name}, serde::json::Error> {{\n\
+         if let std::option::Option::Some(s) = v.as_str() {{\n\
+         return match s {{\n{unit_arms}\
+         other => std::result::Result::Err(serde::json::Error::new(\
+         format!(\"unknown variant `{{other}}` for {name}\"))),\n}};\n}}\n\
+         let (vname, inner) = serde::json::single_entry(v, \"{name}\")?;\n\
+         let _ = inner;\n\
+         match vname {{\n{struct_arms}\
+         other => std::result::Result::Err(serde::json::Error::new(\
+         format!(\"unknown variant `{{other}}` for {name}\"))),\n}}\n}}\n}}\n"
+    )
+}
+
+/// Skips attributes / doc comments (`#` followed by a bracket group) and
+/// visibility (`pub`, `pub(crate)`, ...) at the current position.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, got {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+
+    match (kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let fields = parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>(), &name);
+            Item::Struct { name, fields }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            // Single-field tuple structs only: any top-level (angle-depth 0)
+            // comma with trailing content means multiple fields.
+            let mut depth = 0i32;
+            for (idx, t) in inner.iter().enumerate() {
+                if let TokenTree::Punct(p) = t {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        ',' if depth == 0 && idx + 1 < inner.len() => {
+                            panic!(
+                                "serde_derive shim: tuple struct `{name}` has multiple fields; \
+                                 only newtype structs are supported"
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Item::Newtype { name }
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let variants = parse_variants(&g.stream().into_iter().collect::<Vec<_>>(), &name);
+            Item::Enum { name, variants }
+        }
+        (k, other) => {
+            panic!("serde_derive shim: unsupported item shape `{k}` for `{name}`: {other:?}")
+        }
+    }
+}
+
+/// Extracts field names, in order, from a named-struct body.
+fn parse_named_fields(tokens: &[TokenTree], owner: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let fname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name in `{owner}`, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde_derive shim: expected `:` after `{owner}.{fname}`, got {other:?}")
+            }
+        }
+        fields.push(fname);
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Extracts `(variant name, struct-variant field names)` pairs from an enum
+/// body.
+fn parse_variants(tokens: &[TokenTree], owner: &str) -> Vec<(String, Option<Vec<String>>)> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let vname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name in `{owner}`, got {other:?}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_named_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                    owner,
+                ))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!(
+                    "serde_derive shim: tuple variant `{owner}::{vname}` is not supported; \
+                     use a struct variant"
+                );
+            }
+            _ => None,
+        };
+        variants.push((vname, fields));
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    variants
+}

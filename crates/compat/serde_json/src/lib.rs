@@ -1,0 +1,37 @@
+//! Offline shim of the `serde_json` entry points this workspace uses,
+//! backed by the shim `serde` crate's JSON-direct traits.
+
+#![forbid(unsafe_code)]
+
+pub use serde::json::{Error, Value};
+
+/// Serializes a value to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails in this shim; the `Result` mirrors the upstream signature.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(&mut out);
+    Ok(out)
+}
+
+/// Deserializes a value from a JSON string.
+///
+/// # Errors
+///
+/// Errors on malformed/truncated JSON or shape mismatches.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = serde::json::parse(s)?;
+    T::deserialize(&v)
+}
+
+/// Deserializes a value from JSON bytes (must be UTF-8).
+///
+/// # Errors
+///
+/// Errors on invalid UTF-8, malformed/truncated JSON, or shape mismatches.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}

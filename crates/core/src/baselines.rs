@@ -185,7 +185,11 @@ pub fn in_kernel(
         for (kernel, params) in &kernel_params {
             let mut map = HashMap::new();
             for (param, label) in params {
-                let li = labels.iter().position(|l| l == label).expect("profiled");
+                // A kernel argument bound to an object the profiler never
+                // saw: leave that parameter at full precision.
+                let Some(li) = labels.iter().position(|l| l == label) else {
+                    continue;
+                };
                 let p = choices[digits[li] as usize];
                 if p != Precision::Double {
                     map.insert(param.clone(), p);
@@ -240,8 +244,7 @@ mod tests {
         );
         assert!(out.trials >= 2 && out.trials <= 4, "{}", out.trials);
         // Uniform: all scaled objects share one precision.
-        let types: std::collections::HashSet<_> =
-            out.config.object_targets.values().collect();
+        let types: std::collections::HashSet<_> = out.config.object_targets.values().collect();
         assert!(types.len() <= 1);
     }
 

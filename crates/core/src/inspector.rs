@@ -18,6 +18,54 @@ use prescaler_ir::Precision;
 use prescaler_sim::{Direction, HostMethod, SimTime, SystemModel, TransferPlan};
 use serde::{Deserialize, Serialize};
 
+/// A recoverable inspector-database failure.
+///
+/// The decision maker treats all of these as "the database cannot answer"
+/// and falls back to the analytic cost model; none of them is worth a
+/// panic. A database that fails *structurally* ([`DbError::EmptyGrid`],
+/// [`DbError::GridMismatch`]) should be regenerated with
+/// [`SystemInspector::inspect`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum DbError {
+    /// The database has no measurement grid at all.
+    EmptyGrid,
+    /// A curve's sample count does not match the measurement grid.
+    GridMismatch {
+        /// Grid length.
+        expected: usize,
+        /// Curve length.
+        got: usize,
+    },
+    /// A curve holds a non-finite or negative timing — a corrupted
+    /// measurement.
+    CorruptTimes {
+        /// Index of the first bad sample.
+        at: usize,
+        /// Its value in seconds.
+        value: f64,
+    },
+    /// The requested plan was never measured.
+    UnknownPlan,
+}
+
+impl core::fmt::Display for DbError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DbError::EmptyGrid => write!(f, "inspector database has an empty measurement grid"),
+            DbError::GridMismatch { expected, got } => write!(
+                f,
+                "curve has {got} samples but the grid has {expected} points"
+            ),
+            DbError::CorruptTimes { at, value } => {
+                write!(f, "curve sample {at} is a corrupt measurement ({value} s)")
+            }
+            DbError::UnknownPlan => write!(f, "plan is not in the inspector database"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
 /// Static system facts recorded by the inspector (the paper's first
 /// inspection phase).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -131,9 +179,19 @@ impl SystemInspector {
                                 host_method,
                             };
                             let plan = key.plan();
+                            // Fault injection may corrupt individual
+                            // measurements as they are recorded; lookups
+                            // detect these and the search routes around
+                            // them.
                             let times = grid
                                 .iter()
-                                .map(|&n| plan.time(system, n).total())
+                                .map(|&n| {
+                                    let t = plan.time(system, n).total();
+                                    match system.faults.corrupt_db_entry() {
+                                        Some(bad) => SimTime::from_secs_unchecked(bad),
+                                        None => t,
+                                    }
+                                })
                                 .collect();
                             curves.push(Curve { key, times });
                         }
@@ -162,7 +220,7 @@ impl SystemInspector {
     }
 
     /// The host-method candidates worth measuring on this system.
-    fn candidate_methods(system: &SystemModel) -> Vec<HostMethod> {
+    pub(crate) fn candidate_methods(system: &SystemModel) -> Vec<HostMethod> {
         let threads = system.cpu.threads as usize;
         let cores = system.cpu.cores as usize;
         vec![
@@ -176,31 +234,56 @@ impl SystemInspector {
 }
 
 /// `intermediate` lies on the value path from `src` to `dst`.
-fn valid_intermediate(src: Precision, intermediate: Precision, dst: Precision) -> bool {
+pub(crate) fn valid_intermediate(src: Precision, intermediate: Precision, dst: Precision) -> bool {
     let lo = src.min(dst);
     let hi = src.max(dst);
-    intermediate == src || intermediate == dst || (intermediate > lo && intermediate < hi)
+    intermediate == src
+        || intermediate == dst
+        || (intermediate > lo && intermediate < hi)
         || intermediate < lo // a narrower wire than both endpoints (the wildcard's hybrid)
 }
 
 impl InspectorDb {
     /// Predicted time of one plan at `elems` elements, interpolated
     /// log-linearly on the measurement grid.
-    #[must_use]
-    pub fn plan_time(&self, key: &PlanKey, elems: usize) -> Option<SimTime> {
-        let curve = self.curves.iter().find(|c| &c.key == key)?;
-        Some(self.interpolate(&curve.times, elems))
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::UnknownPlan`] if the plan was never measured, and a
+    /// structural/corruption [`DbError`] if its curve is unusable.
+    pub fn plan_time(&self, key: &PlanKey, elems: usize) -> Result<SimTime, DbError> {
+        let curve = self
+            .curves
+            .iter()
+            .find(|c| &c.key == key)
+            .ok_or(DbError::UnknownPlan)?;
+        self.interpolate(&curve.times, elems)
     }
 
-    fn interpolate(&self, times: &[SimTime], elems: usize) -> SimTime {
+    fn interpolate(&self, times: &[SimTime], elems: usize) -> Result<SimTime, DbError> {
+        let first = *self.grid.first().ok_or(DbError::EmptyGrid)? as f64;
+        if times.len() != self.grid.len() {
+            return Err(DbError::GridMismatch {
+                expected: self.grid.len(),
+                got: times.len(),
+            });
+        }
+        if let Some(at) = times
+            .iter()
+            .position(|t| !t.as_secs().is_finite() || t.as_secs() < 0.0)
+        {
+            return Err(DbError::CorruptTimes {
+                at,
+                value: times[at].as_secs(),
+            });
+        }
         let n = elems.max(1) as f64;
-        let first = self.grid[0] as f64;
-        let last = *self.grid.last().expect("non-empty grid") as f64;
-        if n <= first {
+        let last = self.grid[self.grid.len() - 1] as f64;
+        if n <= first || times.len() == 1 {
             // Below the grid: latency-dominated; scale the measured point
             // by the size ratio on the bandwidth share only is overkill —
             // clamp to the smallest measurement.
-            return times[0];
+            return Ok(times[0]);
         }
         if n >= last {
             // Above the grid: extrapolate linearly from the last segment.
@@ -209,29 +292,30 @@ impl InspectorDb {
             let x0 = self.grid[self.grid.len() - 2] as f64;
             let x1 = last;
             let slope = (b - a) / (x1 - x0);
-            return SimTime::from_secs((b + slope * (n - x1)).max(0.0));
+            return Ok(SimTime::from_secs((b + slope * (n - x1)).max(0.0)));
         }
         let i = self
             .grid
             .iter()
             .rposition(|&g| (g as f64) <= n)
-            .expect("n >= first grid point");
+            .unwrap_or(0);
         if (self.grid[i] as f64 - n).abs() < 0.5 {
-            return times[i];
+            return Ok(times[i]);
         }
         let (x0, x1) = (self.grid[i] as f64, self.grid[i + 1] as f64);
         let (y0, y1) = (times[i].as_secs(), times[i + 1].as_secs());
         // Log-linear in size.
         let t = (n.ln() - x0.ln()) / (x1.ln() - x0.ln());
-        SimTime::from_secs(y0 + (y1 - y0) * t)
+        Ok(SimTime::from_secs(y0 + (y1 - y0) * t))
     }
 
     /// The paper's `getBestScalingMethod` (Algorithm 2): the cheapest plan
     /// for transferring `elems` elements from `src` to `dst`, choosing the
     /// host-side method and wire type from `intermediates`.
     ///
-    /// Returns `None` only if the path is not in the database (cannot
-    /// happen for valid precision paths).
+    /// Returns `None` if the path is not in the database, or if every
+    /// curve on it is corrupted (callers fall back to the analytic cost
+    /// model in that case).
     #[must_use]
     pub fn best_plan(
         &self,
@@ -250,7 +334,11 @@ impl InspectorDb {
             if !intermediates.contains(&k.intermediate) {
                 continue;
             }
-            let t = self.interpolate(&c.times, elems);
+            // Corrupted curves are skipped, not trusted: a NaN time would
+            // poison the `<` comparison below.
+            let Ok(t) = self.interpolate(&c.times, elems) else {
+                continue;
+            };
             if best.as_ref().is_none_or(|(_, bt)| t < *bt) {
                 best = Some((*k, t));
             }
@@ -275,6 +363,42 @@ impl InspectorDb {
     #[must_use]
     pub fn curve_count(&self) -> usize {
         self.curves.len()
+    }
+
+    /// Number of curves holding at least one corrupted (non-finite or
+    /// negative) measurement — curves that lookups will route around.
+    #[must_use]
+    pub fn corrupt_curve_count(&self) -> usize {
+        self.curves
+            .iter()
+            .filter(|c| {
+                c.times
+                    .iter()
+                    .any(|t| !t.as_secs().is_finite() || t.as_secs() < 0.0)
+            })
+            .count()
+    }
+
+    /// Structural sanity check: a database failing this is unusable as a
+    /// whole (as opposed to individual corrupted curves, which lookups
+    /// route around) and should be regenerated.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::EmptyGrid`] or [`DbError::GridMismatch`].
+    pub fn validate(&self) -> Result<(), DbError> {
+        if self.grid.is_empty() {
+            return Err(DbError::EmptyGrid);
+        }
+        for c in &self.curves {
+            if c.times.len() != self.grid.len() {
+                return Err(DbError::GridMismatch {
+                    expected: self.grid.len(),
+                    got: c.times.len(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The measurement grid.
@@ -314,7 +438,12 @@ mod tests {
     fn best_plan_prefers_no_conversion_for_identity() {
         let db = db();
         let (k, _) = db
-            .best_direct_plan(Direction::HtoD, Precision::Double, Precision::Double, 1 << 20)
+            .best_direct_plan(
+                Direction::HtoD,
+                Precision::Double,
+                Precision::Double,
+                1 << 20,
+            )
             .unwrap();
         assert_eq!(k.intermediate, Precision::Double);
     }
@@ -351,7 +480,12 @@ mod tests {
             "spawn/pipeline overheads must lose at 256 elements"
         );
         let (large, _) = db
-            .best_direct_plan(Direction::HtoD, Precision::Double, Precision::Single, 1 << 23)
+            .best_direct_plan(
+                Direction::HtoD,
+                Precision::Double,
+                Precision::Single,
+                1 << 23,
+            )
             .unwrap();
         assert_ne!(
             large.host_method,
@@ -374,7 +508,12 @@ mod tests {
         );
         assert!(all.is_some());
         let direct_only = db
-            .best_direct_plan(Direction::HtoD, Precision::Double, Precision::Single, 1 << 23)
+            .best_direct_plan(
+                Direction::HtoD,
+                Precision::Double,
+                Precision::Single,
+                1 << 23,
+            )
             .unwrap();
         let (k_all, t_all) = all.unwrap();
         assert!(t_all <= direct_only.1);
@@ -387,7 +526,7 @@ mod tests {
             dst: Precision::Single,
             host_method: HostMethod::Multithread { threads: 20 },
         };
-        assert!(db.plan_time(&half_wire, 1 << 23).is_some());
+        assert!(db.plan_time(&half_wire, 1 << 23).is_ok());
         let _ = k_all;
     }
 
@@ -424,6 +563,83 @@ mod tests {
         let mid = db.plan_time(&key, 3 << 12).unwrap(); // between 2^12 and 2^14
         assert!(lo <= mid && mid <= hi, "{lo} {mid} {hi}");
     }
+
+    #[test]
+    fn unknown_plan_is_a_clean_error() {
+        let db = db();
+        // An HtoD key with a wire wider than both endpoints is never
+        // measured (not a valid intermediate).
+        let bogus = PlanKey {
+            direction: Direction::HtoD,
+            src: Precision::Single,
+            intermediate: Precision::Double,
+            dst: Precision::Single,
+            host_method: HostMethod::Loop,
+        };
+        assert_eq!(db.plan_time(&bogus, 1 << 12), Err(DbError::UnknownPlan));
+    }
+
+    #[test]
+    fn corrupted_curves_error_on_lookup_and_best_plan_routes_around() {
+        use prescaler_sim::FaultPlan;
+        let system =
+            SystemModel::system1().with_faults(FaultPlan::seeded(11).with_db_corruption(0.1));
+        let db = SystemInspector::inspect(&system);
+        assert!(db.corrupt_curve_count() > 0, "injection must have fired");
+        assert!(
+            db.corrupt_curve_count() < db.curve_count(),
+            "at 10% not every curve is corrupt"
+        );
+        // Some lookup hits a corrupted curve and reports it.
+        let mut saw_corrupt = false;
+        for direction in [Direction::HtoD, Direction::DtoH] {
+            for src in Precision::ALL {
+                for dst in Precision::ALL {
+                    for wire in Precision::ALL {
+                        let key = PlanKey {
+                            direction,
+                            src,
+                            intermediate: wire,
+                            dst,
+                            host_method: HostMethod::Loop,
+                        };
+                        if let Err(DbError::CorruptTimes { .. }) = db.plan_time(&key, 1 << 16) {
+                            saw_corrupt = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(saw_corrupt);
+        // best_plan never returns a corrupt time: whatever it answers is
+        // finite and non-negative.
+        for direction in [Direction::HtoD, Direction::DtoH] {
+            for src in Precision::ALL {
+                for dst in Precision::ALL {
+                    if let Some((_, t)) =
+                        db.best_plan(direction, src, dst, 1 << 16, &Precision::ALL)
+                    {
+                        assert!(t.as_secs().is_finite() && t.as_secs() >= 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_structural_damage() {
+        let db = db();
+        assert_eq!(db.validate(), Ok(()));
+        let mut broken = db.clone();
+        broken.curves[0].times.pop();
+        assert!(matches!(
+            broken.validate(),
+            Err(DbError::GridMismatch { .. })
+        ));
+        let mut empty = db;
+        empty.grid.clear();
+        assert_eq!(empty.validate(), Err(DbError::EmptyGrid));
+    }
 }
 
 impl InspectorDb {
@@ -434,19 +650,25 @@ impl InspectorDb {
     ///
     /// Propagates I/O failures.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        let json = serde_json::to_string(self).expect("db serializes");
+        let json = serde_json::to_string(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         std::fs::write(path, json)
     }
 
-    /// Loads a previously saved database.
+    /// Loads a previously saved database, rejecting structurally broken
+    /// content (truncated files, empty grids, curve/grid length
+    /// mismatches) with a clean [`std::io::ErrorKind::InvalidData`].
     ///
     /// # Errors
     ///
     /// Fails on I/O errors or malformed content.
     pub fn load(path: &std::path::Path) -> std::io::Result<InspectorDb> {
         let bytes = std::fs::read(path)?;
-        serde_json::from_slice(&bytes)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        let db: InspectorDb = serde_json::from_slice(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        db.validate()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        Ok(db)
     }
 }
 

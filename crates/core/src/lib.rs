@@ -44,7 +44,7 @@ pub mod report;
 pub mod search;
 pub mod search_space;
 
-pub use inspector::{InspectorDb, SystemInspector};
+pub use inspector::{DbError, InspectorDb, SystemInspector};
 pub use profiler::{profile_app, AppProfile};
 pub use report::{conversion_distribution, type_distribution, ResultRow};
 pub use search::{Evaluation, PreScaler, Tuned};

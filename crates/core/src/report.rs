@@ -91,10 +91,7 @@ pub fn type_distribution(profile: &AppProfile, spec: &ScalingSpec) -> TypeDistri
 /// Extracts the conversion-method distribution over the configuration's
 /// transfer events.
 #[must_use]
-pub fn conversion_distribution(
-    profile: &AppProfile,
-    spec: &ScalingSpec,
-) -> ConversionDistribution {
+pub fn conversion_distribution(profile: &AppProfile, spec: &ScalingSpec) -> ConversionDistribution {
     let mut dist = ConversionDistribution::default();
     for obj in &profile.scaling_order {
         let target = spec.target_for(&obj.label, obj.original);

@@ -18,12 +18,12 @@
 //!    types, or a failed type as intermediate) is verified with one real
 //!    execution before being adopted.
 
-use crate::inspector::InspectorDb;
+use crate::inspector::{valid_intermediate, InspectorDb, PlanKey, SystemInspector};
 use crate::profiler::{profile_app, AppProfile, ObjectProfile};
 use prescaler_ir::Precision;
 use prescaler_ocl::{run_app, HostApp, OclError, PlanChoice, ScalingSpec};
 use prescaler_polybench::output_quality;
-use prescaler_sim::{Direction, SimTime, SystemModel};
+use prescaler_sim::{Direction, HostMethod, SimTime, SystemModel};
 
 /// One measured configuration evaluation.
 #[derive(Clone, Debug)]
@@ -108,11 +108,17 @@ impl<'a> PreScaler<'a> {
     /// Runs the full pipeline: profile → PFP seed → decision tree → final
     /// configuration.
     ///
+    /// Degrades gracefully under injected faults: a *candidate* trial that
+    /// fails (exhausted retries, timeout, corrupted output) is pruned
+    /// exactly like a TOQ failure, and the chosen configuration must pass
+    /// a final acceptance check on the clean twin of the system — quality
+    /// at or above TOQ *and* time no worse than the full-precision
+    /// baseline — or the baseline configuration is returned instead.
+    ///
     /// # Errors
     ///
-    /// Propagates application failures ([`OclError`]); a failure of a
-    /// *candidate* configuration is treated as quality 0 rather than an
-    /// error.
+    /// Propagates [`OclError`] only from the clean baseline profiling run
+    /// (an application that cannot run at full precision cannot be tuned).
     pub fn tune(&self, app: &dyn HostApp) -> Result<Tuned, OclError> {
         let profile = profile_app(app, self.system)?;
         let mut trials = 1usize; // the profiling run
@@ -128,7 +134,7 @@ impl<'a> PreScaler<'a> {
         );
         if self.use_pfp_seed {
             let (seed_types, seeded, seeded_eval, pfp_trials) =
-                self.pre_full_precision(app, &profile)?;
+                self.pre_full_precision(app, &profile);
             trials += pfp_trials;
             let _ = seed_types;
             current = seeded;
@@ -138,28 +144,33 @@ impl<'a> PreScaler<'a> {
         // --- Decision tree over objects. ---
         let order: Vec<ObjectProfile> = profile.scaling_order.clone();
         for obj in &order {
-            let (cfg, eval, t) = self.tune_object(app, &profile, obj, current, current_eval)?;
+            let (cfg, eval, t) = self.tune_object(app, &profile, obj, current, current_eval);
             trials += t;
             current = cfg;
             current_eval = eval;
         }
 
-        // --- Final measured run of the chosen configuration. ---
-        let final_eval = self.evaluate(app, &profile, &current)?;
+        // --- Final acceptance run of the chosen configuration, on the
+        // clean twin of the system: the never-worse-than-baseline
+        // guarantee must not hinge on injected noise. ---
+        let clean = self.system.without_faults();
+        let final_eval = self.evaluate_on(&clean, app, &profile, &current).ok();
         trials += 1;
-        let chosen = if final_eval.quality >= self.toq {
-            (current, final_eval)
-        } else {
-            // Safety net: an unverified prediction failed TOQ — fall back
-            // to the baseline configuration.
-            (
+        let chosen = match final_eval {
+            Some(eval) if eval.quality >= self.toq && eval.time <= profile.baseline_time => {
+                (current, eval)
+            }
+            // Safety net: the chosen configuration failed TOQ, regressed
+            // past the baseline, or could not even run — fall back to the
+            // full-precision baseline configuration.
+            _ => (
                 ScalingSpec::baseline(),
                 Evaluation {
                     time: profile.baseline_time,
                     kernel_time: profile.log.timeline.kernel,
                     quality: 1.0,
                 },
-            )
+            ),
         };
 
         Ok(Tuned {
@@ -178,7 +189,7 @@ impl<'a> PreScaler<'a> {
         &self,
         app: &dyn HostApp,
         profile: &AppProfile,
-    ) -> Result<(Precision, ScalingSpec, Evaluation, usize), OclError> {
+    ) -> (Precision, ScalingSpec, Evaluation, usize) {
         let mut best = (
             Precision::Double,
             ScalingSpec::baseline(),
@@ -194,8 +205,12 @@ impl<'a> PreScaler<'a> {
             for obj in &profile.scaling_order {
                 spec = self.apply_object_target(spec, profile, &obj.label, target, false);
             }
-            let eval = self.evaluate(app, profile, &spec)?;
             trials += 1;
+            let Some(eval) = self.try_evaluate(app, profile, &spec) else {
+                // An unrunnable uniform configuration is pruned like a TOQ
+                // failure; lower precisions will not recover it.
+                break;
+            };
             let failed = eval.quality < self.toq;
             if !failed && eval.time < best.2.time {
                 best = (target, spec, eval);
@@ -205,7 +220,7 @@ impl<'a> PreScaler<'a> {
                 break;
             }
         }
-        Ok((best.0, best.1, best.2, trials))
+        (best.0, best.1, best.2, trials)
     }
 
     /// Algorithm 1 for one memory object.
@@ -216,7 +231,7 @@ impl<'a> PreScaler<'a> {
         obj: &ObjectProfile,
         current: ScalingSpec,
         current_eval: Evaluation,
-    ) -> Result<(ScalingSpec, Evaluation, usize), OclError> {
+    ) -> (ScalingSpec, Evaluation, usize) {
         let mut trials = 0usize;
         let current_type = current.target_for(&obj.label, obj.original);
 
@@ -233,8 +248,13 @@ impl<'a> PreScaler<'a> {
             }
             let candidate =
                 self.apply_object_target(current.clone(), profile, &obj.label, target, false);
-            let eval = self.evaluate(app, profile, &candidate)?;
             trials += 1;
+            let Some(eval) = self.try_evaluate(app, profile, &candidate) else {
+                // A trial that cannot complete is pruned like a TOQ
+                // failure (Alg. 1, line 10).
+                failed = Some(target);
+                break;
+            };
             kernel_time_map.push((target, eval.kernel_time));
             if eval.quality < self.toq {
                 failed = Some(target);
@@ -263,16 +283,17 @@ impl<'a> PreScaler<'a> {
                 target,
                 &wire_types,
             );
-            let kernel_time = kernel_time_map
+            let Some(kernel_time) = kernel_time_map
                 .iter()
                 .find(|(t, _)| *t == target)
                 .map(|(_, kt)| *kt)
-                .expect("every accepted target was measured");
+            else {
+                // Accepted targets are always measured; guard anyway so a
+                // bookkeeping slip can never panic the search.
+                continue;
+            };
             let expected = self.expected_transfer_time(profile, &candidate) + kernel_time;
-            if wildcard_best
-                .as_ref()
-                .is_none_or(|(_, t, _)| expected < *t)
-            {
+            if wildcard_best.as_ref().is_none_or(|(_, t, _)| expected < *t) {
                 wildcard_best = Some((candidate, expected, target));
             }
         }
@@ -285,16 +306,19 @@ impl<'a> PreScaler<'a> {
                 // Verify by execution when the wildcard is numerically
                 // risky (failed type as wire, or a wire narrower than both
                 // endpoints); otherwise adopt it on predicted time and
-                // measure it to keep the running evaluation grounded.
-                let eval = self.evaluate(app, profile, &wc_config)?;
+                // measure it to keep the running evaluation grounded. A
+                // verification run that cannot complete simply rejects
+                // the wildcard.
                 trials += 1;
-                if eval.quality >= self.toq && eval.time < normal_best.1.time {
-                    return Ok((wc_config, eval, trials));
+                if let Some(eval) = self.try_evaluate(app, profile, &wc_config) {
+                    if eval.quality >= self.toq && eval.time < normal_best.1.time {
+                        return (wc_config, eval, trials);
+                    }
                 }
             }
         }
 
-        Ok((normal_best.0, normal_best.1, trials))
+        (normal_best.0, normal_best.1, trials)
     }
 
     /// Applies `target` to one object in a spec, choosing the best direct
@@ -308,11 +332,9 @@ impl<'a> PreScaler<'a> {
         target: Precision,
         _unused: bool,
     ) -> ScalingSpec {
-        let obj = profile
-            .scaling_order
-            .iter()
-            .find(|o| o.label == label)
-            .expect("object from profile");
+        let Some(obj) = profile.scaling_order.iter().find(|o| o.label == label) else {
+            return spec; // unknown object: leave the spec untouched
+        };
         self.apply_object_target_with_wires(spec, profile, label, target, &[obj.original, target])
     }
 
@@ -326,11 +348,9 @@ impl<'a> PreScaler<'a> {
         target: Precision,
         wires: &[Precision],
     ) -> ScalingSpec {
-        let obj = profile
-            .scaling_order
-            .iter()
-            .find(|o| o.label == label)
-            .expect("object from profile");
+        let Some(obj) = profile.scaling_order.iter().find(|o| o.label == label) else {
+            return spec; // unknown object: leave the spec untouched
+        };
 
         if target == obj.original {
             spec.object_targets.remove(label);
@@ -340,8 +360,7 @@ impl<'a> PreScaler<'a> {
 
         if obj.written {
             if let Some((key, _)) =
-                self.db
-                    .best_plan(Direction::HtoD, obj.original, target, obj.elems, wires)
+                self.best_plan_or_analytic(Direction::HtoD, obj.original, target, obj.elems, wires)
             {
                 spec.write_plans.insert(
                     label.to_owned(),
@@ -356,8 +375,7 @@ impl<'a> PreScaler<'a> {
         }
         if obj.read_back {
             if let Some((key, _)) =
-                self.db
-                    .best_plan(Direction::DtoH, target, obj.original, obj.elems, wires)
+                self.best_plan_or_analytic(Direction::DtoH, target, obj.original, obj.elems, wires)
             {
                 spec.read_plans.insert(
                     label.to_owned(),
@@ -386,7 +404,7 @@ impl<'a> PreScaler<'a> {
                     .get(&obj.label)
                     .map(|p| vec![p.intermediate])
                     .unwrap_or_else(|| vec![obj.original.min(target)]);
-                if let Some((_, t)) = self.db.best_plan(
+                if let Some((_, t)) = self.best_plan_or_analytic(
                     Direction::HtoD,
                     obj.original,
                     target,
@@ -402,7 +420,7 @@ impl<'a> PreScaler<'a> {
                     .get(&obj.label)
                     .map(|p| vec![p.intermediate])
                     .unwrap_or_else(|| vec![obj.original.min(target)]);
-                if let Some((_, t)) = self.db.best_plan(
+                if let Some((_, t)) = self.best_plan_or_analytic(
                     Direction::DtoH,
                     target,
                     obj.original,
@@ -416,19 +434,92 @@ impl<'a> PreScaler<'a> {
         total
     }
 
-    /// Runs one configuration and scores it against the reference.
+    /// Database lookup with an analytic safety net: when the inspector DB
+    /// cannot answer (missing or corrupted curves), the best plan is
+    /// recomputed directly from the transfer cost model. Degraded mode
+    /// costs more per decision but never blocks the search.
+    fn best_plan_or_analytic(
+        &self,
+        direction: Direction,
+        src: Precision,
+        dst: Precision,
+        elems: usize,
+        wires: &[Precision],
+    ) -> Option<(PlanKey, SimTime)> {
+        if let Some(hit) = self.db.best_plan(direction, src, dst, elems, wires) {
+            return Some(hit);
+        }
+        let mut best: Option<(PlanKey, SimTime)> = None;
+        for &intermediate in wires {
+            if !valid_intermediate(src, intermediate, dst) {
+                continue;
+            }
+            let host_leg_exists = match direction {
+                Direction::HtoD => src != intermediate,
+                Direction::DtoH => intermediate != dst,
+            };
+            let methods = if host_leg_exists {
+                SystemInspector::candidate_methods(self.system)
+            } else {
+                vec![HostMethod::Loop]
+            };
+            for host_method in methods {
+                let key = PlanKey {
+                    direction,
+                    src,
+                    intermediate,
+                    dst,
+                    host_method,
+                };
+                let t = key.plan().time(self.system, elems).total();
+                if best.as_ref().is_none_or(|(_, bt)| t < *bt) {
+                    best = Some((key, t));
+                }
+            }
+        }
+        best
+    }
+
+    /// Runs one configuration on `system` and scores it against the
+    /// reference. Output quality is clamped to 0 when the metric is not
+    /// finite: corrupted (NaN-poisoned) outputs must read as a failure,
+    /// not sneak past `quality < toq` comparisons.
+    fn evaluate_on(
+        &self,
+        system: &SystemModel,
+        app: &dyn HostApp,
+        profile: &AppProfile,
+        spec: &ScalingSpec,
+    ) -> Result<Evaluation, OclError> {
+        let (outputs, log) = run_app(app, system, spec)?;
+        let raw = output_quality(&profile.reference, &outputs);
+        Ok(Evaluation {
+            time: log.timeline.total(),
+            kernel_time: log.timeline.kernel,
+            quality: if raw.is_finite() { raw } else { 0.0 },
+        })
+    }
+
+    /// Runs one configuration on the tuner's (possibly faulty) system.
     fn evaluate(
         &self,
         app: &dyn HostApp,
         profile: &AppProfile,
         spec: &ScalingSpec,
     ) -> Result<Evaluation, OclError> {
-        let (outputs, log) = run_app(app, self.system, spec)?;
-        Ok(Evaluation {
-            time: log.timeline.total(),
-            kernel_time: log.timeline.kernel,
-            quality: output_quality(&profile.reference, &outputs),
-        })
+        self.evaluate_on(self.system, app, profile, spec)
+    }
+
+    /// A candidate trial that cannot complete (retries exhausted, timeout)
+    /// yields `None`, which every caller prunes exactly like a TOQ
+    /// failure — a fault can cost performance, never a panic.
+    fn try_evaluate(
+        &self,
+        app: &dyn HostApp,
+        profile: &AppProfile,
+        spec: &ScalingSpec,
+    ) -> Option<Evaluation> {
+        self.evaluate(app, profile, spec).ok()
     }
 }
 
@@ -457,7 +548,11 @@ mod tests {
             r.baseline_time,
             r.eval.time
         );
-        assert!(r.trials >= 4, "profile + PFP + tree trials, got {}", r.trials);
+        assert!(
+            r.trials >= 4,
+            "profile + PFP + tree trials, got {}",
+            r.trials
+        );
         assert!(!r.config.is_baseline(), "some object must have been scaled");
     }
 

@@ -41,10 +41,7 @@ pub fn tree(objects: &[ObjectSpace], conv_methods: u64) -> f64 {
 /// Equation 3: the inspector-pruned space `#MObj × (1 + #Conv_Type)`.
 #[must_use]
 pub fn pruned(objects: &[ObjectSpace]) -> f64 {
-    objects
-        .iter()
-        .map(|o| 1.0 + o.conv_types as f64)
-        .sum()
+    objects.iter().map(|o| 1.0 + o.conv_types as f64).sum()
 }
 
 /// Extracts the per-object space parameters from a profile. Objects with

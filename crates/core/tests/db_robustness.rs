@@ -1,0 +1,100 @@
+//! Robustness of the inspector database's on-disk persistence: damaged
+//! files must surface as clean errors or degraded-but-safe lookups, never
+//! as panics.
+
+use prescaler_core::{InspectorDb, SystemInspector};
+use prescaler_ir::Precision;
+use prescaler_sim::{Direction, SystemModel};
+use std::path::PathBuf;
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("prescaler_db_robustness");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Inspects system 1 and saves the database, returning its path and the
+/// serialized JSON text for surgical corruption.
+fn saved_json(name: &str) -> (PathBuf, String) {
+    let db = SystemInspector::inspect(&SystemModel::system1());
+    let path = temp_path(name);
+    db.save(&path).unwrap();
+    let json = std::fs::read_to_string(&path).unwrap();
+    (path, json)
+}
+
+#[test]
+fn round_trip_is_lossless() {
+    let db = SystemInspector::inspect(&SystemModel::system1());
+    let path = temp_path("round_trip.json");
+    db.save(&path).unwrap();
+    let loaded = InspectorDb::load(&path).unwrap();
+    assert_eq!(db, loaded);
+    assert_eq!(loaded.corrupt_curve_count(), 0);
+    let q = |d: &InspectorDb| {
+        d.best_direct_plan(Direction::HtoD, Precision::Double, Precision::Half, 1 << 18)
+            .unwrap()
+    };
+    assert_eq!(q(&db), q(&loaded));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_file_is_a_clean_error() {
+    let (path, json) = saved_json("truncated.json");
+    std::fs::write(&path, &json[..json.len() / 2]).unwrap();
+    let err = InspectorDb::load(&path).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn negative_timing_is_detected_and_routed_around() {
+    let (path, json) = saved_json("negative.json");
+    // Replace the first sample of the first curve with a negative time.
+    let marker = "\"times\":[";
+    let start = json.find(marker).expect("a times array") + marker.len();
+    let end = start + json[start..].find(',').expect("more than one sample");
+    let corrupted = format!("{}-1.0{}", &json[..start], &json[end..]);
+    std::fs::write(&path, corrupted).unwrap();
+    // Structurally intact, so the load succeeds…
+    let db = InspectorDb::load(&path).unwrap();
+    // …with exactly the poisoned curve flagged…
+    assert_eq!(db.corrupt_curve_count(), 1);
+    // …and every query still answers with finite, non-negative times.
+    for src in Precision::ALL {
+        for dst in Precision::ALL {
+            if let Some((_, t)) = db.best_plan(Direction::HtoD, src, dst, 1 << 16, &Precision::ALL)
+            {
+                assert!(t.as_secs().is_finite() && t.as_secs() >= 0.0);
+            }
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn unknown_method_key_is_a_clean_error() {
+    let (path, json) = saved_json("unknown_method.json");
+    let corrupted = json.replacen("\"host_method\":\"Loop\"", "\"host_method\":\"Warp\"", 1);
+    assert_ne!(corrupted, json, "fixture must contain a Loop method");
+    std::fs::write(&path, corrupted).unwrap();
+    let err = InspectorDb::load(&path).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("Warp"), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn empty_grid_is_rejected_at_load() {
+    let (path, json) = saved_json("empty_grid.json");
+    let marker = "\"grid\":[";
+    let start = json.find(marker).expect("grid array") + marker.len();
+    let end = start + json[start..].find(']').expect("grid closes");
+    let corrupted = format!("{}{}", &json[..start], &json[end..]);
+    std::fs::write(&path, corrupted).unwrap();
+    let err = InspectorDb::load(&path).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("empty measurement grid"), "{err}");
+    std::fs::remove_file(&path).ok();
+}

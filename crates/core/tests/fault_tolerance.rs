@@ -1,0 +1,86 @@
+//! Graceful-degradation guarantees of the full tuning pipeline under
+//! seeded fault injection: whatever the fault plan, `tune` never panics,
+//! and the configuration it returns meets TOQ (or is the full-precision
+//! fallback) and is never slower than the clean baseline.
+
+use prescaler_core::{PreScaler, SystemInspector};
+use prescaler_polybench::{BenchKind, PolyApp};
+use prescaler_sim::{FaultPlan, SystemModel};
+use proptest::prelude::*;
+
+const TOQ: f64 = 0.9;
+const BENCHES: [BenchKind; 3] = [BenchKind::Gemm, BenchKind::Atax, BenchKind::Mvt];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+    #[test]
+    fn tune_degrades_gracefully_under_any_fault_plan(
+        seed in any::<u64>(),
+        transfer in 0.0f64..0.2,
+        launch in 0.0f64..0.2,
+        corruption in 0.0f64..0.2,
+        db_corruption in 0.0f64..0.2,
+        noise in 0.0f64..0.4,
+        bench in 0usize..3,
+    ) {
+        let plan = FaultPlan::seeded(seed)
+            .with_transfer_failures(transfer)
+            .with_launch_failures(launch)
+            .with_buffer_corruption(corruption)
+            .with_db_corruption(db_corruption)
+            .with_clock_noise(noise);
+        let system = SystemModel::system1().with_faults(plan);
+        // The inspector itself runs on the faulty system: its database
+        // may carry corrupted curves the search must route around.
+        let db = SystemInspector::inspect(&system);
+        let app = PolyApp::tiny(BENCHES[bench]);
+        // Never panics, never errors: the only propagated failure source
+        // is the baseline run, and it executes on the clean twin.
+        let tuned = PreScaler::new(&system, &db, TOQ).tune(&app).unwrap();
+        prop_assert!(
+            tuned.eval.quality >= TOQ || tuned.config.is_baseline(),
+            "quality {} without baseline fallback",
+            tuned.eval.quality
+        );
+        // Never worse than the full-precision baseline on the clean
+        // system.
+        prop_assert!(
+            tuned.eval.time <= tuned.baseline_time,
+            "chosen config slower than baseline: {} > {}",
+            tuned.eval.time,
+            tuned.baseline_time
+        );
+        prop_assert!(tuned.speedup() >= 1.0);
+    }
+}
+
+#[test]
+fn disabled_fault_plan_is_bit_identical_to_no_faults() {
+    let clean = SystemModel::system1();
+    let disabled = SystemModel::system1().with_faults(
+        FaultPlan::seeded(42)
+            .with_transfer_failures(0.0)
+            .with_launch_failures(0.0)
+            .with_buffer_corruption(0.0)
+            .with_db_corruption(0.0)
+            .with_clock_noise(0.0),
+    );
+    let db_a = SystemInspector::inspect(&clean);
+    let db_b = SystemInspector::inspect(&disabled);
+    assert_eq!(db_a, db_b);
+
+    let app = PolyApp::tiny(BenchKind::Gemm);
+    let a = PreScaler::new(&clean, &db_a, TOQ).tune(&app).unwrap();
+    let b = PreScaler::new(&disabled, &db_b, TOQ).tune(&app).unwrap();
+    assert_eq!(a.config, b.config);
+    assert_eq!(
+        a.eval.time.as_secs().to_bits(),
+        b.eval.time.as_secs().to_bits()
+    );
+    assert_eq!(a.eval.quality.to_bits(), b.eval.quality.to_bits());
+    assert_eq!(
+        a.baseline_time.as_secs().to_bits(),
+        b.baseline_time.as_secs().to_bits()
+    );
+    assert_eq!(a.trials, b.trials);
+}

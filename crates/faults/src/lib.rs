@@ -1,0 +1,499 @@
+//! Deterministic, seeded fault injection for the PreScaler pipeline.
+//!
+//! Real heterogeneous systems fail in ways the simulator's happy path never
+//! exercises: transfers abort transiently, kernel launches bounce, device
+//! memory bit-flips into NaN/Inf, the hours-old inspector database rots on
+//! disk, and every timing measurement carries noise. This crate models all
+//! five as a [`FaultPlan`] — a pure seeded configuration threaded through
+//! `SystemModel` into the runtime — so robustness scenarios are exactly
+//! reproducible: the same seed yields the same fault sequence on every run.
+//!
+//! # Design
+//!
+//! A plan holds per-[`FaultKind`] *rates* plus a seed. Each injection site
+//! asks the plan a question (`transfer_fails()`, `corrupt_buffer()`, ...);
+//! the plan hashes `(seed, kind, site-counter)` with splitmix64 and compares
+//! against the rate. Counters are shared across clones through an [`Arc`],
+//! so the `SystemModel` clone living inside a `Session` draws from the same
+//! deterministic stream as the original.
+//!
+//! An inert plan (every rate zero, the default) is guaranteed to leave the
+//! pipeline bit-identical to a build without fault hooks: every query
+//! short-circuits before touching its counter, and the noise factor is
+//! exactly `1.0`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The categories of injected fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A host↔device transfer aborts transiently.
+    Transfer,
+    /// A kernel launch bounces transiently.
+    KernelLaunch,
+    /// A transferred buffer element is poisoned with NaN/Inf.
+    BufferCorruption,
+    /// An inspector-database timing entry is corrupted.
+    DbGridCorruption,
+    /// A virtual-clock measurement picks up multiplicative noise.
+    ClockNoise,
+}
+
+impl FaultKind {
+    const ALL: [FaultKind; 5] = [
+        FaultKind::Transfer,
+        FaultKind::KernelLaunch,
+        FaultKind::BufferCorruption,
+        FaultKind::DbGridCorruption,
+        FaultKind::ClockNoise,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultKind::Transfer => 0,
+            FaultKind::KernelLaunch => 1,
+            FaultKind::BufferCorruption => 2,
+            FaultKind::DbGridCorruption => 3,
+            FaultKind::ClockNoise => 4,
+        }
+    }
+
+    /// Domain-separation salt mixed into every draw for this kind.
+    fn salt(self) -> u64 {
+        // Arbitrary odd constants; distinct per kind.
+        [
+            0x9E6C_63D0_876A_3F35,
+            0xD1B5_4A32_D192_ED03,
+            0x8CB9_2BA7_2F3D_8DD7,
+            0xAAAA_AAAA_AAAA_AAAB,
+            0x6A09_E667_F3BC_C909,
+        ][self.index()]
+    }
+}
+
+/// The poison written into a corrupted buffer element.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Poison {
+    /// Quiet NaN.
+    Nan,
+    /// Positive infinity.
+    PosInf,
+    /// Negative infinity.
+    NegInf,
+}
+
+impl Poison {
+    /// The poisoned value.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        match self {
+            Poison::Nan => f64::NAN,
+            Poison::PosInf => f64::INFINITY,
+            Poison::NegInf => f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// A buffer-corruption event: which element to poison and with what.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Corruption {
+    /// Selector reduced modulo the buffer length by the injection site.
+    pub index_selector: u64,
+    /// The poison value.
+    pub poison: Poison,
+}
+
+/// Pure, comparable fault configuration (rates + seed).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the deterministic fault stream.
+    pub seed: u64,
+    /// Probability a transfer attempt aborts.
+    pub transfer_failure_rate: f64,
+    /// Probability a kernel-launch attempt bounces.
+    pub launch_failure_rate: f64,
+    /// Probability a transferred buffer gets one poisoned element.
+    pub buffer_corruption_rate: f64,
+    /// Probability an inspector-DB timing entry is corrupted.
+    pub db_corruption_rate: f64,
+    /// Relative amplitude of multiplicative clock noise (`0.1` = ±10%).
+    pub clock_noise: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            seed: 0,
+            transfer_failure_rate: 0.0,
+            launch_failure_rate: 0.0,
+            buffer_corruption_rate: 0.0,
+            db_corruption_rate: 0.0,
+            clock_noise: 0.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    fn rate(&self, kind: FaultKind) -> f64 {
+        match kind {
+            FaultKind::Transfer => self.transfer_failure_rate,
+            FaultKind::KernelLaunch => self.launch_failure_rate,
+            FaultKind::BufferCorruption => self.buffer_corruption_rate,
+            FaultKind::DbGridCorruption => self.db_corruption_rate,
+            FaultKind::ClockNoise => self.clock_noise,
+        }
+    }
+
+    /// True when every rate is zero (no fault can ever fire).
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        FaultKind::ALL.iter().all(|k| self.rate(*k) <= 0.0)
+    }
+}
+
+/// A seeded fault-injection plan.
+///
+/// Clones share the per-site counters (and therefore the fault stream);
+/// equality, `Debug`, and serialization consider only the configuration.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    counters: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters([AtomicU64; 5]);
+
+impl PartialEq for FaultPlan {
+    fn eq(&self, other: &FaultPlan) -> bool {
+        self.config == other.config
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything (the default).
+    #[must_use]
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan with the given configuration.
+    #[must_use]
+    pub fn new(config: FaultConfig) -> FaultPlan {
+        FaultPlan {
+            config,
+            counters: Arc::default(),
+        }
+    }
+
+    /// Seeded plan with all rates zero; combine with the `with_*` builders.
+    #[must_use]
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan::new(FaultConfig {
+            seed,
+            ..FaultConfig::default()
+        })
+    }
+
+    /// Sets the transfer-failure rate.
+    #[must_use]
+    pub fn with_transfer_failures(mut self, rate: f64) -> FaultPlan {
+        self.config.transfer_failure_rate = rate;
+        self
+    }
+
+    /// Sets the kernel-launch-failure rate.
+    #[must_use]
+    pub fn with_launch_failures(mut self, rate: f64) -> FaultPlan {
+        self.config.launch_failure_rate = rate;
+        self
+    }
+
+    /// Sets the buffer-corruption rate.
+    #[must_use]
+    pub fn with_buffer_corruption(mut self, rate: f64) -> FaultPlan {
+        self.config.buffer_corruption_rate = rate;
+        self
+    }
+
+    /// Sets the inspector-DB corruption rate.
+    #[must_use]
+    pub fn with_db_corruption(mut self, rate: f64) -> FaultPlan {
+        self.config.db_corruption_rate = rate;
+        self
+    }
+
+    /// Sets the relative clock-noise amplitude.
+    #[must_use]
+    pub fn with_clock_noise(mut self, amplitude: f64) -> FaultPlan {
+        self.config.clock_noise = amplitude;
+        self
+    }
+
+    /// The plan's configuration.
+    #[must_use]
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// True when no fault can ever fire.
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        self.config.is_inert()
+    }
+
+    /// True when clock noise is enabled.
+    #[must_use]
+    pub fn has_clock_noise(&self) -> bool {
+        self.config.clock_noise > 0.0
+    }
+
+    /// Resets the fault stream to its beginning (counters to zero).
+    pub fn reset(&self) {
+        for c in &self.counters.0 {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Draws the next random bits for `kind`, advancing its counter.
+    fn draw(&self, kind: FaultKind) -> u64 {
+        let n = self.counters.0[kind.index()].fetch_add(1, Ordering::Relaxed);
+        splitmix64(self.config.seed ^ kind.salt() ^ splitmix64(n))
+    }
+
+    fn fires(&self, kind: FaultKind) -> bool {
+        let rate = self.config.rate(kind);
+        if rate <= 0.0 {
+            return false;
+        }
+        unit(self.draw(kind)) < rate
+    }
+
+    /// Does the next transfer attempt abort?
+    #[must_use]
+    pub fn transfer_fails(&self) -> bool {
+        self.fires(FaultKind::Transfer)
+    }
+
+    /// Does the next kernel-launch attempt bounce?
+    #[must_use]
+    pub fn launch_fails(&self) -> bool {
+        self.fires(FaultKind::KernelLaunch)
+    }
+
+    /// Should the next transferred buffer be poisoned — and if so, where
+    /// and with what?
+    #[must_use]
+    pub fn corrupt_buffer(&self) -> Option<Corruption> {
+        if !self.fires(FaultKind::BufferCorruption) {
+            return None;
+        }
+        let bits = self.draw(FaultKind::BufferCorruption);
+        let poison = match bits % 3 {
+            0 => Poison::Nan,
+            1 => Poison::PosInf,
+            _ => Poison::NegInf,
+        };
+        Some(Corruption {
+            index_selector: bits >> 2,
+            poison,
+        })
+    }
+
+    /// Is the next inspector-DB timing entry corrupted? Returns the bogus
+    /// value to store (NaN or a negative time).
+    #[must_use]
+    pub fn corrupt_db_entry(&self) -> Option<f64> {
+        if !self.fires(FaultKind::DbGridCorruption) {
+            return None;
+        }
+        let bits = self.draw(FaultKind::DbGridCorruption);
+        Some(if bits & 1 == 0 { f64::NAN } else { -1.0e-6 })
+    }
+
+    /// Multiplicative noise factor for the next timing measurement.
+    ///
+    /// Exactly `1.0` when noise is disabled; otherwise uniform in
+    /// `[1 - a, 1 + a]` clamped to stay positive.
+    #[must_use]
+    pub fn time_noise_factor(&self) -> f64 {
+        let a = self.config.clock_noise;
+        if a <= 0.0 {
+            return 1.0;
+        }
+        let u = unit(self.draw(FaultKind::ClockNoise));
+        (1.0 - a + 2.0 * a * u).max(0.05)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = &self.config;
+        if c.is_inert() {
+            return write!(f, "faults: none");
+        }
+        write!(
+            f,
+            "faults: seed={} transfer={} launch={} corrupt={} db={} noise={}",
+            c.seed,
+            c.transfer_failure_rate,
+            c.launch_failure_rate,
+            c.buffer_corruption_rate,
+            c.db_corruption_rate,
+            c.clock_noise
+        )
+    }
+}
+
+// Serialization covers the configuration only; counters restart at zero on
+// deserialization, which preserves the invariant that a freshly loaded
+// system replays the same fault stream from the top.
+impl serde::Serialize for FaultPlan {
+    fn serialize(&self, out: &mut String) {
+        let c = &self.config;
+        out.push_str("{\"seed\":");
+        serde::Serialize::serialize(&c.seed, out);
+        out.push_str(",\"transfer_failure_rate\":");
+        serde::Serialize::serialize(&c.transfer_failure_rate, out);
+        out.push_str(",\"launch_failure_rate\":");
+        serde::Serialize::serialize(&c.launch_failure_rate, out);
+        out.push_str(",\"buffer_corruption_rate\":");
+        serde::Serialize::serialize(&c.buffer_corruption_rate, out);
+        out.push_str(",\"db_corruption_rate\":");
+        serde::Serialize::serialize(&c.db_corruption_rate, out);
+        out.push_str(",\"clock_noise\":");
+        serde::Serialize::serialize(&c.clock_noise, out);
+        out.push('}');
+    }
+}
+
+impl serde::Deserialize for FaultPlan {
+    fn deserialize(v: &serde::json::Value) -> Result<FaultPlan, serde::json::Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::json::Error::new("expected object for FaultPlan"))?;
+        let f = |name: &str| -> Result<f64, serde::json::Error> {
+            match serde::json::get(entries, name) {
+                Some(v) => serde::Deserialize::deserialize(v),
+                None => Ok(0.0),
+            }
+        };
+        let seed = match serde::json::get(entries, "seed") {
+            Some(v) => serde::Deserialize::deserialize(v)?,
+            None => 0,
+        };
+        Ok(FaultPlan::new(FaultConfig {
+            seed,
+            transfer_failure_rate: f("transfer_failure_rate")?,
+            launch_failure_rate: f("launch_failure_rate")?,
+            buffer_corruption_rate: f("buffer_corruption_rate")?,
+            db_corruption_rate: f("db_corruption_rate")?,
+            clock_noise: f("clock_noise")?,
+        }))
+    }
+
+    fn missing(_field: &str) -> Result<FaultPlan, serde::json::Error> {
+        // A system serialized before fault injection existed simply has no
+        // faults — absent field means inert plan.
+        Ok(FaultPlan::none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_never_fires_and_has_unit_noise() {
+        let plan = FaultPlan::none();
+        for _ in 0..100 {
+            assert!(!plan.transfer_fails());
+            assert!(!plan.launch_fails());
+            assert!(plan.corrupt_buffer().is_none());
+            assert!(plan.corrupt_db_entry().is_none());
+            assert!(plan.time_noise_factor() == 1.0);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let collect =
+            |plan: &FaultPlan| -> Vec<bool> { (0..200).map(|_| plan.transfer_fails()).collect() };
+        let a = FaultPlan::seeded(42).with_transfer_failures(0.3);
+        let b = FaultPlan::seeded(42).with_transfer_failures(0.3);
+        assert_eq!(collect(&a), collect(&b));
+        let c = FaultPlan::seeded(43).with_transfer_failures(0.3);
+        assert_ne!(collect(&a), collect(&c));
+    }
+
+    #[test]
+    fn clones_share_the_stream() {
+        let a = FaultPlan::seeded(7).with_transfer_failures(0.5);
+        let b = a.clone();
+        // Interleaved draws across clones advance one shared counter; a
+        // fresh plan with the same seed replays the union of both.
+        let mut interleaved = Vec::new();
+        for _ in 0..100 {
+            interleaved.push(a.transfer_fails());
+            interleaved.push(b.transfer_fails());
+        }
+        let fresh = FaultPlan::seeded(7).with_transfer_failures(0.5);
+        let replay: Vec<bool> = (0..200).map(|_| fresh.transfer_fails()).collect();
+        assert_eq!(interleaved, replay);
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let plan = FaultPlan::seeded(1).with_transfer_failures(0.25);
+        let fired = (0..10_000).filter(|_| plan.transfer_fails()).count();
+        assert!((2000..3000).contains(&fired), "fired {fired}/10000");
+    }
+
+    #[test]
+    fn noise_factor_stays_within_amplitude() {
+        let plan = FaultPlan::seeded(3).with_clock_noise(0.2);
+        for _ in 0..1000 {
+            let f = plan.time_noise_factor();
+            assert!((0.8..=1.2).contains(&f), "{f}");
+        }
+    }
+
+    #[test]
+    fn reset_replays_from_the_top() {
+        let plan = FaultPlan::seeded(11).with_launch_failures(0.4);
+        let first: Vec<bool> = (0..50).map(|_| plan.launch_fails()).collect();
+        plan.reset();
+        let second: Vec<bool> = (0..50).map(|_| plan.launch_fails()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn plan_round_trips_through_serde() {
+        let plan = FaultPlan::seeded(9)
+            .with_transfer_failures(0.1)
+            .with_clock_noise(0.05);
+        let mut out = String::new();
+        serde::Serialize::serialize(&plan, &mut out);
+        let v = serde::json::parse(&out).unwrap();
+        let back: FaultPlan = serde::Deserialize::deserialize(&v).unwrap();
+        assert_eq!(plan, back);
+        // Missing field (old snapshots) deserializes to the inert plan.
+        let missing: FaultPlan = serde::Deserialize::missing("faults").unwrap();
+        assert!(missing.is_inert());
+    }
+}

@@ -7,7 +7,9 @@
 
 use crate::F16;
 use core::iter::{Product, Sum};
-use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Rem, RemAssign, Sub, SubAssign};
+use core::ops::{
+    Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Rem, RemAssign, Sub, SubAssign,
+};
 
 macro_rules! widen_binop {
     ($trait_:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $op:tt) => {
@@ -117,7 +119,10 @@ mod tests {
     #[test]
     fn addition_saturates_to_infinity_in_range_overflow() {
         let big = F16::MAX;
-        assert!(!(big + F16::ONE).is_infinite(), "65504+1 rounds back to MAX");
+        assert!(
+            !(big + F16::ONE).is_infinite(),
+            "65504+1 rounds back to MAX"
+        );
         assert!((big + big).is_infinite());
         assert!((h(40000.0) + h(40000.0)).is_infinite());
     }
@@ -125,7 +130,10 @@ mod tests {
     #[test]
     fn multiplication_loses_small_products_to_zero() {
         let tiny = F16::MIN_POSITIVE_SUBNORMAL;
-        assert!((tiny * tiny).is_zero(), "underflow flushes to zero by rounding");
+        assert!(
+            (tiny * tiny).is_zero(),
+            "underflow flushes to zero by rounding"
+        );
     }
 
     #[test]
@@ -145,9 +153,7 @@ mod tests {
 
     #[test]
     fn nan_propagates_through_all_ops() {
-        for f in [Add::add, Sub::sub, Mul::mul, Div::div, Rem::rem]
-            as [fn(F16, F16) -> F16; 5]
-        {
+        for f in [Add::add, Sub::sub, Mul::mul, Div::div, Rem::rem] as [fn(F16, F16) -> F16; 5] {
             assert!(f(F16::NAN, h(1.0)).is_nan());
             assert!(f(h(1.0), F16::NAN).is_nan());
         }

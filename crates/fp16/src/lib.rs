@@ -388,7 +388,13 @@ mod tests {
             F16::NAN,
         ];
         for w in order.windows(2) {
-            assert_eq!(w[0].total_cmp(w[1]), Ordering::Less, "{:?} < {:?}", w[0], w[1]);
+            assert_eq!(
+                w[0].total_cmp(w[1]),
+                Ordering::Less,
+                "{:?} < {:?}",
+                w[0],
+                w[1]
+            );
         }
     }
 

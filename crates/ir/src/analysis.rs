@@ -601,9 +601,7 @@ fn promoted_abs(a: AbsVal, b: AbsVal) -> Precision {
 fn counts_for_bin(op: FloatBinOp, p: Precision, counts: &mut OpCounts) {
     let slot = counts.at_mut(p);
     match op {
-        FloatBinOp::Add | FloatBinOp::Sub | FloatBinOp::Min | FloatBinOp::Max => {
-            slot.add_sub += 1
-        }
+        FloatBinOp::Add | FloatBinOp::Sub | FloatBinOp::Min | FloatBinOp::Max => slot.add_sub += 1,
         FloatBinOp::Mul => slot.mul += 1,
         FloatBinOp::Div => slot.div += 1,
     }
@@ -631,10 +629,10 @@ mod tests {
     use super::*;
     use crate::array::FloatVec;
     use crate::ast::Access;
+    use crate::ast::TypeRef;
     use crate::dsl::*;
     use crate::interp::{run_kernel, BufferMap};
     use crate::typeck::check_kernel;
-    use crate::ast::TypeRef;
 
     /// Runs both the interpreter and the analysis and asserts identical
     /// counts.
@@ -783,10 +781,14 @@ mod tests {
             .buffer("a", Precision::Double, Access::Read)
             .buffer("c", Precision::Double, Access::Write)
             .body(vec![
-                let_ty("m", ScalarType::Int, Expr::Cast {
-                    to: TypeRef::Concrete(ScalarType::Int),
-                    arg: Box::new(load("a", int(0))),
-                }),
+                let_ty(
+                    "m",
+                    ScalarType::Int,
+                    Expr::Cast {
+                        to: TypeRef::Concrete(ScalarType::Int),
+                        arg: Box::new(load("a", int(0))),
+                    },
+                ),
                 for_("j", int(0), var("m"), vec![store("c", var("j"), flit(0.0))]),
             ]);
         check_kernel(&k).unwrap();

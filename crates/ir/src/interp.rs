@@ -125,7 +125,10 @@ impl fmt::Display for ExecError {
                 write!(f, "argument `{n}` has the wrong kind (int vs float)")
             }
             ExecError::OutOfBounds { buf, index, len } => {
-                write!(f, "index {index} out of bounds for buffer `{buf}` (len {len})")
+                write!(
+                    f,
+                    "index {index} out of bounds for buffer `{buf}` (len {len})"
+                )
             }
         }
     }
@@ -233,7 +236,10 @@ impl<'a> Interp<'a> {
         Ok(())
     }
 
-    fn scope<T>(&mut self, f: impl FnOnce(&mut Self) -> Result<T, ExecError>) -> Result<T, ExecError> {
+    fn scope<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, ExecError>,
+    ) -> Result<T, ExecError> {
         self.locals.push(HashMap::new());
         let r = f(self);
         self.locals.pop();
@@ -607,7 +613,17 @@ mod tests {
         let mut bufs = BufferMap::new();
         bufs.insert("x".into(), FloatVec::zeros(4, Precision::Double));
         let err = run_kernel(&k, &mut bufs, &Launch::one_d(8)).unwrap_err();
-        assert!(matches!(err, ExecError::OutOfBounds { index: 4, len: 4, .. }), "{err}");
+        assert!(
+            matches!(
+                err,
+                ExecError::OutOfBounds {
+                    index: 4,
+                    len: 4,
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]
@@ -648,8 +664,14 @@ mod tests {
             ]);
         check_kernel(&k).unwrap();
         let mut bufs = BufferMap::new();
-        bufs.insert("a".into(), FloatVec::from_f64_slice(&[1.5; 4], Precision::Half));
-        bufs.insert("b".into(), FloatVec::from_f64_slice(&[2.0; 4], Precision::Single));
+        bufs.insert(
+            "a".into(),
+            FloatVec::from_f64_slice(&[1.5; 4], Precision::Half),
+        );
+        bufs.insert(
+            "b".into(),
+            FloatVec::from_f64_slice(&[2.0; 4], Precision::Single),
+        );
         bufs.insert("c".into(), FloatVec::zeros(4, Precision::Double));
         let counts = run_kernel(&k, &mut bufs, &Launch::one_d(4)).unwrap();
         assert_eq!(counts.at(Precision::Single).mul, 4, "promoted to single");
@@ -671,7 +693,10 @@ mod tests {
             ]);
         check_kernel(&k).unwrap();
         let mut bufs = BufferMap::new();
-        bufs.insert("a".into(), FloatVec::from_f64_slice(&[3.0; 2], Precision::Double));
+        bufs.insert(
+            "a".into(),
+            FloatVec::from_f64_slice(&[3.0; 2], Precision::Double),
+        );
         bufs.insert("c".into(), FloatVec::zeros(2, Precision::Double));
         let counts = run_kernel(&k, &mut bufs, &Launch::one_d(2)).unwrap();
         assert_eq!(counts.at(Precision::Half).mul, 2);

@@ -56,9 +56,9 @@ pub mod parse;
 pub mod passes;
 pub mod print;
 pub mod typeck;
-pub mod vm;
 pub mod types;
 pub mod value;
+pub mod vm;
 
 pub use array::FloatVec;
 pub use ast::{Access, Expr, Ident, Kernel, Param, Program, Stmt, TypeRef};

@@ -35,7 +35,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -108,8 +112,8 @@ fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
     let mut col = 1usize;
 
     let puncts: [&'static str; 24] = [
-        "<=", ">=", "==", "!=", "++", "(", ")", "{", "}", "[", "]", ";", ",", "?", ":", "<",
-        ">", "=", "+", "-", "*", "/", ".", "!",
+        "<=", ">=", "==", "!=", "++", "(", ")", "{", "}", "[", "]", ";", ",", "?", ":", "<", ">",
+        "=", "+", "-", "*", "/", ".", "!",
     ];
 
     while i < bytes.len() {
@@ -134,8 +138,7 @@ fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
         }
         let (tline, tcol) = (line, col);
         // Numbers.
-        if c.is_ascii_digit()
-            || (c == '.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit())
+        if c.is_ascii_digit() || (c == '.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit())
         {
             let start = i;
             let mut is_float = false;
@@ -356,9 +359,8 @@ impl Parser {
         let is_const = self.eat_kw("const");
         if self.eat_kw("__global") {
             let ty = self.ident()?;
-            let elem = precision(&ty).ok_or_else(|| {
-                self.err(format!("`{ty}` is not a float element type"))
-            })?;
+            let elem = precision(&ty)
+                .ok_or_else(|| self.err(format!("`{ty}` is not a float element type")))?;
             self.expect_punct("*")?;
             let name = self.ident()?;
             return Ok(Param::Buffer {
@@ -375,8 +377,7 @@ impl Parser {
             return Err(self.err("`const` scalar parameters are not supported"));
         }
         let ty = self.ident()?;
-        let st =
-            scalar_type(&ty).ok_or_else(|| self.err(format!("unknown type `{ty}`")))?;
+        let st = scalar_type(&ty).ok_or_else(|| self.err(format!("unknown type `{ty}`")))?;
         let name = self.ident()?;
         Ok(Param::Scalar {
             name,

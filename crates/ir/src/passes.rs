@@ -327,10 +327,7 @@ fn known_bool(e: &Expr) -> Option<bool> {
 }
 
 fn is_int_expr(e: &Expr) -> bool {
-    matches!(
-        e,
-        Expr::IntConst(_) | Expr::GlobalId(_)
-    )
+    matches!(e, Expr::IntConst(_) | Expr::GlobalId(_))
 }
 
 fn apply_int(op: FloatBinOp, x: i64, y: i64) -> i64 {
@@ -512,11 +509,7 @@ mod tests {
     fn const_fold_folds_integer_arithmetic() {
         let k = kernel("f")
             .buffer("c", Precision::Double, Access::Write)
-            .body(vec![store(
-                "c",
-                int(2) * int(3) + int(1),
-                flit(1.0),
-            )]);
+            .body(vec![store("c", int(2) * int(3) + int(1), flit(1.0))]);
         let f = const_fold(&k);
         match &f.body[0] {
             Stmt::Store { index, .. } => assert_eq!(index, &Expr::IntConst(7)),

@@ -104,7 +104,12 @@ fn stmt(out: &mut String, s: &Stmt, depth: usize, kernel: &Kernel) {
             let _ = writeln!(out, "{name} = {};", expr(value, kernel));
         }
         Stmt::Store { buf, index, value } => {
-            let _ = writeln!(out, "{buf}[{}] = {};", expr(index, kernel), expr(value, kernel));
+            let _ = writeln!(
+                out,
+                "{buf}[{}] = {};",
+                expr(index, kernel),
+                expr(value, kernel)
+            );
         }
         Stmt::For {
             var,
@@ -173,9 +178,7 @@ fn expr(e: &Expr, kernel: &Kernel) -> String {
             op.c_symbol(),
             expr(rhs, kernel)
         ),
-        Expr::Cast { to, arg } =>
-
-            format!("({})({})", type_ref(kernel, to), expr(arg, kernel)),
+        Expr::Cast { to, arg } => format!("({})({})", type_ref(kernel, to), expr(arg, kernel)),
         Expr::Select { cond, then, els } => format!(
             "({} ? {} : {})",
             expr(cond, kernel),
@@ -260,11 +263,7 @@ mod tests {
     fn min_max_print_as_calls() {
         let k = kernel("k")
             .buffer("c", Precision::Double, Access::ReadWrite)
-            .body(vec![store(
-                "c",
-                int(0),
-                max2(load("c", int(0)), flit(1.0)),
-            )]);
+            .body(vec![store("c", int(0), max2(load("c", int(0)), flit(1.0)))]);
         let src = kernel_to_string(&k);
         assert!(src.contains("max(c[0], 1.0)"), "{src}");
     }

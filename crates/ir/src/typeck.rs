@@ -34,7 +34,11 @@ impl TypeError {
 
 impl fmt::Display for TypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "type error in kernel `{}`: {}", self.kernel, self.message)
+        write!(
+            f,
+            "type error in kernel `{}`: {}",
+            self.kernel, self.message
+        )
     }
 }
 
@@ -79,10 +83,7 @@ pub fn check_program(program: &Program) -> Result<(), TypeError> {
     let mut seen = HashSet::new();
     for k in &program.kernels {
         if !seen.insert(k.name.as_str()) {
-            return Err(TypeError::new(
-                &k.name,
-                "duplicate kernel name in program",
-            ));
+            return Err(TypeError::new(&k.name, "duplicate kernel name in program"));
         }
         check_kernel(k)?;
     }
@@ -107,7 +108,11 @@ pub fn check_kernel(kernel: &Kernel) -> Result<(), TypeError> {
                 format!("duplicate parameter `{}`", p.name()),
             ));
         }
-        if let Param::Scalar { ty: TypeRef::ElemOf(buf), name } = p {
+        if let Param::Scalar {
+            ty: TypeRef::ElemOf(buf),
+            name,
+        } = p
+        {
             ensure_buffer(kernel, buf)
                 .map_err(|m| TypeError::new(&kernel.name, format!("parameter `{name}`: {m}")))?;
         }
@@ -171,7 +176,10 @@ impl Ctx<'_> {
         Ok(())
     }
 
-    fn scoped(&mut self, f: impl FnOnce(&mut Self) -> Result<(), TypeError>) -> Result<(), TypeError> {
+    fn scoped(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<(), TypeError>,
+    ) -> Result<(), TypeError> {
         self.scopes.push(HashMap::new());
         let r = f(self);
         self.scopes.pop();
@@ -287,27 +295,23 @@ impl Ctx<'_> {
                     });
                 }
                 match self.kernel.param(name) {
-                    Some(Param::Scalar { ty, .. }) => {
-                        Ok(InferTy::Known(self.kernel.resolve(ty)))
-                    }
+                    Some(Param::Scalar { ty, .. }) => Ok(InferTy::Known(self.kernel.resolve(ty))),
                     Some(Param::Buffer { .. }) => {
                         Err(self.err(format!("buffer `{name}` used as a scalar")))
                     }
                     None => Err(self.err(format!("unbound variable `{name}`"))),
                 }
             }
-            Expr::Load { buf, index } => {
-                match self.kernel.param(buf) {
-                    Some(Param::Buffer { access, elem, .. }) => {
-                        if !access.readable() {
-                            return Err(self.err(format!("load from write-only buffer `{buf}`")));
-                        }
-                        self.expect_int(index, "load index")?;
-                        Ok(InferTy::Known(ScalarType::Float(*elem)))
+            Expr::Load { buf, index } => match self.kernel.param(buf) {
+                Some(Param::Buffer { access, elem, .. }) => {
+                    if !access.readable() {
+                        return Err(self.err(format!("load from write-only buffer `{buf}`")));
                     }
-                    _ => Err(self.err(format!("load from unknown buffer `{buf}`"))),
+                    self.expect_int(index, "load index")?;
+                    Ok(InferTy::Known(ScalarType::Float(*elem)))
                 }
-            }
+                _ => Err(self.err(format!("load from unknown buffer `{buf}`"))),
+            },
             Expr::Unary { op, arg } => {
                 let at = self.infer(arg)?;
                 if !at.is_numeric() {
@@ -345,9 +349,9 @@ impl Ctx<'_> {
                         return Err(self.err("cast to bool is not allowed"))
                     }
                     TypeRef::Concrete(t) => *t,
-                    TypeRef::ElemOf(buf) => ScalarType::Float(
-                        ensure_buffer(self.kernel, buf).map_err(|m| self.err(m))?,
-                    ),
+                    TypeRef::ElemOf(buf) => {
+                        ScalarType::Float(ensure_buffer(self.kernel, buf).map_err(|m| self.err(m))?)
+                    }
                 };
                 Ok(InferTy::Known(target))
             }
@@ -372,14 +376,10 @@ impl Ctx<'_> {
         use InferTy::{Known, WeakFloat};
         use ScalarType::{Bool, Float, Int};
         match (a, b) {
-            (Known(Bool), _) | (_, Known(Bool)) => {
-                Err(self.err("boolean operand in arithmetic"))
-            }
+            (Known(Bool), _) | (_, Known(Bool)) => Err(self.err("boolean operand in arithmetic")),
             (Known(Int), Known(Int)) => Ok(Known(Int)),
             (Known(Float(x)), Known(Float(y))) => Ok(Known(Float(x.max(y)))),
-            (Known(Float(x)), Known(Int)) | (Known(Int), Known(Float(x))) => {
-                Ok(Known(Float(x)))
-            }
+            (Known(Float(x)), Known(Int)) | (Known(Int), Known(Float(x))) => Ok(Known(Float(x))),
             (WeakFloat, Known(Float(x))) | (Known(Float(x)), WeakFloat) => Ok(Known(Float(x))),
             // A weak literal against an int computes in double (C rules).
             (WeakFloat, Known(Int)) | (Known(Int), WeakFloat) => {
@@ -451,12 +451,7 @@ mod tests {
 
     #[test]
     fn assignment_to_loop_var_fails() {
-        let k = simple_kernel(vec![for_(
-            "i",
-            int(0),
-            int(4),
-            vec![assign("i", int(0))],
-        )]);
+        let k = simple_kernel(vec![for_("i", int(0), int(4), vec![assign("i", int(0))])]);
         assert!(check_kernel(&k).is_err());
     }
 
@@ -502,9 +497,7 @@ mod tests {
 
     #[test]
     fn elem_of_unknown_buffer_in_param_fails() {
-        let k = kernel("k")
-            .float_param_like("alpha", "ghost")
-            .body(vec![]);
+        let k = kernel("k").float_param_like("alpha", "ghost").body(vec![]);
         let e = check_kernel(&k).unwrap_err();
         assert!(e.to_string().contains("unknown buffer"), "{e}");
     }
@@ -519,10 +512,7 @@ mod tests {
 
     #[test]
     fn duplicate_param_names_fail() {
-        let k = kernel("k")
-            .int_param("n")
-            .int_param("n")
-            .body(vec![]);
+        let k = kernel("k").int_param("n").int_param("n").body(vec![]);
         assert!(check_kernel(&k).is_err());
     }
 

@@ -128,10 +128,7 @@ mod tests {
     fn precision_ordering_matches_width() {
         assert!(Precision::Half < Precision::Single);
         assert!(Precision::Single < Precision::Double);
-        assert_eq!(
-            Precision::ALL.map(Precision::size_bytes),
-            [2, 4, 8]
-        );
+        assert_eq!(Precision::ALL.map(Precision::size_bytes), [2, 4, 8]);
     }
 
     #[test]

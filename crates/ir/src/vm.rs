@@ -51,19 +51,45 @@ enum Op {
     /// `f[dst] = f[src]`.
     FMov { dst: FReg, src: FReg },
     /// Integer arithmetic.
-    IBin { op: FloatBinOp, dst: IReg, a: IReg, b: IReg },
+    IBin {
+        op: FloatBinOp,
+        dst: IReg,
+        a: IReg,
+        b: IReg,
+    },
     /// `i[dst] = i[a] + imm` (loop bookkeeping).
     IAddImm { dst: IReg, a: IReg, imm: i64 },
     /// Integer negate / abs.
     IUn { op: UnaryFn, dst: IReg, a: IReg },
     /// Integer comparison → 0/1.
-    ICmp { op: CmpOp, dst: IReg, a: IReg, b: IReg },
+    ICmp {
+        op: CmpOp,
+        dst: IReg,
+        a: IReg,
+        b: IReg,
+    },
     /// Float comparison (exact on the f64 representations) → 0/1.
-    FCmp { op: CmpOp, dst: IReg, a: FReg, b: FReg },
+    FCmp {
+        op: CmpOp,
+        dst: IReg,
+        a: FReg,
+        b: FReg,
+    },
     /// Float arithmetic at a precision.
-    FBin { prec: Precision, op: FloatBinOp, dst: FReg, a: FReg, b: FReg },
+    FBin {
+        prec: Precision,
+        op: FloatBinOp,
+        dst: FReg,
+        a: FReg,
+        b: FReg,
+    },
     /// Float unary function at a precision.
-    FUn { prec: Precision, op: UnaryFn, dst: FReg, a: FReg },
+    FUn {
+        prec: Precision,
+        op: UnaryFn,
+        dst: FReg,
+        a: FReg,
+    },
     /// Round to a (different) float precision.
     Cvt { prec: Precision, dst: FReg, a: FReg },
     /// Exact i64 → f64, then round to the precision.
@@ -75,9 +101,19 @@ enum Op {
     /// `buffers[buf][i[idx]] = f[src]` rounded to the element type.
     Store { buf: u16, idx: IReg, src: FReg },
     /// `f[dst] = i[cond] != 0 ? f[a] : f[b]`.
-    SelectF { cond: IReg, dst: FReg, a: FReg, b: FReg },
+    SelectF {
+        cond: IReg,
+        dst: FReg,
+        a: FReg,
+        b: FReg,
+    },
     /// `i[dst] = i[cond] != 0 ? i[a] : i[b]`.
-    SelectI { cond: IReg, dst: IReg, a: IReg, b: IReg },
+    SelectI {
+        cond: IReg,
+        dst: IReg,
+        a: IReg,
+        b: IReg,
+    },
     /// Add `counts_table[idx]` to the running counters.
     Count { idx: u32 },
     /// End of the work-item.
@@ -87,9 +123,19 @@ enum Op {
 /// How one kernel parameter binds at launch.
 #[derive(Clone, Debug, PartialEq)]
 enum ParamBind {
-    Buffer { name: String, elem: Precision },
-    ScalarInt { name: String, reg: IReg },
-    ScalarFloat { name: String, prec: Precision, reg: FReg },
+    Buffer {
+        name: String,
+        elem: Precision,
+    },
+    ScalarInt {
+        name: String,
+        reg: IReg,
+    },
+    ScalarFloat {
+        name: String,
+        prec: Precision,
+        reg: FReg,
+    },
 }
 
 /// A compiled kernel.
@@ -164,8 +210,7 @@ pub fn compile_kernel(kernel: &Kernel) -> CompiledKernel {
     for p in &kernel.params {
         match p {
             Param::Buffer { name, elem, .. } => {
-                c.buf_index
-                    .insert(name.clone(), c.params.len() as u16);
+                c.buf_index.insert(name.clone(), c.params.len() as u16);
                 c.params.push(ParamBind::Buffer {
                     name: name.clone(),
                     elem: *elem,
@@ -916,9 +961,7 @@ impl CompiledKernel {
                     let arg = find_arg(launch, name);
                     match arg {
                         Some(ArgValue::Float(v)) => fregs[*reg as usize] = round_to(*prec, v),
-                        Some(ArgValue::Int(v)) => {
-                            fregs[*reg as usize] = round_to(*prec, v as f64)
-                        }
+                        Some(ArgValue::Int(v)) => fregs[*reg as usize] = round_to(*prec, v as f64),
                         None => {
                             self.restore(buffers, bufs);
                             return Err(ExecError::MissingArg(name.clone()));
@@ -994,7 +1037,13 @@ impl CompiledKernel {
                             iregs[dst as usize] =
                                 i64::from(apply_fcmp(op, fregs[a as usize], fregs[b as usize]));
                         }
-                        Op::FBin { prec, op, dst, a, b } => {
+                        Op::FBin {
+                            prec,
+                            op,
+                            dst,
+                            a,
+                            b,
+                        } => {
                             fregs[dst as usize] =
                                 apply_fbin(prec, op, fregs[a as usize], fregs[b as usize]);
                         }
@@ -1216,7 +1265,14 @@ mod tests {
         bufs.insert("x".into(), FloatVec::zeros(4, Precision::Double));
         let compiled = compile_kernel(&k);
         let err = compiled.run(&mut bufs, &Launch::one_d(8)).unwrap_err();
-        assert!(matches!(err, ExecError::OutOfBounds { index: 4, len: 4, .. }));
+        assert!(matches!(
+            err,
+            ExecError::OutOfBounds {
+                index: 4,
+                len: 4,
+                ..
+            }
+        ));
         // Buffers are restored even on error.
         assert!(bufs.contains_key("x"));
     }

@@ -6,9 +6,9 @@
 
 use prescaler_ir::analysis::count_launch;
 use prescaler_ir::dsl::*;
+use prescaler_ir::interp::{run_kernel, BufferMap, Launch};
 use prescaler_ir::parse::parse_kernel;
 use prescaler_ir::print::kernel_to_string;
-use prescaler_ir::interp::{run_kernel, BufferMap, Launch};
 use prescaler_ir::typeck::check_kernel;
 use prescaler_ir::vm::compile_kernel;
 use prescaler_ir::{Access, Expr, FloatVec, Kernel, Precision, Stmt};
@@ -84,7 +84,7 @@ fn arb_float_expr(depth: u32, in_loop: bool, locals: bool) -> BoxedStrategy<Expr
         2 => (sub.clone(), sub.clone()).prop_map(|(a, b)| a + b),
         2 => (sub.clone(), sub.clone()).prop_map(|(a, b)| a * b),
         1 => (sub.clone(), sub.clone()).prop_map(|(a, b)| a - b),
-        1 => sub.clone().prop_map(|a| fabs(a)),
+        1 => sub.clone().prop_map(fabs),
         1 => sub.clone().prop_map(|a| sqrt(fabs(a))),
         1 => (arb_precision(), sub.clone()).prop_map(|(p, a)| cast(p, a)),
         // Select with a float condition: both engines evaluate both arms.
@@ -104,19 +104,14 @@ fn arb_stmts(depth: u32, in_loop: bool) -> BoxedStrategy<Vec<Stmt>> {
     let assign0 = arb_float_expr(2, in_loop, true).prop_map(|v| assign("t0", v));
     let assign1 = arb_float_expr(2, in_loop, true).prop_map(|v| assign("t1", v));
     if depth == 0 {
-        return proptest::collection::vec(
-            prop_oneof![store_stmt, assign0, assign1],
-            1..3,
-        )
-        .boxed();
+        return proptest::collection::vec(prop_oneof![store_stmt, assign0, assign1], 1..3).boxed();
     }
     let body = arb_stmts(depth - 1, true);
     let ibody = arb_stmts(depth - 1, in_loop);
-    let for_stmt = (arb_int_expr(0, in_loop), 1i64..4, body)
-        .prop_map(|(s, trips, b)| {
-            // Bounds may be negative → empty loops are exercised too.
-            for_("k", s.clone(), s + int(trips), b)
-        });
+    let for_stmt = (arb_int_expr(0, in_loop), 1i64..4, body).prop_map(|(s, trips, b)| {
+        // Bounds may be negative → empty loops are exercised too.
+        for_("k", s.clone(), s + int(trips), b)
+    });
     let if_stmt = (
         arb_int_expr(1, in_loop),
         arb_int_expr(1, in_loop),
@@ -154,8 +149,12 @@ fn arb_kernel() -> impl Strategy<Value = Kernel> {
 
 fn buffers(pa: Precision, pb: Precision) -> BufferMap {
     let mut m = BufferMap::new();
-    let xs: Vec<f64> = (0..BUF_LEN).map(|i| (i as f64 * 0.71).sin() * 3.0).collect();
-    let ys: Vec<f64> = (0..BUF_LEN).map(|i| (i as f64 * 0.37).cos() * 2.0).collect();
+    let xs: Vec<f64> = (0..BUF_LEN)
+        .map(|i| (i as f64 * 0.71).sin() * 3.0)
+        .collect();
+    let ys: Vec<f64> = (0..BUF_LEN)
+        .map(|i| (i as f64 * 0.37).cos() * 2.0)
+        .collect();
     m.insert("a".into(), FloatVec::from_f64_slice(&xs, pa));
     m.insert("b".into(), FloatVec::from_f64_slice(&ys, pb));
     m

@@ -101,9 +101,6 @@ mod tests {
         // 2*63 = 126 is exact in f16, so values still match here…
         assert_eq!(outs[0].1.get(63), 126.0);
         // …but the object really was stored as half on the device.
-        assert_eq!(
-            log.object("X").unwrap().device_precision,
-            Precision::Half
-        );
+        assert_eq!(log.object("X").unwrap().device_precision, Precision::Half);
     }
 }

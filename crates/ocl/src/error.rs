@@ -4,6 +4,7 @@ use core::fmt;
 use prescaler_ir::interp::ExecError;
 use prescaler_ir::typeck::TypeError;
 use prescaler_ir::Precision;
+use prescaler_sim::SimTime;
 
 /// An error raised by the mini OpenCL runtime.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +45,51 @@ pub enum OclError {
     BadKernel(TypeError),
     /// The kernel failed at execution time.
     Exec(ExecError),
+    /// A host↔device transfer aborted transiently (injected or modeled
+    /// hardware hiccup). Retryable.
+    TransferFault {
+        /// Memory-object label.
+        label: String,
+        /// 1-based attempt number that failed.
+        attempt: u32,
+    },
+    /// A kernel launch bounced transiently. Retryable.
+    LaunchFault {
+        /// Kernel name.
+        kernel: String,
+        /// 1-based attempt number that failed.
+        attempt: u32,
+    },
+    /// An operation kept failing transiently until the session's retry
+    /// budget was exhausted. Fatal.
+    RetriesExhausted {
+        /// Description of the operation ("write A", "launch gemm").
+        what: String,
+        /// Attempts made.
+        attempts: u32,
+    },
+    /// Retry backoff exceeded the session's per-operation time budget.
+    /// Fatal.
+    Timeout {
+        /// Description of the operation.
+        what: String,
+        /// The budget that was exceeded.
+        budget: SimTime,
+    },
+}
+
+impl OclError {
+    /// Whether the failure is transient: a caller (or the session's own
+    /// retry loop) may repeat the operation and expect it to succeed.
+    /// Fatal errors — exhausted retries, timeouts, and every structural
+    /// error — are not worth repeating.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            OclError::TransferFault { .. } | OclError::LaunchFault { .. }
+        )
+    }
 }
 
 impl fmt::Display for OclError {
@@ -59,10 +105,7 @@ impl fmt::Display for OclError {
                 label,
                 expected,
                 got,
-            } => write!(
-                f,
-                "host data for `{label}` is {got}, expected {expected}"
-            ),
+            } => write!(f, "host data for `{label}` is {got}, expected {expected}"),
             OclError::LengthMismatch {
                 label,
                 expected,
@@ -73,6 +116,18 @@ impl fmt::Display for OclError {
             ),
             OclError::BadKernel(e) => write!(f, "scaled kernel rejected: {e}"),
             OclError::Exec(e) => write!(f, "kernel execution failed: {e}"),
+            OclError::TransferFault { label, attempt } => {
+                write!(f, "transfer of `{label}` aborted (attempt {attempt})")
+            }
+            OclError::LaunchFault { kernel, attempt } => {
+                write!(f, "launch of `{kernel}` bounced (attempt {attempt})")
+            }
+            OclError::RetriesExhausted { what, attempts } => {
+                write!(f, "{what} still failing after {attempts} attempts")
+            }
+            OclError::Timeout { what, budget } => {
+                write!(f, "{what} timed out (budget {budget})")
+            }
         }
     }
 }
@@ -117,5 +172,37 @@ mod tests {
             got: Precision::Half,
         };
         assert!(e.to_string().contains("half"));
+    }
+
+    #[test]
+    fn taxonomy_splits_transient_from_fatal() {
+        let transient = [
+            OclError::TransferFault {
+                label: "A".into(),
+                attempt: 1,
+            },
+            OclError::LaunchFault {
+                kernel: "gemm".into(),
+                attempt: 2,
+            },
+        ];
+        for e in &transient {
+            assert!(e.is_retryable(), "{e}");
+        }
+        let fatal = [
+            OclError::RetriesExhausted {
+                what: "write A".into(),
+                attempts: 4,
+            },
+            OclError::Timeout {
+                what: "launch gemm".into(),
+                budget: SimTime::from_micros(50.0),
+            },
+            OclError::UnknownKernel("ghost".into()),
+            OclError::InvalidBuffer(3),
+        ];
+        for e in &fatal {
+            assert!(!e.is_retryable(), "{e}");
+        }
     }
 }

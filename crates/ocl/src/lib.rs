@@ -27,5 +27,5 @@ pub mod spec;
 pub use app::{run_app, HostApp, Outputs};
 pub use error::OclError;
 pub use profile::{Event, ObjectInfo, ProfileLog, Timeline};
-pub use session::{BufferId, KernelArg, Session};
+pub use session::{BufferId, KernelArg, RetryPolicy, Session};
 pub use spec::{PlanChoice, ScalingSpec};

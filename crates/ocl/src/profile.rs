@@ -17,13 +17,21 @@ pub struct Timeline {
     pub host_convert: SimTime,
     /// Device-side conversion time (attributed to its transfer).
     pub device_convert: SimTime,
+    /// Retry backoff paid riding out transient faults (zero on a clean
+    /// run).
+    pub fault_overhead: SimTime,
 }
 
 impl Timeline {
     /// Total program time.
     #[must_use]
     pub fn total(&self) -> SimTime {
-        self.htod + self.dtoh + self.kernel + self.host_convert + self.device_convert
+        self.htod
+            + self.dtoh
+            + self.kernel
+            + self.host_convert
+            + self.device_convert
+            + self.fault_overhead
     }
 
     /// Total transfer-side time (wire + both conversion legs) — the
@@ -144,6 +152,11 @@ impl ProfileLog {
             wire_bytes,
             cost,
         });
+    }
+
+    /// Records retry backoff spent riding out a transient fault.
+    pub(crate) fn record_fault_overhead(&mut self, t: SimTime) {
+        self.timeline.fault_overhead += t;
     }
 
     /// Records a kernel launch.

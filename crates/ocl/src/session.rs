@@ -15,8 +15,52 @@ use prescaler_ir::passes::{insert_casts, retype_buffers};
 use prescaler_ir::typeck::check_kernel;
 use prescaler_ir::vm::{compile_kernel, CompiledKernel};
 use prescaler_ir::{FloatVec, Param, Precision, Program};
-use prescaler_sim::{Direction, HostMethod, SimTime, SystemModel, TransferPlan};
+use prescaler_sim::{Direction, FaultPlan, HostMethod, SimTime, SystemModel, TransferPlan};
 use std::collections::HashMap;
+
+/// How a session rides out transient faults: bounded retries with
+/// exponential backoff, all paid on the virtual clock.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per operation (1 = no retry: the first transient
+    /// failure surfaces to the caller as a retryable error).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: SimTime,
+    /// Backoff growth per retry (exponential).
+    pub multiplier: f64,
+    /// Per-operation cap on accumulated backoff; exceeding it is a fatal
+    /// [`OclError::Timeout`]. `None` = unbounded.
+    pub timeout: Option<SimTime>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: SimTime::from_micros(10.0),
+            multiplier: 2.0,
+            timeout: Some(SimTime::from_secs(0.01)),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (transient faults surface directly).
+    #[must_use]
+    pub fn no_retries() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff charged after the `attempt`-th (1-based) failed attempt.
+    #[must_use]
+    pub fn backoff_for(&self, attempt: u32) -> SimTime {
+        self.base_backoff * self.multiplier.powi(attempt.saturating_sub(1) as i32)
+    }
+}
 
 /// Handle to a device memory object.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -57,6 +101,8 @@ pub struct Session {
     /// Use the reference tree-walking interpreter instead of the bytecode
     /// VM (slow; for differential testing).
     use_interpreter: bool,
+    /// How transient faults are retried.
+    retry: RetryPolicy,
 }
 
 impl Session {
@@ -72,6 +118,73 @@ impl Session {
             log: ProfileLog::default(),
             compiled: HashMap::new(),
             use_interpreter: false,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Replaces the retry policy for transient faults.
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Session {
+        self.retry = retry;
+        self
+    }
+
+    /// The active retry policy.
+    #[must_use]
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Rides out transient faults at one injection site: draws from the
+    /// fault plan once per attempt, charging exponential backoff to the
+    /// timeline. Returns `Ok` when an attempt goes through, the transient
+    /// error itself when the policy forbids retries, and a fatal
+    /// [`OclError::RetriesExhausted`]/[`OclError::Timeout`] otherwise.
+    fn ride_out(
+        &mut self,
+        what: &str,
+        fires: impl Fn(&FaultPlan) -> bool,
+        transient: impl Fn(u32) -> OclError,
+    ) -> Result<(), OclError> {
+        let policy = self.retry;
+        let mut waited = SimTime::ZERO;
+        let mut attempt = 1u32;
+        loop {
+            if !fires(&self.system.faults) {
+                return Ok(());
+            }
+            if policy.max_attempts <= 1 {
+                return Err(transient(attempt));
+            }
+            if attempt >= policy.max_attempts {
+                return Err(OclError::RetriesExhausted {
+                    what: what.to_owned(),
+                    attempts: attempt,
+                });
+            }
+            let backoff = policy.backoff_for(attempt);
+            waited += backoff;
+            self.log.record_fault_overhead(backoff);
+            if let Some(budget) = policy.timeout {
+                if waited > budget {
+                    return Err(OclError::Timeout {
+                        what: what.to_owned(),
+                        budget,
+                    });
+                }
+            }
+            attempt += 1;
+        }
+    }
+
+    /// Applies the fault plan's buffer corruption to freshly transferred
+    /// data, if the plan says this transfer is poisoned.
+    fn maybe_corrupt(&self, data: &mut FloatVec) {
+        if let Some(c) = self.system.faults.corrupt_buffer() {
+            if !data.is_empty() {
+                let idx = (c.index_selector % data.len() as u64) as usize;
+                data.set(idx, c.poison.value());
+            }
         }
     }
 
@@ -183,11 +296,26 @@ impl Session {
                 got: host.len(),
             });
         }
-        let plan = self.transfer_plan(Direction::HtoD, &buf.label, buf.declared, buf.device_precision);
-        let cost = plan.time(&self.system, host.len());
-        let data = plan.apply(host);
-        let wire_bytes = host.len() * plan.intermediate.size_bytes();
+        let plan = self.transfer_plan(
+            Direction::HtoD,
+            &buf.label,
+            buf.declared,
+            buf.device_precision,
+        );
         let label = buf.label.clone();
+        self.ride_out(
+            &format!("write `{label}`"),
+            FaultPlan::transfer_fails,
+            |attempt| OclError::TransferFault {
+                label: label.clone(),
+                attempt,
+            },
+        )?;
+        let noise = self.system.faults.time_noise_factor();
+        let cost = plan.time(&self.system, host.len()).scaled(noise);
+        let mut data = plan.apply(host);
+        self.maybe_corrupt(&mut data);
+        let wire_bytes = host.len() * plan.intermediate.size_bytes();
         let elems = host.len();
         self.buffers[id.0].data = data;
         self.log
@@ -204,11 +332,27 @@ impl Session {
     /// Returns [`OclError::InvalidBuffer`] for foreign handles.
     pub fn enqueue_read(&mut self, id: BufferId) -> Result<FloatVec, OclError> {
         let buf = self.buffer(id)?;
-        let plan = self.transfer_plan(Direction::DtoH, &buf.label, buf.device_precision, buf.declared);
-        let cost = plan.time(&self.system, buf.data.len());
-        let out = plan.apply(&buf.data);
-        let wire_bytes = buf.data.len() * plan.intermediate.size_bytes();
+        let plan = self.transfer_plan(
+            Direction::DtoH,
+            &buf.label,
+            buf.device_precision,
+            buf.declared,
+        );
         let label = buf.label.clone();
+        self.ride_out(
+            &format!("read `{label}`"),
+            FaultPlan::transfer_fails,
+            |attempt| OclError::TransferFault {
+                label: label.clone(),
+                attempt,
+            },
+        )?;
+        let buf = self.buffer(id)?;
+        let noise = self.system.faults.time_noise_factor();
+        let cost = plan.time(&self.system, buf.data.len()).scaled(noise);
+        let mut out = plan.apply(&buf.data);
+        self.maybe_corrupt(&mut out);
+        let wire_bytes = buf.data.len() * plan.intermediate.size_bytes();
         let elems = buf.data.len();
         self.log
             .record_transfer(&label, Direction::DtoH, elems, wire_bytes, cost);
@@ -265,6 +409,15 @@ impl Session {
             .kernel(name)
             .ok_or_else(|| OclError::UnknownKernel(name.to_owned()))?
             .clone();
+
+        self.ride_out(
+            &format!("launch `{name}`"),
+            FaultPlan::launch_fails,
+            |attempt| OclError::LaunchFault {
+                kernel: name.to_owned(),
+                attempt,
+            },
+        )?;
 
         // Resolve bindings.
         let mut retype: HashMap<String, Precision> = HashMap::new();
@@ -343,10 +496,13 @@ impl Session {
         // Move the bound buffers into an interpreter map, run, move back.
         let mut map = BufferMap::new();
         for (pname, id) in &buffer_args {
-            map.insert(pname.clone(), std::mem::replace(
-                &mut self.buffers[id.0].data,
-                FloatVec::zeros(0, Precision::Half),
-            ));
+            map.insert(
+                pname.clone(),
+                std::mem::replace(
+                    &mut self.buffers[id.0].data,
+                    FloatVec::zeros(0, Precision::Half),
+                ),
+            );
         }
         let result = match &interp_kernel {
             Some(k) => run_kernel(k, &mut map, &launch),
@@ -362,7 +518,7 @@ impl Session {
         }
         let counts = result?;
 
-        let time = self.system.gpu.kernel_time(&counts);
+        let time = self.system.gpu.kernel_time(&counts) * self.system.faults.time_noise_factor();
         let arg_map: Vec<(String, String)> = buffer_args
             .iter()
             .map(|(pname, id)| (pname.clone(), self.buffers[id.0].label.clone()))
@@ -457,15 +613,12 @@ mod tests {
         let mut s_scaled = Session::new(
             SystemModel::system1(),
             vec_scale_program(),
-            ScalingSpec::baseline().with_target("X", Precision::Half).with_write_plan(
-                "X",
-                PlanChoice::host_direct(
-                    Direction::HtoD,
-                    Precision::Double,
-                    Precision::Half,
-                    8,
+            ScalingSpec::baseline()
+                .with_target("X", Precision::Half)
+                .with_write_plan(
+                    "X",
+                    PlanChoice::host_direct(Direction::HtoD, Precision::Double, Precision::Half, 8),
                 ),
-            ),
         );
         let n = 1 << 16;
         let xs = FloatVec::from_f64_slice(&vec![1.0; n], Precision::Double);
@@ -496,8 +649,11 @@ mod tests {
         let n = 256usize;
         let x = s.create_buffer("X", n, Precision::Double).unwrap();
         let y = s.create_buffer("Y", n, Precision::Double).unwrap();
-        s.enqueue_write(x, &FloatVec::from_f64_slice(&vec![0.1; n], Precision::Double))
-            .unwrap();
+        s.enqueue_write(
+            x,
+            &FloatVec::from_f64_slice(&vec![0.1; n], Precision::Double),
+        )
+        .unwrap();
         s.launch_kernel(
             "vscale",
             [n, 1],
@@ -551,6 +707,150 @@ mod tests {
             s.launch_kernel("vscale", [1, 1], &[("x", KernelArg::Buffer(x))]),
             Err(OclError::UnboundParam { .. })
         ));
+    }
+
+    #[test]
+    fn retries_ride_out_transient_transfer_faults() {
+        // ~30% failure rate with 4 attempts: every write goes through,
+        // and the paid backoff shows up on the virtual clock.
+        let system =
+            SystemModel::system1().with_faults(FaultPlan::seeded(5).with_transfer_failures(0.3));
+        let mut s = Session::new(system, vec_scale_program(), ScalingSpec::baseline());
+        let n = 512usize;
+        let x = s.create_buffer("X", n, Precision::Double).unwrap();
+        let xs = FloatVec::from_f64_slice(&vec![1.0; n], Precision::Double);
+        for _ in 0..50 {
+            s.enqueue_write(x, &xs).unwrap();
+        }
+        assert!(
+            s.timeline().fault_overhead > SimTime::ZERO,
+            "some attempt must have failed and paid backoff"
+        );
+        assert!(s.timeline().total() > s.timeline().htod);
+    }
+
+    #[test]
+    fn no_retry_policy_surfaces_retryable_errors() {
+        let system =
+            SystemModel::system1().with_faults(FaultPlan::seeded(5).with_transfer_failures(0.9));
+        let mut s = Session::new(system, vec_scale_program(), ScalingSpec::baseline())
+            .with_retry_policy(RetryPolicy::no_retries());
+        let x = s.create_buffer("X", 8, Precision::Double).unwrap();
+        let xs = FloatVec::from_f64_slice(&[1.0; 8], Precision::Double);
+        let mut saw_transient = false;
+        for _ in 0..20 {
+            if let Err(e) = s.enqueue_write(x, &xs) {
+                assert!(matches!(e, OclError::TransferFault { .. }), "{e}");
+                assert!(e.is_retryable());
+                saw_transient = true;
+            }
+        }
+        assert!(saw_transient, "at 90% failure rate something must fail");
+    }
+
+    #[test]
+    fn exhausted_retries_become_fatal() {
+        // Certain failure: every attempt fails, the budget runs out, and
+        // the error is fatal (not retryable).
+        let system =
+            SystemModel::system1().with_faults(FaultPlan::seeded(5).with_transfer_failures(1.0));
+        let mut s = Session::new(system, vec_scale_program(), ScalingSpec::baseline());
+        let x = s.create_buffer("X", 8, Precision::Double).unwrap();
+        let xs = FloatVec::from_f64_slice(&[1.0; 8], Precision::Double);
+        let e = s.enqueue_write(x, &xs).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                OclError::RetriesExhausted { .. } | OclError::Timeout { .. }
+            ),
+            "{e}"
+        );
+        assert!(!e.is_retryable());
+    }
+
+    #[test]
+    fn corruption_poisons_exactly_when_planned() {
+        let system =
+            SystemModel::system1().with_faults(FaultPlan::seeded(2).with_buffer_corruption(1.0));
+        let mut s = Session::new(system, vec_scale_program(), ScalingSpec::baseline());
+        let n = 64usize;
+        let x = s.create_buffer("X", n, Precision::Double).unwrap();
+        s.enqueue_write(
+            x,
+            &FloatVec::from_f64_slice(&vec![1.0; n], Precision::Double),
+        )
+        .unwrap();
+        let poisoned = (0..n)
+            .filter(|&i| !s.peek(x).unwrap().get(i).is_finite())
+            .count();
+        assert_eq!(poisoned, 1, "exactly one element poisoned per transfer");
+    }
+
+    #[test]
+    fn clock_noise_moves_time_but_not_values() {
+        let clean = run_once(ScalingSpec::baseline());
+        let system = SystemModel::system1().with_faults(FaultPlan::seeded(3).with_clock_noise(0.2));
+        let mut s = Session::new(system, vec_scale_program(), ScalingSpec::baseline());
+        let n = 1024usize;
+        let x = s.create_buffer("X", n, Precision::Double).unwrap();
+        let y = s.create_buffer("Y", n, Precision::Double).unwrap();
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        s.enqueue_write(x, &FloatVec::from_f64_slice(&xs, Precision::Double))
+            .unwrap();
+        s.launch_kernel(
+            "vscale",
+            [n, 1],
+            &[
+                ("x", KernelArg::Buffer(x)),
+                ("y", KernelArg::Buffer(y)),
+                ("a", KernelArg::Float(3.0)),
+                ("n", KernelArg::Int(n as i64)),
+            ],
+        )
+        .unwrap();
+        let out = s.enqueue_read(y).unwrap();
+        // Functional results are untouched by clock noise…
+        assert_eq!(out.get(10), clean.0.get(10));
+        // …but the measured time differs from the clean run.
+        assert_ne!(s.timeline().total(), clean.1.total());
+    }
+
+    #[test]
+    fn inert_fault_plan_is_bit_identical_to_default() {
+        let (out_a, tl_a) = run_once(ScalingSpec::baseline());
+        // Same run on a system carrying an explicitly-disabled plan.
+        let system = SystemModel::system1().with_faults(
+            FaultPlan::seeded(1234)
+                .with_transfer_failures(0.0)
+                .with_launch_failures(0.0)
+                .with_buffer_corruption(0.0)
+                .with_db_corruption(0.0)
+                .with_clock_noise(0.0),
+        );
+        let mut s = Session::new(system, vec_scale_program(), ScalingSpec::baseline());
+        let n = 1024usize;
+        let x = s.create_buffer("X", n, Precision::Double).unwrap();
+        let y = s.create_buffer("Y", n, Precision::Double).unwrap();
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        s.enqueue_write(x, &FloatVec::from_f64_slice(&xs, Precision::Double))
+            .unwrap();
+        s.launch_kernel(
+            "vscale",
+            [n, 1],
+            &[
+                ("x", KernelArg::Buffer(x)),
+                ("y", KernelArg::Buffer(y)),
+                ("a", KernelArg::Float(3.0)),
+                ("n", KernelArg::Int(n as i64)),
+            ],
+        )
+        .unwrap();
+        let out_b = s.enqueue_read(y).unwrap();
+        for i in 0..n {
+            assert_eq!(out_a.get(i).to_bits(), out_b.get(i).to_bits());
+        }
+        assert_eq!(tl_a, s.timeline());
+        assert_eq!(s.timeline().fault_overhead, SimTime::ZERO);
     }
 
     #[test]

@@ -26,7 +26,12 @@ pub struct PlanChoice {
 impl PlanChoice {
     /// Host-side direct conversion using a multithreaded loop.
     #[must_use]
-    pub fn host_direct(direction: Direction, src: Precision, dst: Precision, threads: usize) -> PlanChoice {
+    pub fn host_direct(
+        direction: Direction,
+        src: Precision,
+        dst: Precision,
+        threads: usize,
+    ) -> PlanChoice {
         PlanChoice {
             intermediate: match direction {
                 Direction::HtoD => dst,
@@ -116,12 +121,7 @@ mod tests {
             .with_target("A", Precision::Half)
             .with_write_plan(
                 "A",
-                PlanChoice::host_direct(
-                    Direction::HtoD,
-                    Precision::Double,
-                    Precision::Half,
-                    20,
-                ),
+                PlanChoice::host_direct(Direction::HtoD, Precision::Double, Precision::Half, 20),
             );
         assert!(!s.is_baseline());
         assert_eq!(s.target_for("A", Precision::Double), Precision::Half);
@@ -135,12 +135,7 @@ mod tests {
 
     #[test]
     fn host_direct_dtoh_wires_source_type() {
-        let p = PlanChoice::host_direct(
-            Direction::DtoH,
-            Precision::Half,
-            Precision::Double,
-            4,
-        );
+        let p = PlanChoice::host_direct(Direction::DtoH, Precision::Half, Precision::Double, 4);
         assert_eq!(p.intermediate, Precision::Half);
     }
 }

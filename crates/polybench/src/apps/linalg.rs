@@ -83,8 +83,7 @@ pub(crate) fn gemm_program() -> Program {
                                 "c",
                                 idx2(var("i"), var("j"), var("nj")),
                                 var("alpha") * var("acc")
-                                    + var("beta")
-                                        * load("c", idx2(var("i"), var("j"), var("nj"))),
+                                    + var("beta") * load("c", idx2(var("i"), var("j"), var("nj"))),
                             ),
                         ],
                     )],
@@ -93,11 +92,7 @@ pub(crate) fn gemm_program() -> Program {
     )
 }
 
-pub(crate) fn gemm_run(
-    s: &mut Session,
-    d: &Dims,
-    gen: &InputGen,
-) -> Result<Outputs, OclError> {
+pub(crate) fn gemm_run(s: &mut Session, d: &Dims, gen: &InputGen) -> Result<Outputs, OclError> {
     let (ni, nj, nk) = (d.ni, d.nj, d.nk);
     let a = s.create_buffer("A", ni * nk, Precision::Double)?;
     let b = s.create_buffer("B", nk * nj, Precision::Double)?;
@@ -132,11 +127,7 @@ pub(crate) fn twomm_program() -> Program {
         .with_kernel(matmul_kernel("mm2_k2", "c", "d", "e"))
 }
 
-pub(crate) fn twomm_run(
-    s: &mut Session,
-    d: &Dims,
-    gen: &InputGen,
-) -> Result<Outputs, OclError> {
+pub(crate) fn twomm_run(s: &mut Session, d: &Dims, gen: &InputGen) -> Result<Outputs, OclError> {
     let n = d.ni;
     let a = s.create_buffer("A", n * n, Precision::Double)?;
     let b = s.create_buffer("B", n * n, Precision::Double)?;
@@ -181,11 +172,7 @@ pub(crate) fn threemm_program() -> Program {
         .with_kernel(matmul_kernel("mm3_k3", "e", "f", "g"))
 }
 
-pub(crate) fn threemm_run(
-    s: &mut Session,
-    d: &Dims,
-    gen: &InputGen,
-) -> Result<Outputs, OclError> {
+pub(crate) fn threemm_run(s: &mut Session, d: &Dims, gen: &InputGen) -> Result<Outputs, OclError> {
     let n = d.ni;
     let a = s.create_buffer("A", n * n, Precision::Double)?;
     let b = s.create_buffer("B", n * n, Precision::Double)?;
@@ -276,11 +263,7 @@ pub(crate) fn syrk_program() -> Program {
     )
 }
 
-pub(crate) fn syrk_run(
-    s: &mut Session,
-    d: &Dims,
-    gen: &InputGen,
-) -> Result<Outputs, OclError> {
+pub(crate) fn syrk_run(s: &mut Session, d: &Dims, gen: &InputGen) -> Result<Outputs, OclError> {
     let (n, m) = (d.ni, d.nj);
     let a = s.create_buffer("A", n * m, Precision::Double)?;
     let c = s.create_buffer("C", n * n, Precision::Double)?;
@@ -349,11 +332,7 @@ pub(crate) fn syr2k_program() -> Program {
     )
 }
 
-pub(crate) fn syr2k_run(
-    s: &mut Session,
-    d: &Dims,
-    gen: &InputGen,
-) -> Result<Outputs, OclError> {
+pub(crate) fn syr2k_run(s: &mut Session, d: &Dims, gen: &InputGen) -> Result<Outputs, OclError> {
     let (n, m) = (d.ni, d.nj);
     let a = s.create_buffer("A", n * m, Precision::Double)?;
     let b = s.create_buffer("B", n * m, Precision::Double)?;

@@ -26,7 +26,10 @@ fn mean_kernel(name: &str) -> prescaler_ir::Kernel {
                         "i",
                         int(0),
                         var("n"),
-                        vec![add_assign("acc", load("data", idx2(var("i"), var("j"), var("m"))))],
+                        vec![add_assign(
+                            "acc",
+                            load("data", idx2(var("i"), var("j"), var("m"))),
+                        )],
                     ),
                     store("mean", var("j"), var("acc") / var("float_n")),
                 ],
@@ -94,8 +97,7 @@ pub(crate) fn corr_program() -> Program {
                     vec![store(
                         "data",
                         idx2(var("i"), var("j"), var("m")),
-                        (load("data", idx2(var("i"), var("j"), var("m")))
-                            - load("mean", var("j")))
+                        (load("data", idx2(var("i"), var("j"), var("m"))) - load("mean", var("j")))
                             / (sqrt(var("float_n")) * load("stddev", var("j"))),
                     )],
                 )],
@@ -231,8 +233,7 @@ pub(crate) fn covar_program() -> Program {
                     vec![store(
                         "data",
                         idx2(var("i"), var("j"), var("m")),
-                        load("data", idx2(var("i"), var("j"), var("m")))
-                            - load("mean", var("j")),
+                        load("data", idx2(var("i"), var("j"), var("m"))) - load("mean", var("j")),
                     )],
                 )],
             ),

@@ -45,11 +45,7 @@ pub(crate) fn twodconv_program() -> Program {
                             gt(var("j"), int(0)),
                             vec![if_(
                                 lt(var("j"), var("nj") - int(1)),
-                                vec![store(
-                                    "b",
-                                    idx2(var("i"), var("j"), var("nj")),
-                                    body,
-                                )],
+                                vec![store("b", idx2(var("i"), var("j"), var("nj")), body)],
                             )],
                         )],
                     )],
@@ -58,11 +54,7 @@ pub(crate) fn twodconv_program() -> Program {
     )
 }
 
-pub(crate) fn twodconv_run(
-    s: &mut Session,
-    d: &Dims,
-    gen: &InputGen,
-) -> Result<Outputs, OclError> {
+pub(crate) fn twodconv_run(s: &mut Session, d: &Dims, gen: &InputGen) -> Result<Outputs, OclError> {
     let (ni, nj) = (d.ni, d.nj);
     let a = s.create_buffer("A", ni * nj, Precision::Double)?;
     let b = s.create_buffer("B", ni * nj, Precision::Double)?;
@@ -85,10 +77,7 @@ pub(crate) fn twodconv_run(
 // ---------------------------------------------------------------------------
 
 fn a3(i: Expr, j: Expr, k: Expr) -> Expr {
-    load(
-        "a",
-        (i * var("nj") + j) * var("nk") + k,
-    )
+    load("a", (i * var("nj") + j) * var("nk") + k)
 }
 
 pub(crate) fn threedconv_program() -> Program {
@@ -131,8 +120,7 @@ pub(crate) fn threedconv_program() -> Program {
                                     var("ni") - int(1),
                                     vec![store(
                                         "b",
-                                        (var("i") * var("nj") + var("j")) * var("nk")
-                                            + var("k"),
+                                        (var("i") * var("nj") + var("j")) * var("nk") + var("k"),
                                         body,
                                     )],
                                 )],
@@ -198,10 +186,7 @@ pub(crate) fn fdtd2d_program() -> Program {
                             load("ey", idx2(var("i"), var("j"), var("nj")))
                                 - flit(0.5)
                                     * (load("hz", idx2(var("i"), var("j"), var("nj")))
-                                        - load(
-                                            "hz",
-                                            idx2(var("i") - int(1), var("j"), var("nj")),
-                                        )),
+                                        - load("hz", idx2(var("i") - int(1), var("j"), var("nj")))),
                         )],
                     )],
                 )],
@@ -228,10 +213,7 @@ pub(crate) fn fdtd2d_program() -> Program {
                             load("ex", idx2(var("i"), var("j"), var("nj") + int(1)))
                                 - flit(0.5)
                                     * (load("hz", idx2(var("i"), var("j"), var("nj")))
-                                        - load(
-                                            "hz",
-                                            idx2(var("i"), var("j") - int(1), var("nj")),
-                                        )),
+                                        - load("hz", idx2(var("i"), var("j") - int(1), var("nj")))),
                         )],
                     )],
                 )],
@@ -259,16 +241,9 @@ pub(crate) fn fdtd2d_program() -> Program {
                                 * (load(
                                     "ex",
                                     idx2(var("i"), var("j") + int(1), var("nj") + int(1)),
-                                ) - load(
-                                    "ex",
-                                    idx2(var("i"), var("j"), var("nj") + int(1)),
-                                ) + load(
-                                    "ey",
-                                    idx2(var("i") + int(1), var("j"), var("nj")),
-                                ) - load(
-                                    "ey",
-                                    idx2(var("i"), var("j"), var("nj")),
-                                )),
+                                ) - load("ex", idx2(var("i"), var("j"), var("nj") + int(1)))
+                                    + load("ey", idx2(var("i") + int(1), var("j"), var("nj")))
+                                    - load("ey", idx2(var("i"), var("j"), var("nj")))),
                     )],
                 )],
             ),
@@ -280,11 +255,7 @@ pub(crate) fn fdtd2d_program() -> Program {
         .with_kernel(hz_kernel)
 }
 
-pub(crate) fn fdtd2d_run(
-    s: &mut Session,
-    d: &Dims,
-    gen: &InputGen,
-) -> Result<Outputs, OclError> {
+pub(crate) fn fdtd2d_run(s: &mut Session, d: &Dims, gen: &InputGen) -> Result<Outputs, OclError> {
     let (ni, nj, tmax) = (d.ni, d.nj, d.tmax.max(1));
     let fict = s.create_buffer("FICT", tmax, Precision::Double)?;
     let ex = s.create_buffer("EX", ni * (nj + 1), Precision::Double)?;

@@ -257,11 +257,7 @@ pub(crate) fn gesummv_program() -> Program {
     )
 }
 
-pub(crate) fn gesummv_run(
-    s: &mut Session,
-    d: &Dims,
-    gen: &InputGen,
-) -> Result<Outputs, OclError> {
+pub(crate) fn gesummv_run(s: &mut Session, d: &Dims, gen: &InputGen) -> Result<Outputs, OclError> {
     let n = d.ni;
     let a = s.create_buffer("A", n * n, Precision::Double)?;
     let b = s.create_buffer("B", n * n, Precision::Double)?;

@@ -177,15 +177,16 @@ mod tests {
         let app = PolyApp::tiny(BenchKind::Gemm);
         let d = *app.dims();
         let gen = app.gen();
-        let (outs, _) =
-            run_app(&app, &SystemModel::system1(), &ScalingSpec::baseline()).unwrap();
+        let (outs, _) = run_app(&app, &SystemModel::system1(), &ScalingSpec::baseline()).unwrap();
         let a = gen.array("A", d.ni * d.nk).to_f64_vec();
         let b = gen.array("B", d.nk * d.nj).to_f64_vec();
         let c = gen.array("C", d.ni * d.nj).to_f64_vec();
-        let expected =
-            crate::apps::linalg::gemm_reference(&a, &b, &c, d.ni, d.nj, d.nk, 1.5, 1.2);
+        let expected = crate::apps::linalg::gemm_reference(&a, &b, &c, d.ni, d.nj, d.nk, 1.5, 1.2);
         let got = outs[0].1.to_f64_vec();
-        assert_eq!(got, expected, "baseline GEMM must be bit-exact vs reference");
+        assert_eq!(
+            got, expected,
+            "baseline GEMM must be bit-exact vs reference"
+        );
     }
 
     #[test]
@@ -208,12 +209,7 @@ mod tests {
         // GEMM's default range (0..513) with an inner product overflows
         // binary16's 65504 — the paper's §3.2.3 failure mode.
         let system = SystemModel::system1();
-        let app = PolyApp::new(
-            BenchKind::Gemm,
-            Dims::square(32),
-            InputSet::Default,
-            7,
-        );
+        let app = PolyApp::new(BenchKind::Gemm, Dims::square(32), InputSet::Default, 7);
         let (reference, _) = run_app(&app, &system, &ScalingSpec::baseline()).unwrap();
         let mut spec = ScalingSpec::baseline();
         for label in ["A", "B", "C"] {
@@ -221,7 +217,10 @@ mod tests {
         }
         let (scaled, _) = run_app(&app, &system, &spec).unwrap();
         let q = output_quality(&reference, &scaled);
-        assert!(q < 0.9, "half GEMM on default inputs must fail TOQ, got {q}");
+        assert!(
+            q < 0.9,
+            "half GEMM on default inputs must fail TOQ, got {q}"
+        );
     }
 
     #[test]
@@ -229,12 +228,7 @@ mod tests {
         // With inputs in 0..1 the inner products stay in range and half
         // precision passes TOQ 0.9 — the paper's Fig. 12 effect.
         let system = SystemModel::system1();
-        let app = PolyApp::new(
-            BenchKind::Gemm,
-            Dims::square(16),
-            InputSet::Random,
-            7,
-        );
+        let app = PolyApp::new(BenchKind::Gemm, Dims::square(16), InputSet::Random, 7);
         let (reference, _) = run_app(&app, &system, &ScalingSpec::baseline()).unwrap();
         let mut spec = ScalingSpec::baseline();
         for label in ["A", "B", "C"] {
@@ -242,7 +236,10 @@ mod tests {
         }
         let (scaled, _) = run_app(&app, &system, &spec).unwrap();
         let q = output_quality(&reference, &scaled);
-        assert!(q > 0.9, "half GEMM on random inputs should pass TOQ, got {q}");
+        assert!(
+            q > 0.9,
+            "half GEMM on random inputs should pass TOQ, got {q}"
+        );
     }
 
     #[test]

@@ -114,7 +114,11 @@ mod tests {
         let (r, t) = vecs(&[0.0], &[0.0]);
         assert_eq!(array_quality(&r, &t), 1.0);
         let (r, t) = vecs(&[0.0], &[1.0]);
-        assert_eq!(array_quality(&r, &t), 0.0, "any deviation from exact 0 caps at 1");
+        assert_eq!(
+            array_quality(&r, &t),
+            0.0,
+            "any deviation from exact 0 caps at 1"
+        );
     }
 
     #[test]

@@ -266,7 +266,10 @@ mod tests {
         assert!(BenchKind::Corr.compute_intensive());
         assert!(!BenchKind::TwoDConv.compute_intensive());
         assert!(!BenchKind::Mvt.compute_intensive());
-        let compute = BenchKind::ALL.iter().filter(|k| k.compute_intensive()).count();
+        let compute = BenchKind::ALL
+            .iter()
+            .filter(|k| k.compute_intensive())
+            .count();
         assert_eq!(compute, 8);
     }
 

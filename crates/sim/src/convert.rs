@@ -115,6 +115,17 @@ impl TransferCost {
     pub fn total(&self) -> SimTime {
         self.host_convert + self.transfer + self.device_convert
     }
+
+    /// Every component scaled by `factor` — measurement noise applied to
+    /// one observed transfer. A factor of exactly `1.0` is an identity.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> TransferCost {
+        TransferCost {
+            host_convert: self.host_convert * factor,
+            transfer: self.transfer * factor,
+            device_convert: self.device_convert * factor,
+        }
+    }
 }
 
 impl TransferPlan {
@@ -326,18 +337,17 @@ pub fn convert_parallel(data: &FloatVec, p: Precision, threads: usize) -> FloatV
     // slices of a scratch f64 buffer, then narrow into the output type.
     // (Going through f64 is exact for every source precision.)
     let mut wide = vec![0.0f64; n];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (i, slot) in wide.chunks_mut(chunk).enumerate() {
             let data = &data;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let base = i * chunk;
                 for (j, w) in slot.iter_mut().enumerate() {
                     *w = data.get(base + j);
                 }
             });
         }
-    })
-    .expect("conversion worker panicked");
+    });
     for (i, w) in wide.iter().enumerate() {
         out.set(i, *w);
     }
@@ -388,8 +398,7 @@ mod tests {
     fn device_scaling_keeps_the_wire_at_source_size() {
         let s = sys();
         let n = 1 << 20;
-        let plan =
-            TransferPlan::device_scaled(Direction::HtoD, Precision::Double, Precision::Half);
+        let plan = TransferPlan::device_scaled(Direction::HtoD, Precision::Double, Precision::Half);
         assert_eq!(plan.intermediate, Precision::Double);
         let c = plan.time(&s, n);
         assert_eq!(c.host_convert, SimTime::ZERO);

@@ -238,8 +238,8 @@ impl GpuModel {
         let mut dram_bytes = 0.0f64;
         for p in Precision::ALL {
             let c = counts.at(p);
-            dram_bytes += (c.loads as f64 * self.load_miss_rate + c.stores as f64)
-                * p.size_bytes() as f64;
+            dram_bytes +=
+                (c.loads as f64 * self.load_miss_rate + c.stores as f64) * p.size_bytes() as f64;
         }
         let memory = dram_bytes / (self.mem_bandwidth_gbps * 1e9);
 

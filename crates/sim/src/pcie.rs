@@ -99,8 +99,7 @@ mod tests {
         let one_mb = link.transfer_time(1 << 20);
         let sixteen_mb = link.transfer_time(16 << 20);
         // Large transfers are bandwidth-dominated: 16x data ≈ 16x time.
-        let ratio = sixteen_mb.saturating_sub(link.latency)
-            / one_mb.saturating_sub(link.latency);
+        let ratio = sixteen_mb.saturating_sub(link.latency) / one_mb.saturating_sub(link.latency);
         assert!((ratio - 16.0).abs() < 0.01, "{ratio}");
     }
 

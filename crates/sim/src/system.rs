@@ -4,6 +4,7 @@ use crate::cpu::{CpuModel, SimdLevel};
 use crate::gpu::{ComputeCapability, GpuModel};
 use crate::pcie::PcieModel;
 use crate::time::SimTime;
+use prescaler_faults::FaultPlan;
 use serde::{Deserialize, Serialize};
 
 /// A heterogeneous CPU+GPU system.
@@ -20,6 +21,9 @@ pub struct SystemModel {
     /// Latency of one OpenCL enqueue API call (bounds pipelining chunk
     /// counts and small transfers).
     pub enqueue_latency: SimTime,
+    /// Injected-fault plan; inert by default. Clones of the model share
+    /// the plan's deterministic fault stream.
+    pub faults: FaultPlan,
 }
 
 impl SystemModel {
@@ -50,6 +54,7 @@ impl SystemModel {
             },
             pcie: PcieModel::gen3(16),
             enqueue_latency: SimTime::from_micros(8.0),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -80,6 +85,7 @@ impl SystemModel {
             },
             pcie: PcieModel::gen3(16),
             enqueue_latency: SimTime::from_micros(8.0),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -110,6 +116,7 @@ impl SystemModel {
             },
             pcie: PcieModel::gen3(16),
             enqueue_latency: SimTime::from_micros(8.0),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -130,6 +137,22 @@ impl SystemModel {
         self.pcie = self.pcie.with_lanes(lanes);
         self.name = format!("{} @ {}", self.name, self.pcie.label());
         self
+    }
+
+    /// A copy running under the given fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> SystemModel {
+        self.faults = faults;
+        self
+    }
+
+    /// A copy with faults disabled — the clean reference system used for
+    /// oracle runs and final acceptance checks.
+    #[must_use]
+    pub fn without_faults(&self) -> SystemModel {
+        let mut clean = self.clone();
+        clean.faults = FaultPlan::none();
+        clean
     }
 }
 
@@ -169,9 +192,7 @@ mod tests {
         // half-to-double throughput ratio is the largest of the three
         // systems, which is why the paper's Fig. 9 shows the biggest
         // PreScaler speedup there.
-        let ratio = |s: &SystemModel| {
-            s.gpu.flops(Precision::Half) / s.gpu.flops(Precision::Double)
-        };
+        let ratio = |s: &SystemModel| s.gpu.flops(Precision::Half) / s.gpu.flops(Precision::Double);
         let r1 = ratio(&SystemModel::system1());
         let r2 = ratio(&SystemModel::system2());
         let r3 = ratio(&SystemModel::system3());

@@ -35,6 +35,14 @@ impl SimTime {
         SimTime(s)
     }
 
+    /// From seconds, without the validity check — only for modeling
+    /// corrupted measurements (fault injection may store NaN or negative
+    /// durations that downstream validation is expected to catch).
+    #[must_use]
+    pub fn from_secs_unchecked(s: f64) -> SimTime {
+        SimTime(s)
+    }
+
     /// From milliseconds.
     #[must_use]
     pub fn from_millis(ms: f64) -> SimTime {

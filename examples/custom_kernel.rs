@@ -57,9 +57,7 @@ impl HostApp for Smoother {
     fn run(&self, session: &mut Session) -> Result<Outputs, OclError> {
         let a = session.create_buffer("FIELD_A", self.n, Precision::Double)?;
         let b = session.create_buffer("FIELD_B", self.n, Precision::Double)?;
-        let init: Vec<f64> = (0..self.n)
-            .map(|i| (i as f64 * 0.01).sin().abs())
-            .collect();
+        let init: Vec<f64> = (0..self.n).map(|i| (i as f64 * 0.01).sin().abs()).collect();
         session.enqueue_write(a, &FloatVec::from_f64_slice(&init, Precision::Double))?;
         session.enqueue_write(b, &FloatVec::zeros(self.n, Precision::Double))?;
 

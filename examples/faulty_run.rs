@@ -1,0 +1,50 @@
+//! Tuning on an unreliable system: the README's fault-injection example.
+//!
+//! Injects seeded transient transfer failures and clock noise, then shows
+//! the degradation guarantees holding: transient faults are retried (and
+//! charged to the timeline), and the chosen configuration still meets TOQ
+//! or falls back to full precision — never slower than the clean baseline.
+
+use prescaler_core::{PreScaler, SystemInspector};
+use prescaler_polybench::{BenchKind, InputSet, PolyApp};
+use prescaler_sim::{FaultPlan, SystemModel};
+
+fn main() -> Result<(), prescaler_ocl::OclError> {
+    let system = SystemModel::system1().with_faults(
+        FaultPlan::seeded(7)
+            .with_transfer_failures(0.1) // 10% of transfers bounce (retried)
+            .with_clock_noise(0.2), //     ±20% timing jitter
+    );
+    let db = SystemInspector::inspect(&system);
+    let app = PolyApp::paper(BenchKind::Gemm, InputSet::Default);
+
+    let tuned = PreScaler::new(&system, &db, 0.9).tune(&app)?;
+    println!(
+        "faulty system : {:.2}x speedup at quality {:.3} ({} trials{})",
+        tuned.speedup(),
+        tuned.eval.quality,
+        tuned.trials,
+        if tuned.config.is_baseline() {
+            ", full-precision fallback"
+        } else {
+            ""
+        },
+    );
+
+    // Same tuning on the clean twin, for comparison.
+    let clean = system.without_faults();
+    let clean_db = SystemInspector::inspect(&clean);
+    let reference = PreScaler::new(&clean, &clean_db, 0.9).tune(&app)?;
+    println!(
+        "clean system  : {:.2}x speedup at quality {:.3} ({} trials)",
+        reference.speedup(),
+        reference.eval.quality,
+        reference.trials,
+    );
+
+    // The guarantees the property suite enforces for *every* fault plan:
+    assert!(tuned.eval.quality >= 0.9 || tuned.config.is_baseline());
+    assert!(tuned.speedup() >= 1.0);
+    println!("guarantees hold: TOQ met (or baseline fallback), speedup >= 1");
+    Ok(())
+}

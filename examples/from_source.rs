@@ -114,20 +114,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Emit the precision-scaled kernel source the configuration implies
     //    (what the paper's LLVM backend would generate).
-    let retype: HashMap<String, Precision> = [
-        ("m", "M"),
-        ("v", "V"),
-        ("out", "OUT"),
-    ]
-    .into_iter()
-    .filter_map(|(param, label)| {
-        let obj = tuned.profile.scaling_order.iter().find(|o| o.label == label)?;
-        Some((
-            param.to_owned(),
-            tuned.config.target_for(label, obj.original),
-        ))
-    })
-    .collect();
+    let retype: HashMap<String, Precision> = [("m", "M"), ("v", "V"), ("out", "OUT")]
+        .into_iter()
+        .filter_map(|(param, label)| {
+            let obj = tuned
+                .profile
+                .scaling_order
+                .iter()
+                .find(|o| o.label == label)?;
+            Some((
+                param.to_owned(),
+                tuned.config.target_for(label, obj.original),
+            ))
+        })
+        .collect();
     for k in &app.program().kernels {
         let scaled = retype_buffers(k, &retype);
         println!("{}", kernel_to_string(&scaled));

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full workspace test suite, lints, formatting.
+# Everything runs offline — external crates are vendored as shims under
+# crates/compat/, so no registry access is needed (or attempted).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --workspace --offline
+cargo clippy --workspace --all-targets --offline -- -D warnings
+cargo fmt --all --check

@@ -76,7 +76,12 @@ fn all_benchmarks_agree_fully_scaled_to_half() {
 
 #[test]
 fn in_kernel_casts_agree() {
-    for kind in [BenchKind::Gemm, BenchKind::Atax, BenchKind::Corr, BenchKind::Fdtd2d] {
+    for kind in [
+        BenchKind::Gemm,
+        BenchKind::Atax,
+        BenchKind::Corr,
+        BenchKind::Fdtd2d,
+    ] {
         let app = PolyApp::tiny(kind);
         let mut spec = ScalingSpec::baseline();
         // Lower every kernel's every buffer param to single, in-kernel.

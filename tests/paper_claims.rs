@@ -97,9 +97,7 @@ fn random_inputs_enable_at_least_default_gains() {
     for input in [InputSet::Default, InputSet::Random] {
         let mut speedups = Vec::new();
         for kind in [BenchKind::Atax, BenchKind::Gesummv] {
-            let tuned = tuner
-                .tune(&PolyApp::scaled(kind, input, SCALE))
-                .unwrap();
+            let tuned = tuner.tune(&PolyApp::scaled(kind, input, SCALE)).unwrap();
             assert!(tuned.eval.quality >= 0.9);
             speedups.push(tuned.speedup());
         }

@@ -19,10 +19,8 @@ fn arb_method() -> impl Strategy<Value = HostMethod> {
     prop_oneof![
         Just(HostMethod::Loop),
         (2usize..32).prop_map(|threads| HostMethod::Multithread { threads }),
-        ((2usize..32), (2usize..16)).prop_map(|(threads, chunks)| HostMethod::Pipelined {
-            threads,
-            chunks
-        }),
+        ((2usize..32), (2usize..16))
+            .prop_map(|(threads, chunks)| HostMethod::Pipelined { threads, chunks }),
     ]
 }
 
@@ -97,7 +95,7 @@ fn uniform_precision_quality_is_monotone() {
     let system = SystemModel::system1();
     for kind in [BenchKind::Gemm, BenchKind::Atax, BenchKind::Corr] {
         let app = PolyApp::tiny(kind);
-        let mut spec_for = |p: Option<Precision>| {
+        let spec_for = |p: Option<Precision>| {
             let mut spec = ScalingSpec::baseline();
             if let Some(p) = p {
                 let mut s = Session::new(system.clone(), app.program(), spec.clone());
@@ -171,8 +169,7 @@ fn read_plans_round_through_configured_wire() {
     // binary16 granularity from the wire.
     assert_eq!(outs[0].1.precision(), Precision::Double);
     for v in outs[0].1.iter_f64() {
-        let through_half =
-            prescaler_fp16::F16::from_f64(v).to_f64();
+        let through_half = prescaler_fp16::F16::from_f64(v).to_f64();
         assert_eq!(v, through_half, "value {v} must sit on the f16 grid");
     }
 }
