@@ -47,7 +47,7 @@ fn bench_engines(c: &mut Criterion) {
     g.throughput(Throughput::Elements(flops));
     g.sample_size(20);
     g.bench_function(BenchmarkId::new("vm", n), |b| {
-        let compiled = compile_kernel(&k);
+        let compiled = compile_kernel(&k).unwrap();
         b.iter_batched(
             || bufs.clone(),
             |mut m| compiled.run(&mut m, &launch).unwrap(),

@@ -46,5 +46,5 @@ pub mod search_space;
 
 pub use inspector::{DbError, InspectorDb, SystemInspector};
 pub use profiler::{profile_app, AppProfile};
-pub use report::{conversion_distribution, type_distribution, ResultRow};
+pub use report::{conversion_distribution, type_distribution, GuardSummary, ResultRow};
 pub use search::{Evaluation, PreScaler, Tuned};

@@ -159,6 +159,33 @@ fn classify(
     }
 }
 
+/// Summary of one guarded-serving session (`prescaler-guard`): how the
+/// runtime quality sentinel behaved over a sequence of production runs.
+/// Lives here, next to the other report rows, so persisted experiment
+/// reports can embed it without the core depending on the guard crate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct GuardSummary {
+    /// Production runs served.
+    pub runs: u64,
+    /// Full-precision canary runs executed.
+    pub canary_runs: u64,
+    /// Virtual seconds spent on canary runs (the guard's overhead).
+    pub canary_secs: f64,
+    /// Per-object precision demotions applied.
+    pub demotions: u64,
+    /// Per-object precision re-promotions after recovery.
+    pub promotions: u64,
+    /// Runs served with at least one object demoted (or in fallback).
+    pub degraded_runs: u64,
+    /// Virtual seconds of production time spent degraded.
+    pub degraded_secs: f64,
+    /// Whether the global breaker fell back to the full-precision
+    /// baseline configuration.
+    pub fallback: bool,
+    /// Quality of the last canary-scored run, if any was taken.
+    pub final_quality: Option<f64>,
+}
+
 /// A complete per-benchmark result row (one bar group in Fig. 9/10).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ResultRow {

@@ -50,6 +50,10 @@ pub struct Tuned {
     pub trials: usize,
     /// The baseline profile (for reports).
     pub profile: AppProfile,
+    /// The target output quality the configuration was tuned against —
+    /// carried with the config so guarded serving can enforce the same
+    /// floor without re-deriving it.
+    pub toq: f64,
 }
 
 impl Tuned {
@@ -179,6 +183,7 @@ impl<'a> PreScaler<'a> {
             baseline_time: profile.baseline_time,
             trials,
             profile,
+            toq: self.toq,
         })
     }
 

@@ -41,15 +41,19 @@ pub enum FaultKind {
     DbGridCorruption,
     /// A virtual-clock measurement picks up multiplicative noise.
     ClockNoise,
+    /// A production run's inputs drift away from the tuning distribution
+    /// (modeled as a multiplicative gain on the generated input data).
+    InputDrift,
 }
 
 impl FaultKind {
-    const ALL: [FaultKind; 5] = [
+    const ALL: [FaultKind; 6] = [
         FaultKind::Transfer,
         FaultKind::KernelLaunch,
         FaultKind::BufferCorruption,
         FaultKind::DbGridCorruption,
         FaultKind::ClockNoise,
+        FaultKind::InputDrift,
     ];
 
     fn index(self) -> usize {
@@ -59,6 +63,7 @@ impl FaultKind {
             FaultKind::BufferCorruption => 2,
             FaultKind::DbGridCorruption => 3,
             FaultKind::ClockNoise => 4,
+            FaultKind::InputDrift => 5,
         }
     }
 
@@ -71,6 +76,7 @@ impl FaultKind {
             0x8CB9_2BA7_2F3D_8DD7,
             0xAAAA_AAAA_AAAA_AAAB,
             0x6A09_E667_F3BC_C909,
+            0xB7E1_5162_8AED_2A6B,
         ][self.index()]
     }
 }
@@ -122,6 +128,12 @@ pub struct FaultConfig {
     pub db_corruption_rate: f64,
     /// Relative amplitude of multiplicative clock noise (`0.1` = ±10%).
     pub clock_noise: f64,
+    /// Probability a production run's inputs drift.
+    pub input_drift_rate: f64,
+    /// Relative magnitude of input drift: a drifting run's inputs are
+    /// scaled by a gain in `[1 + m/2, 1 + m]` (`m = 0` means no drift even
+    /// when the rate fires).
+    pub input_drift_magnitude: f64,
 }
 
 impl Default for FaultConfig {
@@ -133,6 +145,8 @@ impl Default for FaultConfig {
             buffer_corruption_rate: 0.0,
             db_corruption_rate: 0.0,
             clock_noise: 0.0,
+            input_drift_rate: 0.0,
+            input_drift_magnitude: 0.0,
         }
     }
 }
@@ -145,6 +159,13 @@ impl FaultConfig {
             FaultKind::BufferCorruption => self.buffer_corruption_rate,
             FaultKind::DbGridCorruption => self.db_corruption_rate,
             FaultKind::ClockNoise => self.clock_noise,
+            FaultKind::InputDrift => {
+                if self.input_drift_magnitude > 0.0 {
+                    self.input_drift_rate
+                } else {
+                    0.0
+                }
+            }
         }
     }
 
@@ -166,7 +187,7 @@ pub struct FaultPlan {
 }
 
 #[derive(Debug, Default)]
-struct Counters([AtomicU64; 5]);
+struct Counters([AtomicU64; 6]);
 
 impl PartialEq for FaultPlan {
     fn eq(&self, other: &FaultPlan) -> bool {
@@ -242,6 +263,15 @@ impl FaultPlan {
     #[must_use]
     pub fn with_clock_noise(mut self, amplitude: f64) -> FaultPlan {
         self.config.clock_noise = amplitude;
+        self
+    }
+
+    /// Sets the input-drift rate and relative magnitude. A drifting run's
+    /// inputs are scaled by a gain in `[1 + magnitude/2, 1 + magnitude]`.
+    #[must_use]
+    pub fn with_input_drift(mut self, rate: f64, magnitude: f64) -> FaultPlan {
+        self.config.input_drift_rate = rate;
+        self.config.input_drift_magnitude = magnitude;
         self
     }
 
@@ -339,6 +369,21 @@ impl FaultPlan {
         let u = unit(self.draw(FaultKind::ClockNoise));
         (1.0 - a + 2.0 * a * u).max(0.05)
     }
+
+    /// Multiplicative input gain for the next production run.
+    ///
+    /// Exactly `1.0` when drift is disabled or the run is not selected;
+    /// otherwise uniform in `[1 + m/2, 1 + m]` for magnitude `m` — the
+    /// same seeded, replayable stream discipline as every other kind.
+    #[must_use]
+    pub fn input_drift_gain(&self) -> f64 {
+        if !self.fires(FaultKind::InputDrift) {
+            return 1.0;
+        }
+        let m = self.config.input_drift_magnitude;
+        let u = unit(self.draw(FaultKind::InputDrift));
+        1.0 + m * (0.5 + 0.5 * u)
+    }
 }
 
 impl fmt::Display for FaultPlan {
@@ -349,13 +394,15 @@ impl fmt::Display for FaultPlan {
         }
         write!(
             f,
-            "faults: seed={} transfer={} launch={} corrupt={} db={} noise={}",
+            "faults: seed={} transfer={} launch={} corrupt={} db={} noise={} drift={}x{}",
             c.seed,
             c.transfer_failure_rate,
             c.launch_failure_rate,
             c.buffer_corruption_rate,
             c.db_corruption_rate,
-            c.clock_noise
+            c.clock_noise,
+            c.input_drift_rate,
+            c.input_drift_magnitude
         )
     }
 }
@@ -378,6 +425,10 @@ impl serde::Serialize for FaultPlan {
         serde::Serialize::serialize(&c.db_corruption_rate, out);
         out.push_str(",\"clock_noise\":");
         serde::Serialize::serialize(&c.clock_noise, out);
+        out.push_str(",\"input_drift_rate\":");
+        serde::Serialize::serialize(&c.input_drift_rate, out);
+        out.push_str(",\"input_drift_magnitude\":");
+        serde::Serialize::serialize(&c.input_drift_magnitude, out);
         out.push('}');
     }
 }
@@ -404,6 +455,9 @@ impl serde::Deserialize for FaultPlan {
             buffer_corruption_rate: f("buffer_corruption_rate")?,
             db_corruption_rate: f("db_corruption_rate")?,
             clock_noise: f("clock_noise")?,
+            // Absent in pre-drift snapshots: defaults keep them inert.
+            input_drift_rate: f("input_drift_rate")?,
+            input_drift_magnitude: f("input_drift_magnitude")?,
         }))
     }
 
@@ -483,10 +537,45 @@ mod tests {
     }
 
     #[test]
+    fn inert_drift_is_exactly_unity() {
+        let plan = FaultPlan::none();
+        for _ in 0..100 {
+            assert!(plan.input_drift_gain() == 1.0);
+        }
+        // Magnitude zero keeps the kind inert even with a positive rate.
+        let rate_only = FaultPlan::seeded(5).with_input_drift(1.0, 0.0);
+        assert!(rate_only.is_inert());
+        assert!(rate_only.input_drift_gain() == 1.0);
+    }
+
+    #[test]
+    fn drift_gain_is_seeded_and_bounded() {
+        let collect =
+            |plan: &FaultPlan| -> Vec<f64> { (0..200).map(|_| plan.input_drift_gain()).collect() };
+        let a = FaultPlan::seeded(21).with_input_drift(0.5, 2.0);
+        let b = FaultPlan::seeded(21).with_input_drift(0.5, 2.0);
+        assert_eq!(collect(&a), collect(&b), "same seed, same drift stream");
+        a.reset();
+        let replay = collect(&a);
+        let mut drifted = 0;
+        for g in &replay {
+            if *g == 1.0 {
+                continue;
+            }
+            drifted += 1;
+            assert!((2.0..=3.0).contains(g), "gain {g} outside [1+m/2, 1+m]");
+        }
+        assert!((50..150).contains(&drifted), "drifted {drifted}/200");
+        let c = FaultPlan::seeded(22).with_input_drift(0.5, 2.0);
+        assert_ne!(replay, collect(&c), "different seed, different stream");
+    }
+
+    #[test]
     fn plan_round_trips_through_serde() {
         let plan = FaultPlan::seeded(9)
             .with_transfer_failures(0.1)
-            .with_clock_noise(0.05);
+            .with_clock_noise(0.05)
+            .with_input_drift(0.2, 1.5);
         let mut out = String::new();
         serde::Serialize::serialize(&plan, &mut out);
         let v = serde::json::parse(&out).unwrap();

@@ -1,0 +1,841 @@
+//! Guarded execution: a runtime quality sentinel with per-object
+//! precision rollback.
+//!
+//! The PreScaler tuner certifies a [`ScalingSpec`] against the inputs it
+//! was tuned on. In repeated production use the workload can drift — input
+//! magnitudes grow until a half-precision object overflows and output
+//! quality silently collapses. This crate wraps [`run_app`] in a **guarded
+//! execution mode** for such serving loops:
+//!
+//! * **Online checks** (free in virtual time): every production run's
+//!   host-visible outputs are scanned for NaN/Inf and for values outside a
+//!   magnitude envelope learned from the clean full-precision reference.
+//! * **Canary runs**: periodically — and immediately when the online scan
+//!   flags something — the same (possibly drifted) inputs are re-run at
+//!   full precision on the clean twin of the system and the production
+//!   output is scored with [`output_quality`]. The canary's virtual cost
+//!   is charged to the report's [`Timeline::guard_overhead`], never to the
+//!   production run itself.
+//! * **Per-object circuit breakers**: accumulated quality violations
+//!   demote the offending memory object's precision one step toward its
+//!   declared (full) precision. A demoted object cools down *closed →
+//!   open*; after enough clean runs it re-promotes one step and probes
+//!   *half-open* under forced canaries until the tuned precision is
+//!   restored or the probe fails.
+//! * **Global breaker**: when demotion runs out of room (or a production
+//!   run fails outright), the guard falls back to the full-precision
+//!   baseline spec — sticky — so guarded serving quality never ends below
+//!   the TOQ the configuration was tuned for.
+//!
+//! # Determinism
+//!
+//! The guard draws input drift from the system's seeded
+//! [`prescaler_faults::FaultPlan`] stream, so every guarded session is
+//! replayable. With an inert plan the drift gain is *exactly* 1.0 and no
+//! fault counter advances: guarded production runs are bit-identical — in
+//! outputs and per-run timeline — to unguarded ones.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use prescaler_core::report::GuardSummary;
+use prescaler_core::Tuned;
+use prescaler_ir::Precision;
+use prescaler_ocl::{run_app, HostApp, OclError, Outputs, PlanChoice, ScalingSpec, Timeline};
+use prescaler_polybench::{array_quality, output_quality};
+use prescaler_sim::{SimTime, SystemModel};
+
+/// Tunables of the sentinel. The defaults match the paper's TOQ of 0.9.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GuardPolicy {
+    /// Quality floor a canary-scored run must meet.
+    pub toq: f64,
+    /// Envelope = `envelope_factor` × the largest clean-reference output
+    /// magnitude; finite values beyond it trigger a canary.
+    pub envelope_factor: f64,
+    /// Canary-scored violations an object accumulates before demotion.
+    pub violation_threshold: u32,
+    /// Run a scheduled canary every N-th production run; `0` disables the
+    /// schedule and canaries run only when the online scans (or a
+    /// half-open probe) demand one.
+    pub canary_every: u64,
+    /// Clean runs an open breaker waits before probing re-promotion.
+    pub cooldown_runs: u32,
+    /// Total demotions after which the global breaker trips.
+    pub max_demotions: u64,
+}
+
+impl Default for GuardPolicy {
+    fn default() -> GuardPolicy {
+        GuardPolicy {
+            toq: 0.9,
+            envelope_factor: 4.0,
+            violation_threshold: 2,
+            canary_every: 4,
+            cooldown_runs: 3,
+            max_demotions: 8,
+        }
+    }
+}
+
+impl GuardPolicy {
+    /// The default policy at a specific TOQ.
+    #[must_use]
+    pub fn with_toq(toq: f64) -> GuardPolicy {
+        GuardPolicy {
+            toq,
+            ..GuardPolicy::default()
+        }
+    }
+
+    /// The policy matching a tuning result: same TOQ the search enforced.
+    #[must_use]
+    pub fn for_tuned(tuned: &Tuned) -> GuardPolicy {
+        GuardPolicy::with_toq(tuned.toq)
+    }
+}
+
+/// Circuit-breaker state of one guarded memory object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Serving at the tuned precision.
+    Closed,
+    /// Recently demoted; waiting out a cooldown before probing.
+    Open {
+        /// Clean runs left before the breaker half-opens.
+        cooldown_left: u32,
+    },
+    /// Tentatively re-promoted; every run is canary-scored until the
+    /// tuned precision is restored or the probe fails.
+    HalfOpen,
+}
+
+/// One breaker action taken by the guard.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GuardAction {
+    /// An object's device precision moved one step toward full precision.
+    Demoted {
+        /// Memory-object label.
+        label: String,
+        /// Precision before the demotion.
+        from: Precision,
+        /// Precision after the demotion.
+        to: Precision,
+    },
+    /// An object's device precision moved one step back toward its tuned
+    /// target.
+    Promoted {
+        /// Memory-object label.
+        label: String,
+        /// Precision before the promotion.
+        from: Precision,
+        /// Precision after the promotion.
+        to: Precision,
+    },
+    /// The global breaker tripped: the guard now serves the full-precision
+    /// baseline configuration (sticky).
+    FallbackEngaged,
+}
+
+/// One action with the production run it happened on (1-based).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GuardEvent {
+    /// Production-run index (1-based).
+    pub run: u64,
+    /// What the guard did.
+    pub action: GuardAction,
+}
+
+/// The verdict of one guarded production run.
+#[derive(Clone, Debug)]
+pub struct RunVerdict {
+    /// Production-run index (1-based).
+    pub run: u64,
+    /// Input drift gain drawn for this run (1.0 when not drifting).
+    pub gain: f64,
+    /// NaN/Inf elements seen across the run's outputs.
+    pub nonfinite: usize,
+    /// Finite output elements outside the magnitude envelope.
+    pub envelope_breaches: usize,
+    /// Quality of this run against its full-precision canary, when one
+    /// was scored.
+    pub canary_quality: Option<f64>,
+    /// Breaker actions taken after this run.
+    pub actions: Vec<GuardAction>,
+    /// Whether the run served a degraded (demoted or fallback) config.
+    pub degraded: bool,
+    /// The run's host-visible outputs.
+    pub outputs: Outputs,
+    /// The run's own timeline — bit-identical to an unguarded run's.
+    pub timeline: Timeline,
+}
+
+/// Cumulative account of a guarded serving session.
+#[derive(Clone, Debug, Default)]
+pub struct GuardReport {
+    /// Production runs served.
+    pub runs: u64,
+    /// Canary runs executed.
+    pub canary_runs: u64,
+    /// Canary-scored quality violations observed.
+    pub violations: u64,
+    /// Demotions applied.
+    pub demotions: u64,
+    /// Promotions applied (including tentative half-open probes).
+    pub promotions: u64,
+    /// Runs served while any object was demoted or fallback was active.
+    pub degraded_runs: u64,
+    /// Production time spent in a degraded state.
+    pub degraded_time: SimTime,
+    /// Whether the global breaker tripped.
+    pub fallback: bool,
+    /// Quality of the most recent canary-scored run.
+    pub last_canary_quality: Option<f64>,
+    /// Accumulated production timeline; canary cost lands exclusively in
+    /// its [`Timeline::guard_overhead`] field.
+    pub timeline: Timeline,
+    /// Every breaker action, in order.
+    pub history: Vec<GuardEvent>,
+}
+
+impl GuardReport {
+    /// The serializable summary embedded in experiment reports.
+    #[must_use]
+    pub fn summary(&self) -> GuardSummary {
+        GuardSummary {
+            runs: self.runs,
+            canary_runs: self.canary_runs,
+            canary_secs: self.timeline.guard_overhead.as_secs(),
+            demotions: self.demotions,
+            promotions: self.promotions,
+            degraded_runs: self.degraded_runs,
+            degraded_secs: self.degraded_time.as_secs(),
+            fallback: self.fallback,
+            final_quality: self.last_canary_quality,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct ObjectBreaker {
+    label: String,
+    declared: Precision,
+    tuned_target: Precision,
+    current: Precision,
+    write_plan: Option<PlanChoice>,
+    read_plan: Option<PlanChoice>,
+    violations: u32,
+    state: BreakerState,
+}
+
+fn rank(p: Precision) -> i8 {
+    match p {
+        Precision::Half => 0,
+        Precision::Single => 1,
+        Precision::Double => 2,
+    }
+}
+
+fn from_rank(r: i8) -> Precision {
+    match r {
+        0 => Precision::Half,
+        1 => Precision::Single,
+        _ => Precision::Double,
+    }
+}
+
+/// One ladder step from `from` toward `to` (identity when equal).
+fn step_toward(from: Precision, to: Precision) -> Precision {
+    let (f, t) = (rank(from), rank(to));
+    from_rank(f + (t - f).signum())
+}
+
+/// Guarded execution mode over one tuned configuration.
+///
+/// Create it once per serving session, then feed it production runs with
+/// [`Guard::run_production`]; close out with [`Guard::verify`] when a
+/// final quality certificate is needed.
+#[derive(Clone, Debug)]
+pub struct Guard {
+    policy: GuardPolicy,
+    system: SystemModel,
+    tuned: ScalingSpec,
+    active: ScalingSpec,
+    envelope: Vec<(String, f64)>,
+    breakers: Vec<ObjectBreaker>,
+    fallback: bool,
+    report: GuardReport,
+}
+
+impl Guard {
+    /// Builds a guard for `tuned` serving on `system`.
+    ///
+    /// Runs the undrifted app once at full precision on the clean twin of
+    /// `system` to learn the output magnitude envelope and the objects'
+    /// declared precisions. This setup run does not advance the
+    /// production system's fault stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`OclError`] from the reference run.
+    pub fn new(
+        app: &dyn HostApp,
+        system: &SystemModel,
+        tuned: ScalingSpec,
+        policy: GuardPolicy,
+    ) -> Result<Guard, OclError> {
+        let clean = system.without_faults();
+        let (reference, log) = run_app(app, &clean, &ScalingSpec::baseline())?;
+
+        let envelope = reference
+            .iter()
+            .map(|(label, data)| {
+                let mut max_abs = 0.0f64;
+                for i in 0..data.len() {
+                    let v = data.get(i);
+                    if v.is_finite() {
+                        max_abs = max_abs.max(v.abs());
+                    }
+                }
+                (label.clone(), policy.envelope_factor * max_abs.max(1e-9))
+            })
+            .collect();
+
+        // Breakers in descending effective-time order: when a violation
+        // cannot be pinned on an output object, the costliest scaled
+        // object is the deterministic first suspect.
+        let mut breakers = Vec::new();
+        for label in log.objects_by_effective_time() {
+            let Some(&target) = tuned.object_targets.get(&label) else {
+                continue;
+            };
+            let declared = log.object(&label).map_or(Precision::Double, |o| o.declared);
+            if target == declared {
+                continue;
+            }
+            breakers.push(ObjectBreaker {
+                write_plan: tuned.write_plans.get(&label).copied(),
+                read_plan: tuned.read_plans.get(&label).copied(),
+                label,
+                declared,
+                tuned_target: target,
+                current: target,
+                violations: 0,
+                state: BreakerState::Closed,
+            });
+        }
+
+        Ok(Guard {
+            policy,
+            system: system.clone(),
+            active: tuned.clone(),
+            tuned,
+            envelope,
+            breakers,
+            fallback: false,
+            report: GuardReport::default(),
+        })
+    }
+
+    /// The configuration production runs currently execute under.
+    #[must_use]
+    pub fn active_spec(&self) -> &ScalingSpec {
+        &self.active
+    }
+
+    /// Whether the global breaker has tripped.
+    #[must_use]
+    pub fn fallback_active(&self) -> bool {
+        self.fallback
+    }
+
+    /// The cumulative report so far.
+    #[must_use]
+    pub fn report(&self) -> &GuardReport {
+        &self.report
+    }
+
+    /// Breaker state of one guarded object, if it is guarded.
+    #[must_use]
+    pub fn breaker_state(&self, label: &str) -> Option<BreakerState> {
+        self.breakers
+            .iter()
+            .find(|b| b.label == label)
+            .map(|b| b.state)
+    }
+
+    /// Serves one production run: draws the next input drift gain from
+    /// the system's fault stream, obtains the run's app via `app_at`,
+    /// executes it under the active configuration, applies the sentinel
+    /// checks and breaker transitions, and returns the verdict.
+    ///
+    /// # Errors
+    ///
+    /// A failing production run engages the baseline fallback and is
+    /// retried once; the error is propagated only if the baseline run
+    /// fails too (or fallback was already active).
+    pub fn run_production<A: HostApp>(
+        &mut self,
+        app_at: impl Fn(f64) -> A,
+    ) -> Result<RunVerdict, OclError> {
+        let gain = self.system.faults.input_drift_gain();
+        let app = app_at(gain);
+        self.run_once(&app, gain, false)
+    }
+
+    /// Runs production until the session's quality is certified: the run
+    /// is canary-scored, and on violation the breaker actions are applied
+    /// and the *same* drifted inputs are retried until quality reaches
+    /// TOQ or the baseline fallback engages. Returns the last scored
+    /// quality.
+    ///
+    /// By construction, after `verify` returns either the final quality
+    /// is at least TOQ or [`Guard::fallback_active`] is true.
+    ///
+    /// # Errors
+    ///
+    /// Propagates production-run errors as [`Guard::run_production`].
+    pub fn verify<A: HostApp>(&mut self, app_at: impl Fn(f64) -> A) -> Result<f64, OclError> {
+        let gain = self.system.faults.input_drift_gain();
+        let app = app_at(gain);
+        // Demotion is monotone, so the ladder bounds the retries.
+        let max_rounds =
+            (self.breakers.len() as u64 * 2 + 2) * u64::from(self.policy.violation_threshold) + 2;
+        let mut quality = 0.0;
+        for _ in 0..max_rounds {
+            let verdict = self.run_once(&app, gain, true)?;
+            quality = verdict
+                .canary_quality
+                .expect("forced canary always scores the run");
+            if quality >= self.policy.toq || self.fallback {
+                return Ok(quality);
+            }
+        }
+        Ok(quality)
+    }
+
+    fn run_once(
+        &mut self,
+        app: &dyn HostApp,
+        gain: f64,
+        force_canary: bool,
+    ) -> Result<RunVerdict, OclError> {
+        let run = self.report.runs + 1;
+        let mut actions = Vec::new();
+
+        let (outputs, log) = match run_app(app, &self.system, &self.active) {
+            Ok(ok) => ok,
+            Err(_) if !self.fallback && !self.active.is_baseline() => {
+                // A scaled production run died (exhausted retries, spec
+                // bug…): degrade to the baseline and serve from there.
+                self.engage_fallback(run, &mut actions);
+                run_app(app, &self.system, &self.active)?
+            }
+            Err(e2) => return Err(e2),
+        };
+        let timeline = log.timeline;
+
+        // Online scans — piggyback on the outputs already in host memory,
+        // so they cost nothing in virtual time.
+        let mut nonfinite = 0usize;
+        let mut breaches = 0usize;
+        for (label, data) in &outputs {
+            let env = self
+                .envelope
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, e)| *e);
+            for i in 0..data.len() {
+                let v = data.get(i);
+                if !v.is_finite() {
+                    nonfinite += 1;
+                } else if env.is_some_and(|e| v.abs() > e) {
+                    breaches += 1;
+                }
+            }
+        }
+
+        let probing = self
+            .breakers
+            .iter()
+            .any(|b| b.state == BreakerState::HalfOpen);
+        let scheduled =
+            self.policy.canary_every > 0 && run.is_multiple_of(self.policy.canary_every);
+        let canary_due = force_canary || scheduled || probing || nonfinite > 0 || breaches > 0;
+
+        let mut canary_quality = None;
+        if canary_due {
+            // Same (drifted) inputs, full precision, clean twin. The cost
+            // is the sentinel's, not the production run's.
+            let clean = self.system.without_faults();
+            let (reference, canary_log) = run_app(app, &clean, &ScalingSpec::baseline())?;
+            self.report.canary_runs += 1;
+            self.report.timeline.guard_overhead += canary_log.timeline.total();
+            let q = output_quality(&reference, &outputs);
+            canary_quality = Some(q);
+            self.report.last_canary_quality = Some(q);
+
+            if q < self.policy.toq {
+                self.report.violations += 1;
+                self.on_violation(run, &reference, &outputs, &mut actions);
+            } else {
+                self.on_clean_scored(run, &mut actions);
+            }
+        } else {
+            self.on_clean_unscored();
+        }
+
+        let degraded = self.fallback || self.breakers.iter().any(|b| b.current != b.tuned_target);
+        self.report.runs = run;
+        self.report.timeline.accumulate(&timeline);
+        if degraded {
+            self.report.degraded_runs += 1;
+            self.report.degraded_time += timeline.total();
+        }
+
+        Ok(RunVerdict {
+            run,
+            gain,
+            nonfinite,
+            envelope_breaches: breaches,
+            canary_quality,
+            actions,
+            degraded,
+            outputs,
+            timeline,
+        })
+    }
+
+    /// A canary scored the run below TOQ: charge the offender.
+    fn on_violation(
+        &mut self,
+        run: u64,
+        reference: &Outputs,
+        outputs: &Outputs,
+        actions: &mut Vec<GuardAction>,
+    ) {
+        if self.fallback {
+            return; // already serving the baseline; nothing left to demote
+        }
+        // Pin the violation on the worst output's object when that object
+        // is guarded and still demotable; otherwise on the first demotable
+        // breaker in effective-time order.
+        let worst = reference
+            .iter()
+            .zip(outputs)
+            .map(|((label, r), (_, t))| (label.clone(), array_quality(r, t)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(label, _)| label);
+        let offender = worst
+            .and_then(|label| {
+                self.breakers
+                    .iter()
+                    .position(|b| b.label == label && b.current != b.declared)
+            })
+            .or_else(|| self.breakers.iter().position(|b| b.current != b.declared));
+
+        let Some(i) = offender else {
+            // Nothing demotable is left — quality cannot be bought back by
+            // rolling precision; trip the global breaker.
+            self.engage_fallback(run, actions);
+            return;
+        };
+
+        let b = &mut self.breakers[i];
+        b.violations += 1;
+        let probe_failed = b.state == BreakerState::HalfOpen;
+        if b.violations < self.policy.violation_threshold && !probe_failed {
+            return;
+        }
+
+        let from = b.current;
+        let to = step_toward(from, b.declared);
+        b.current = to;
+        b.violations = 0;
+        b.state = BreakerState::Open {
+            cooldown_left: self.policy.cooldown_runs,
+        };
+        let label = b.label.clone();
+        self.apply_object(i);
+        self.report.demotions += 1;
+        self.push_action(run, GuardAction::Demoted { label, from, to }, actions);
+
+        if self.report.demotions > self.policy.max_demotions {
+            self.engage_fallback(run, actions);
+        }
+    }
+
+    /// A canary scored the run at or above TOQ.
+    fn on_clean_scored(&mut self, run: u64, actions: &mut Vec<GuardAction>) {
+        if self.fallback {
+            return;
+        }
+        for i in 0..self.breakers.len() {
+            self.breakers[i].violations = self.breakers[i].violations.saturating_sub(1);
+            match self.breakers[i].state {
+                BreakerState::Closed => {}
+                BreakerState::Open { cooldown_left } => {
+                    let left = cooldown_left.saturating_sub(1);
+                    if left > 0 {
+                        self.breakers[i].state = BreakerState::Open {
+                            cooldown_left: left,
+                        };
+                    } else {
+                        // Probe: tentatively promote one step and force
+                        // canary scoring until confirmed or refuted.
+                        self.breakers[i].state = BreakerState::HalfOpen;
+                        self.promote_step(i, run, actions);
+                    }
+                }
+                BreakerState::HalfOpen => {
+                    // The probe survived a scored run.
+                    if self.breakers[i].current == self.breakers[i].tuned_target {
+                        self.breakers[i].state = BreakerState::Closed;
+                        self.breakers[i].violations = 0;
+                    } else {
+                        self.promote_step(i, run, actions);
+                    }
+                }
+            }
+        }
+    }
+
+    /// An unscored run: only open-breaker cooldowns advance (half-open
+    /// probes are always scored, so they cannot land here).
+    fn on_clean_unscored(&mut self) {
+        if self.fallback {
+            return;
+        }
+        for b in &mut self.breakers {
+            if let BreakerState::Open { cooldown_left } = b.state {
+                b.state = BreakerState::Open {
+                    cooldown_left: cooldown_left.saturating_sub(1).max(1),
+                };
+            }
+        }
+    }
+
+    fn promote_step(&mut self, i: usize, run: u64, actions: &mut Vec<GuardAction>) {
+        let b = &mut self.breakers[i];
+        let from = b.current;
+        let to = step_toward(from, b.tuned_target);
+        if to == from {
+            return;
+        }
+        b.current = to;
+        let label = b.label.clone();
+        self.apply_object(i);
+        self.report.promotions += 1;
+        self.push_action(run, GuardAction::Promoted { label, from, to }, actions);
+    }
+
+    /// Re-materializes one breaker's object in the active spec: tuned
+    /// plans only apply at the tuned precision; any other precision runs
+    /// with the runtime's always-correct default conversion.
+    fn apply_object(&mut self, i: usize) {
+        let b = &self.breakers[i];
+        if b.current == b.declared {
+            self.active.object_targets.remove(&b.label);
+        } else {
+            self.active
+                .object_targets
+                .insert(b.label.clone(), b.current);
+        }
+        if b.current == b.tuned_target {
+            match b.write_plan {
+                Some(p) => {
+                    self.active.write_plans.insert(b.label.clone(), p);
+                }
+                None => {
+                    self.active.write_plans.remove(&b.label);
+                }
+            }
+            match b.read_plan {
+                Some(p) => {
+                    self.active.read_plans.insert(b.label.clone(), p);
+                }
+                None => {
+                    self.active.read_plans.remove(&b.label);
+                }
+            }
+        } else {
+            self.active.write_plans.remove(&b.label);
+            self.active.read_plans.remove(&b.label);
+        }
+    }
+
+    fn engage_fallback(&mut self, run: u64, actions: &mut Vec<GuardAction>) {
+        if self.fallback {
+            return;
+        }
+        self.fallback = true;
+        self.report.fallback = true;
+        self.active = ScalingSpec::baseline();
+        self.push_action(run, GuardAction::FallbackEngaged, actions);
+    }
+
+    fn push_action(&mut self, run: u64, action: GuardAction, actions: &mut Vec<GuardAction>) {
+        self.report.history.push(GuardEvent {
+            run,
+            action: action.clone(),
+        });
+        actions.push(action);
+    }
+
+    /// The tuned configuration the guard protects (unchanged by breaker
+    /// activity).
+    #[must_use]
+    pub fn tuned_spec(&self) -> &ScalingSpec {
+        &self.tuned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prescaler_faults::FaultPlan;
+    use prescaler_polybench::{BenchKind, Dims, InputSet, PolyApp};
+
+    fn gemm_app() -> PolyApp {
+        PolyApp::new(BenchKind::Gemm, Dims::square(16), InputSet::Random, 7)
+    }
+
+    fn half_spec() -> ScalingSpec {
+        let mut spec = ScalingSpec::baseline();
+        for label in ["A", "B", "C"] {
+            spec = spec.with_target(label, Precision::Half);
+        }
+        spec
+    }
+
+    #[test]
+    fn clean_guarded_runs_are_bit_identical_to_unguarded() {
+        let system = SystemModel::system1();
+        let app = gemm_app();
+        let mut guard = Guard::new(&app, &system, half_spec(), GuardPolicy::default()).unwrap();
+        for _ in 0..6 {
+            let v = guard
+                .run_production(|gain| gemm_app().with_input_gain(gain))
+                .unwrap();
+            assert_eq!(v.gain, 1.0);
+            let (unguarded, log) = run_app(&app, &system, &half_spec()).unwrap();
+            assert_eq!(v.outputs, unguarded, "outputs must be bit-identical");
+            assert_eq!(v.timeline, log.timeline, "per-run timelines must match");
+            assert!(!v.degraded);
+            assert!(v.actions.is_empty());
+        }
+        assert_eq!(guard.report().runs, 6);
+        assert_eq!(guard.report().demotions, 0);
+        assert!(!guard.fallback_active());
+    }
+
+    #[test]
+    fn anomaly_driven_policy_has_zero_idle_overhead() {
+        let system = SystemModel::system1();
+        let app = gemm_app();
+        let policy = GuardPolicy {
+            canary_every: 0,
+            ..GuardPolicy::default()
+        };
+        let mut guard = Guard::new(&app, &system, half_spec(), policy).unwrap();
+        for _ in 0..5 {
+            guard
+                .run_production(|gain| gemm_app().with_input_gain(gain))
+                .unwrap();
+        }
+        assert_eq!(guard.report().canary_runs, 0);
+        assert_eq!(guard.report().timeline.guard_overhead, SimTime::ZERO);
+    }
+
+    #[test]
+    fn drift_demotes_and_recovery_repromotes() {
+        // Every run drifts by a gain large enough to overflow binary16
+        // inner products…
+        let drifting = FaultPlan::seeded(11).with_input_drift(1.0, 510.0);
+        let system = SystemModel::system1().with_faults(drifting);
+        let app = gemm_app();
+        let mut guard = Guard::new(&app, &system, half_spec(), GuardPolicy::default()).unwrap();
+        let mut demoted = false;
+        for _ in 0..4 {
+            let v = guard
+                .run_production(|gain| gemm_app().with_input_gain(gain))
+                .unwrap();
+            assert!(v.gain > 1.0, "drift plan fires every run");
+            demoted |= v
+                .actions
+                .iter()
+                .any(|a| matches!(a, GuardAction::Demoted { .. }));
+        }
+        assert!(demoted, "sustained drift must trip a breaker");
+        assert!(guard.report().degraded_runs > 0);
+        let q = guard
+            .verify(|gain| gemm_app().with_input_gain(gain))
+            .unwrap();
+        assert!(
+            q >= 0.9 || guard.fallback_active(),
+            "verify certifies TOQ or fallback, got {q}"
+        );
+        // …and once the drift stops, cooldown leads to re-promotion.
+        let calm = SystemModel::system1().with_faults(FaultPlan::seeded(11));
+        let mut calm_guard = Guard {
+            system: calm,
+            ..guard.clone()
+        };
+        if !calm_guard.fallback_active() {
+            for _ in 0..20 {
+                calm_guard
+                    .run_production(|gain| gemm_app().with_input_gain(gain))
+                    .unwrap();
+            }
+            assert!(
+                calm_guard.report().promotions > 0,
+                "clean runs must probe the breaker back toward the tuned spec"
+            );
+        }
+    }
+
+    #[test]
+    fn ladder_steps_are_single_and_directed() {
+        assert_eq!(
+            step_toward(Precision::Half, Precision::Double),
+            Precision::Single
+        );
+        assert_eq!(
+            step_toward(Precision::Single, Precision::Double),
+            Precision::Double
+        );
+        assert_eq!(
+            step_toward(Precision::Double, Precision::Half),
+            Precision::Single
+        );
+        assert_eq!(
+            step_toward(Precision::Half, Precision::Half),
+            Precision::Half
+        );
+    }
+
+    #[test]
+    fn report_summary_round_trips_the_counters() {
+        let mut report = GuardReport {
+            runs: 10,
+            canary_runs: 3,
+            demotions: 2,
+            promotions: 1,
+            degraded_runs: 4,
+            fallback: false,
+            last_canary_quality: Some(0.95),
+            ..GuardReport::default()
+        };
+        report.timeline.guard_overhead = SimTime::from_secs(0.5);
+        report.degraded_time = SimTime::from_secs(2.0);
+        let s = report.summary();
+        assert_eq!(s.runs, 10);
+        assert_eq!(s.canary_runs, 3);
+        assert_eq!(s.demotions, 2);
+        assert_eq!(s.promotions, 1);
+        assert_eq!(s.degraded_runs, 4);
+        assert!((s.canary_secs - 0.5).abs() < 1e-12);
+        assert!((s.degraded_secs - 2.0).abs() < 1e-12);
+        assert_eq!(s.final_quality, Some(0.95));
+    }
+}

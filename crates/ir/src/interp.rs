@@ -106,6 +106,15 @@ pub enum ExecError {
         /// Buffer length.
         len: usize,
     },
+    /// A variable was used or assigned without being declared — a
+    /// malformed kernel that bypassed the type checker.
+    UnboundVar(String),
+    /// A load/store targeted a name that is not a buffer parameter.
+    NotABuffer(String),
+    /// A value had the wrong runtime kind for its context (e.g. a float
+    /// where an index was expected, a boolean in arithmetic) — a
+    /// malformed kernel that bypassed the type checker.
+    KindError(String),
 }
 
 impl fmt::Display for ExecError {
@@ -130,6 +139,9 @@ impl fmt::Display for ExecError {
                     "index {index} out of bounds for buffer `{buf}` (len {len})"
                 )
             }
+            ExecError::UnboundVar(n) => write!(f, "variable `{n}` is not declared"),
+            ExecError::NotABuffer(n) => write!(f, "`{n}` is not a buffer parameter"),
+            ExecError::KindError(what) => write!(f, "kind error: {what}"),
         }
     }
 }
@@ -255,6 +267,17 @@ impl<'a> Interp<'a> {
         self.scalars.get(name).copied()
     }
 
+    /// The innermost scope. Self-healing rather than panicking: a caller
+    /// that somehow drained the stack gets a fresh scope, so a malformed
+    /// kernel degrades into a typed error downstream instead of aborting.
+    fn top_scope(&mut self) -> &mut HashMap<&'a str, Scalar> {
+        if self.locals.is_empty() {
+            self.locals.push(HashMap::new());
+        }
+        let top = self.locals.len() - 1;
+        &mut self.locals[top]
+    }
+
     fn stmt(&mut self, stmt: &'a Stmt) -> Result<(), ExecError> {
         match stmt {
             Stmt::Let { name, ty, value } => {
@@ -266,16 +289,13 @@ impl<'a> Interp<'a> {
                 if let Some(t) = ty {
                     v = self.coerce(v, self.kernel.resolve(t));
                 }
-                self.locals
-                    .last_mut()
-                    .expect("scope stack is never empty")
-                    .insert(name.as_str(), v);
+                self.top_scope().insert(name.as_str(), v);
                 Ok(())
             }
             Stmt::Assign { name, value } => {
                 let current = self
                     .lookup(name)
-                    .expect("checked: assignment targets are declared");
+                    .ok_or_else(|| ExecError::UnboundVar(name.clone()))?;
                 let hint = current.precision();
                 let v = self.eval(value, hint)?;
                 let v = self.coerce(v, current.scalar_type());
@@ -285,15 +305,22 @@ impl<'a> Interp<'a> {
                         return Ok(());
                     }
                 }
-                unreachable!("checked: `{name}` is a declared local");
+                // The checker guarantees assignment targets are locals; a
+                // kernel that bypassed it degrades into a typed error.
+                Err(ExecError::UnboundVar(name.clone()))
             }
             Stmt::Store { buf, index, value } => {
                 let elem = self
                     .kernel
                     .buffer_elem(buf)
-                    .expect("checked: store target is a buffer");
-                let idx = self.eval(index, None)?.as_int();
+                    .ok_or_else(|| ExecError::NotABuffer(buf.clone()))?;
+                let idx = self.eval(index, None)?.try_int().ok_or_else(|| {
+                    ExecError::KindError(format!("index into `{buf}` must be an integer"))
+                })?;
                 let v = self.eval(value, Some(elem))?;
+                let stored = v.try_f64().ok_or_else(|| {
+                    ExecError::KindError(format!("cannot store a boolean into `{buf}`"))
+                })?;
                 // Implicit store conversion is a real convert instruction
                 // when the value's precision differs from the buffer's.
                 if v.precision() != Some(elem) {
@@ -302,7 +329,7 @@ impl<'a> Interp<'a> {
                 let arr = self
                     .buffers
                     .get_mut(buf.as_str())
-                    .expect("validated at launch");
+                    .ok_or_else(|| ExecError::MissingBuffer(buf.clone()))?;
                 let len = arr.len();
                 if idx < 0 || idx as usize >= len {
                     return Err(ExecError::OutOfBounds {
@@ -312,7 +339,7 @@ impl<'a> Interp<'a> {
                     });
                 }
                 self.counts.at_mut(elem).stores += 1;
-                arr.set(idx as usize, v.as_f64());
+                arr.set(idx as usize, stored);
                 Ok(())
             }
             Stmt::For {
@@ -321,16 +348,17 @@ impl<'a> Interp<'a> {
                 end,
                 body,
             } => {
-                let s = self.eval(start, None)?.as_int();
-                let e = self.eval(end, None)?.as_int();
+                let s = self.eval(start, None)?.try_int().ok_or_else(|| {
+                    ExecError::KindError(format!("loop bound for `{var}` must be an integer"))
+                })?;
+                let e = self.eval(end, None)?.try_int().ok_or_else(|| {
+                    ExecError::KindError(format!("loop bound for `{var}` must be an integer"))
+                })?;
                 // Loop bookkeeping: one compare + one increment per trip.
                 self.counts.int_ops += 2 * (e - s).max(0) as u64;
                 self.scope(|cx| {
                     for i in s..e {
-                        cx.locals
-                            .last_mut()
-                            .expect("scope stack is never empty")
-                            .insert(var.as_str(), Scalar::Int(i));
+                        cx.top_scope().insert(var.as_str(), Scalar::Int(i));
                         cx.block(body)?;
                     }
                     Ok(())
@@ -341,7 +369,10 @@ impl<'a> Interp<'a> {
                 then_body,
                 else_body,
             } => {
-                let c = self.eval(cond, None)?.as_bool();
+                let c = self
+                    .eval(cond, None)?
+                    .try_bool()
+                    .ok_or_else(|| ExecError::KindError("if condition must be a boolean".into()))?;
                 if c {
                     self.scope(|cx| cx.block(then_body))
                 } else {
@@ -382,12 +413,17 @@ impl<'a> Interp<'a> {
             Expr::FloatConst(v) => Ok(Scalar::float(*v, hint.unwrap_or(Precision::Double))),
             Expr::IntConst(v) => Ok(Scalar::Int(*v)),
             Expr::GlobalId(d) => Ok(Scalar::Int(if *d < 2 { self.gid[*d] } else { 0 })),
-            Expr::Var(name) => Ok(self
+            Expr::Var(name) => self
                 .lookup(name)
-                .expect("checked: variables are bound before use")),
+                .ok_or_else(|| ExecError::UnboundVar(name.clone())),
             Expr::Load { buf, index } => {
-                let idx = self.eval(index, None)?.as_int();
-                let arr = self.buffers.get(buf.as_str()).expect("validated at launch");
+                let idx = self.eval(index, None)?.try_int().ok_or_else(|| {
+                    ExecError::KindError(format!("index into `{buf}` must be an integer"))
+                })?;
+                let arr = self
+                    .buffers
+                    .get(buf.as_str())
+                    .ok_or_else(|| ExecError::MissingBuffer(buf.clone()))?;
                 let len = arr.len();
                 if idx < 0 || idx as usize >= len {
                     return Err(ExecError::OutOfBounds {
@@ -397,13 +433,23 @@ impl<'a> Interp<'a> {
                     });
                 }
                 let v = arr.get_scalar(idx as usize);
-                self.counts
-                    .at_mut(v.precision().expect("buffers hold floats"))
-                    .loads += 1;
+                match v.precision() {
+                    Some(p) => self.counts.at_mut(p).loads += 1,
+                    None => {
+                        return Err(ExecError::KindError(format!(
+                            "buffer `{buf}` yielded a non-float value"
+                        )))
+                    }
+                }
                 Ok(v)
             }
             Expr::Unary { op, arg } => {
                 let v = self.eval(arg, hint)?;
+                if matches!(v, Scalar::Bool(_)) {
+                    return Err(ExecError::KindError(
+                        "boolean passed to a math function".into(),
+                    ));
+                }
                 match v.precision() {
                     Some(p) => {
                         let slot = self.counts.at_mut(p);
@@ -418,11 +464,17 @@ impl<'a> Interp<'a> {
             }
             Expr::Bin { op, lhs, rhs } => {
                 let (a, b) = self.eval_pair(lhs, rhs, hint)?;
+                if matches!(a, Scalar::Bool(_)) || matches!(b, Scalar::Bool(_)) {
+                    return Err(ExecError::KindError("boolean operand in arithmetic".into()));
+                }
                 self.count_bin(*op, a, b);
                 Ok(Scalar::binop(*op, a, b))
             }
             Expr::Cmp { op, lhs, rhs } => {
                 let (a, b) = self.eval_pair(lhs, rhs, None)?;
+                if matches!(a, Scalar::Bool(_)) || matches!(b, Scalar::Bool(_)) {
+                    return Err(ExecError::KindError("boolean operand in comparison".into()));
+                }
                 match promoted(a, b) {
                     Some(p) => self.counts.at_mut(p).cmp += 1,
                     None => self.counts.int_ops += 1,
@@ -434,7 +486,9 @@ impl<'a> Interp<'a> {
                 Ok(self.coerce(v, self.kernel.resolve(to)))
             }
             Expr::Select { cond, then, els } => {
-                let c = self.eval(cond, None)?.as_bool();
+                let c = self.eval(cond, None)?.try_bool().ok_or_else(|| {
+                    ExecError::KindError("select condition must be a boolean".into())
+                })?;
                 // Both sides are evaluated on a GPU (predication), but only
                 // the taken side's value is kept; we evaluate both so the
                 // counts reflect lock-step SIMT execution.
@@ -765,5 +819,47 @@ mod tests {
     fn eval_cmp_helper() {
         assert!(eval_cmp(CmpOp::Lt, 1.0, 2.0));
         assert!(!eval_cmp(CmpOp::Gt, 1.0, 2.0));
+    }
+
+    #[test]
+    fn malformed_kernels_degrade_into_typed_errors() {
+        // Kernels that bypassed the type checker must surface typed
+        // errors, never panic — a guarded run degrades instead of
+        // aborting.
+        let unbound = kernel("bad_var")
+            .buffer("c", Precision::Double, Access::Write)
+            .body(vec![store("c", int(0), var("ghost"))]);
+        let mut bufs = BufferMap::new();
+        bufs.insert("c".into(), FloatVec::zeros(1, Precision::Double));
+        let err = run_kernel(&unbound, &mut bufs, &Launch::one_d(1)).unwrap_err();
+        assert!(matches!(err, ExecError::UnboundVar(_)), "{err}");
+
+        let not_a_buffer =
+            kernel("bad_store")
+                .int_param("n")
+                .body(vec![store("n", int(0), flit(1.0))]);
+        let err = run_kernel(
+            &not_a_buffer,
+            &mut BufferMap::new(),
+            &Launch::one_d(1).arg_int("n", 1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::NotABuffer(_)), "{err}");
+
+        let float_index = kernel("bad_index")
+            .buffer("c", Precision::Double, Access::Write)
+            .body(vec![store("c", flit(0.5), flit(1.0))]);
+        let mut bufs = BufferMap::new();
+        bufs.insert("c".into(), FloatVec::zeros(1, Precision::Double));
+        let err = run_kernel(&float_index, &mut bufs, &Launch::one_d(1)).unwrap_err();
+        assert!(matches!(err, ExecError::KindError(_)), "{err}");
+
+        let bool_math = kernel("bad_bool")
+            .buffer("c", Precision::Double, Access::Write)
+            .body(vec![store("c", int(0), lt(int(0), int(1)) + flit(1.0))]);
+        let mut bufs = BufferMap::new();
+        bufs.insert("c".into(), FloatVec::zeros(1, Precision::Double));
+        let err = run_kernel(&bool_math, &mut bufs, &Launch::one_d(1)).unwrap_err();
+        assert!(matches!(err, ExecError::KindError(_)), "{err}");
     }
 }

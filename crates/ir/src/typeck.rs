@@ -162,7 +162,11 @@ impl Ctx<'_> {
         if self.kernel.param(name).is_some() {
             return Err(self.err(format!("`{name}` shadows a kernel parameter")));
         }
-        let scope = self.scopes.last_mut().expect("at least one scope");
+        if self.scopes.is_empty() {
+            self.scopes.push(HashMap::new());
+        }
+        let top = self.scopes.len() - 1;
+        let scope = &mut self.scopes[top];
         if scope.insert(name.to_owned(), b).is_some() {
             return Err(self.err(format!("redeclaration of `{name}` in the same scope")));
         }

@@ -89,6 +89,35 @@ impl Scalar {
         }
     }
 
+    /// Numeric view, or `None` for booleans — the non-panicking twin of
+    /// [`Scalar::as_f64`] for callers that must degrade on malformed
+    /// kernels instead of aborting.
+    #[must_use]
+    pub fn try_f64(&self) -> Option<f64> {
+        match self {
+            Scalar::Bool(_) => None,
+            other => Some(other.as_f64()),
+        }
+    }
+
+    /// Integer view, or `None` unless the value is `Int`.
+    #[must_use]
+    pub fn try_int(&self) -> Option<i64> {
+        match self {
+            Scalar::Int(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Boolean view, or `None` unless the value is `Bool`.
+    #[must_use]
+    pub fn try_bool(&self) -> Option<bool> {
+        match self {
+            Scalar::Bool(x) => Some(*x),
+            _ => None,
+        }
+    }
+
     /// Converts to the given float precision with a single rounding, as an
     /// explicit `convert_<type>()` OpenCL call or C cast would.
     #[must_use]

@@ -191,10 +191,15 @@ impl Val {
 
 /// Compiles a kernel to bytecode.
 ///
-/// The kernel must already pass [`crate::typeck::check_kernel`]; the
-/// compiler `panic!`s on constructs the checker rejects.
-#[must_use]
-pub fn compile_kernel(kernel: &Kernel) -> CompiledKernel {
+/// Kernels that pass [`crate::typeck::check_kernel`] always compile;
+/// malformed ones degrade into the same typed [`ExecError`]s the
+/// interpreter reports instead of panicking.
+///
+/// # Errors
+///
+/// Returns [`ExecError::UnboundVar`], [`ExecError::NotABuffer`], or
+/// [`ExecError::KindError`] for constructs the type checker rejects.
+pub fn compile_kernel(kernel: &Kernel) -> Result<CompiledKernel, ExecError> {
     let mut c = Compiler {
         kernel,
         ops: Vec::new(),
@@ -234,23 +239,27 @@ pub fn compile_kernel(kernel: &Kernel) -> CompiledKernel {
                     });
                     c.scopes[0].insert(name.clone(), (Val::F(reg), CTy::F(prec)));
                 }
-                ScalarType::Bool => unreachable!("checked: no bool parameters"),
+                ScalarType::Bool => {
+                    return Err(ExecError::KindError(format!(
+                        "parameter `{name}` declares a boolean type"
+                    )));
+                }
             },
         }
     }
 
-    c.block(&kernel.body);
+    c.block(&kernel.body)?;
     c.flush();
     c.ops.push(Op::Halt);
 
-    CompiledKernel {
+    Ok(CompiledKernel {
         name: kernel.name.clone(),
         ops: c.ops,
         counts_table: c.counts_table,
         params: c.params,
         n_iregs: c.next_i,
         n_fregs: c.next_f,
-    }
+    })
 }
 
 struct Compiler<'k> {
@@ -278,13 +287,22 @@ impl<'k> Compiler<'k> {
         r
     }
 
-    fn lookup(&self, name: &str) -> (Val, CTy) {
+    fn lookup(&self, name: &str) -> Result<(Val, CTy), ExecError> {
         for scope in self.scopes.iter().rev() {
             if let Some(v) = scope.get(name) {
-                return *v;
+                return Ok(*v);
             }
         }
-        unreachable!("checked: `{name}` is bound");
+        Err(ExecError::UnboundVar(name.to_owned()))
+    }
+
+    /// The innermost scope, recreating the root scope if it was lost.
+    fn top_scope(&mut self) -> &mut HashMap<String, (Val, CTy)> {
+        if self.scopes.is_empty() {
+            self.scopes.push(HashMap::new());
+        }
+        let top = self.scopes.len() - 1;
+        &mut self.scopes[top]
     }
 
     /// Flushes the pending straight-line counts as a `Count` op.
@@ -310,26 +328,31 @@ impl<'k> Compiler<'k> {
         }
     }
 
-    fn block(&mut self, stmts: &'k [Stmt]) {
+    fn block(&mut self, stmts: &'k [Stmt]) -> Result<(), ExecError> {
         for s in stmts {
-            self.stmt(s);
+            self.stmt(s)?;
         }
+        Ok(())
     }
 
-    fn scoped(&mut self, f: impl FnOnce(&mut Self)) {
+    fn scoped(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<(), ExecError>,
+    ) -> Result<(), ExecError> {
         self.scopes.push(HashMap::new());
-        f(self);
+        let r = f(self);
         self.scopes.pop();
+        r
     }
 
-    fn stmt(&mut self, stmt: &'k Stmt) {
+    fn stmt(&mut self, stmt: &'k Stmt) -> Result<(), ExecError> {
         match stmt {
             Stmt::Let { name, ty, value } => {
                 let hint = ty.as_ref().and_then(|t| match self.kernel.resolve(t) {
                     ScalarType::Float(p) => Some(p),
                     _ => None,
                 });
-                let (mut v, mut t) = self.expr(value, hint);
+                let (mut v, mut t) = self.expr(value, hint)?;
                 if let Some(tr) = ty {
                     (v, t) = self.coerce(v, t, self.kernel.resolve(tr));
                 }
@@ -346,15 +369,12 @@ impl<'k> Compiler<'k> {
                         Val::F(dst)
                     }
                 };
-                self.scopes
-                    .last_mut()
-                    .expect("scope stack is never empty")
-                    .insert(name.clone(), (slot, t));
+                self.top_scope().insert(name.clone(), (slot, t));
             }
             Stmt::Assign { name, value } => {
-                let (slot, t) = self.lookup(name);
+                let (slot, t) = self.lookup(name)?;
                 let hint = t.precision();
-                let (v, vt) = self.expr(value, hint);
+                let (v, vt) = self.expr(value, hint)?;
                 let target = match t {
                     CTy::Int => ScalarType::Int,
                     CTy::F(p) => ScalarType::Float(p),
@@ -364,16 +384,25 @@ impl<'k> Compiler<'k> {
                 match (slot, v) {
                     (Val::I(dst), Val::I(src)) => self.ops.push(Op::IMov { dst, src }),
                     (Val::F(dst), Val::F(src)) => self.ops.push(Op::FMov { dst, src }),
-                    _ => unreachable!("checked: assignment kinds match"),
+                    _ => {
+                        return Err(ExecError::KindError(format!(
+                            "assignment changes the kind of `{name}`"
+                        )));
+                    }
                 }
             }
             Stmt::Store { buf, index, value } => {
-                let elem = self
-                    .kernel
-                    .buffer_elem(buf)
-                    .expect("checked: store target is a buffer");
-                let idx = self.expr(index, None).0.ireg();
-                let (v, vt) = self.expr(value, Some(elem));
+                let Some(elem) = self.kernel.buffer_elem(buf) else {
+                    return Err(ExecError::NotABuffer(buf.clone()));
+                };
+                let (iv, it) = self.expr(index, None)?;
+                if it != CTy::Int {
+                    return Err(ExecError::KindError(format!(
+                        "index into `{buf}` must be an integer"
+                    )));
+                }
+                let idx = iv.ireg();
+                let (v, vt) = self.expr(value, Some(elem))?;
                 // Mirror the interpreter: a store converts unless the value
                 // is already a float of the element precision.
                 let src = match vt {
@@ -392,10 +421,16 @@ impl<'k> Compiler<'k> {
                         });
                         dst
                     }
-                    CTy::Bool => unreachable!("checked: no bool stores"),
+                    CTy::Bool => {
+                        return Err(ExecError::KindError(format!(
+                            "cannot store a boolean into `{buf}`"
+                        )));
+                    }
                 };
                 self.pending.at_mut(elem).stores += 1;
-                let b = self.buf_index[buf];
+                let Some(&b) = self.buf_index.get(buf) else {
+                    return Err(ExecError::NotABuffer(buf.clone()));
+                };
                 self.ops.push(Op::Store { buf: b, idx, src });
             }
             Stmt::For {
@@ -404,8 +439,15 @@ impl<'k> Compiler<'k> {
                 end,
                 body,
             } => {
-                let s = self.expr(start, None).0.ireg();
-                let e = self.expr(end, None).0.ireg();
+                let (sv, st) = self.expr(start, None)?;
+                let (ev, et) = self.expr(end, None)?;
+                if st != CTy::Int || et != CTy::Int {
+                    return Err(ExecError::KindError(format!(
+                        "loop bound for `{var}` must be an integer"
+                    )));
+                }
+                let s = sv.ireg();
+                let e = ev.ireg();
                 // Copy the end bound: it must stay stable even if its
                 // source register is reused (it is not, but be explicit).
                 let var_reg = self.alloc_i();
@@ -430,12 +472,10 @@ impl<'k> Compiler<'k> {
                 // Per-iteration loop bookkeeping (compare + increment).
                 self.pending.int_ops += 2;
                 self.scoped(|c| {
-                    c.scopes
-                        .last_mut()
-                        .expect("scope stack is never empty")
+                    c.top_scope()
                         .insert(var.clone(), (Val::I(var_reg), CTy::Int));
-                    c.block(body);
-                });
+                    c.block(body)
+                })?;
                 self.flush();
                 self.ops.push(Op::IAddImm {
                     dst: var_reg,
@@ -451,14 +491,20 @@ impl<'k> Compiler<'k> {
                 then_body,
                 else_body,
             } => {
-                let c = self.expr(cond, None).0.ireg();
+                let (cv, ct) = self.expr(cond, None)?;
+                if ct != CTy::Bool {
+                    return Err(ExecError::KindError(
+                        "if condition must be a boolean".to_owned(),
+                    ));
+                }
+                let c = cv.ireg();
                 self.flush();
                 let else_jump = self.ops.len();
                 self.ops.push(Op::JumpIfFalse {
                     cond: c,
                     target: u32::MAX,
                 });
-                self.scoped(|cc| cc.block(then_body));
+                self.scoped(|cc| cc.block(then_body))?;
                 self.flush();
                 if else_body.is_empty() {
                     let after = self.here();
@@ -468,13 +514,14 @@ impl<'k> Compiler<'k> {
                     self.ops.push(Op::Jump(u32::MAX));
                     let else_start = self.here();
                     self.patch_jump(else_jump, else_start);
-                    self.scoped(|cc| cc.block(else_body));
+                    self.scoped(|cc| cc.block(else_body))?;
                     self.flush();
                     let after = self.here();
                     self.patch_jump(end_jump, after);
                 }
             }
         }
+        Ok(())
     }
 
     /// Coerces a value to a scalar type, mirroring `Interp::coerce`
@@ -517,7 +564,8 @@ impl<'k> Compiler<'k> {
     }
 
     /// Compiles an expression, mirroring `Interp::eval`'s hint threading.
-    fn expr(&mut self, e: &'k Expr, hint: Option<Precision>) -> (Val, CTy) {
+    #[allow(clippy::too_many_lines)]
+    fn expr(&mut self, e: &'k Expr, hint: Option<Precision>) -> Result<(Val, CTy), ExecError> {
         match e {
             Expr::FloatConst(v) => {
                 let p = hint.unwrap_or(Precision::Double);
@@ -528,37 +576,44 @@ impl<'k> Compiler<'k> {
                 };
                 let dst = self.alloc_f();
                 self.ops.push(Op::FConst { dst, v: rounded });
-                (Val::F(dst), CTy::F(p))
+                Ok((Val::F(dst), CTy::F(p)))
             }
             Expr::IntConst(v) => {
                 let dst = self.alloc_i();
                 self.ops.push(Op::IConst { dst, v: *v });
-                (Val::I(dst), CTy::Int)
+                Ok((Val::I(dst), CTy::Int))
             }
             Expr::GlobalId(d) => {
                 if *d < 2 {
-                    (Val::I(*d as IReg), CTy::Int)
+                    Ok((Val::I(*d as IReg), CTy::Int))
                 } else {
                     let dst = self.alloc_i();
                     self.ops.push(Op::IConst { dst, v: 0 });
-                    (Val::I(dst), CTy::Int)
+                    Ok((Val::I(dst), CTy::Int))
                 }
             }
             Expr::Var(name) => self.lookup(name),
             Expr::Load { buf, index } => {
-                let idx = self.expr(index, None).0.ireg();
-                let elem = self
-                    .kernel
-                    .buffer_elem(buf)
-                    .expect("checked: load source is a buffer");
+                let (iv, it) = self.expr(index, None)?;
+                if it != CTy::Int {
+                    return Err(ExecError::KindError(format!(
+                        "index into `{buf}` must be an integer"
+                    )));
+                }
+                let idx = iv.ireg();
+                let Some(elem) = self.kernel.buffer_elem(buf) else {
+                    return Err(ExecError::NotABuffer(buf.clone()));
+                };
                 self.pending.at_mut(elem).loads += 1;
                 let dst = self.alloc_f();
-                let b = self.buf_index[buf];
+                let Some(&b) = self.buf_index.get(buf) else {
+                    return Err(ExecError::NotABuffer(buf.clone()));
+                };
                 self.ops.push(Op::Load { buf: b, idx, dst });
-                (Val::F(dst), CTy::F(elem))
+                Ok((Val::F(dst), CTy::F(elem)))
             }
             Expr::Unary { op, arg } => {
-                let (v, t) = self.expr(arg, hint);
+                let (v, t) = self.expr(arg, hint)?;
                 match t {
                     CTy::F(p) => {
                         let slot = self.pending.at_mut(p);
@@ -573,7 +628,7 @@ impl<'k> Compiler<'k> {
                             dst,
                             a: v.freg(),
                         });
-                        (Val::F(dst), CTy::F(p))
+                        Ok((Val::F(dst), CTy::F(p)))
                     }
                     CTy::Int => {
                         self.pending.int_ops += 1;
@@ -585,7 +640,7 @@ impl<'k> Compiler<'k> {
                                     dst,
                                     a: v.ireg(),
                                 });
-                                (Val::I(dst), CTy::Int)
+                                Ok((Val::I(dst), CTy::Int))
                             }
                             _ => {
                                 // sqrt/exp/log of an int computes in double.
@@ -602,15 +657,22 @@ impl<'k> Compiler<'k> {
                                     dst,
                                     a: wide,
                                 });
-                                (Val::F(dst), CTy::F(Precision::Double))
+                                Ok((Val::F(dst), CTy::F(Precision::Double)))
                             }
                         }
                     }
-                    CTy::Bool => unreachable!("checked: no bool math"),
+                    CTy::Bool => Err(ExecError::KindError(
+                        "boolean passed to a math function".to_owned(),
+                    )),
                 }
             }
             Expr::Bin { op, lhs, rhs } => {
-                let (a, ta, b, tb) = self.pair(lhs, rhs, hint);
+                let (a, ta, b, tb) = self.pair(lhs, rhs, hint)?;
+                if ta == CTy::Bool || tb == CTy::Bool {
+                    return Err(ExecError::KindError(
+                        "boolean operand in arithmetic".to_owned(),
+                    ));
+                }
                 match (ta, tb) {
                     (CTy::Int, CTy::Int) => {
                         self.pending.int_ops += 1;
@@ -621,7 +683,7 @@ impl<'k> Compiler<'k> {
                             a: a.ireg(),
                             b: b.ireg(),
                         });
-                        (Val::I(dst), CTy::Int)
+                        Ok((Val::I(dst), CTy::Int))
                     }
                     _ => {
                         let p = promote_cty(ta, tb);
@@ -644,12 +706,17 @@ impl<'k> Compiler<'k> {
                             a: fa,
                             b: fb,
                         });
-                        (Val::F(dst), CTy::F(p))
+                        Ok((Val::F(dst), CTy::F(p)))
                     }
                 }
             }
             Expr::Cmp { op, lhs, rhs } => {
-                let (a, ta, b, tb) = self.pair(lhs, rhs, None);
+                let (a, ta, b, tb) = self.pair(lhs, rhs, None)?;
+                if ta == CTy::Bool || tb == CTy::Bool {
+                    return Err(ExecError::KindError(
+                        "boolean operand in comparison".to_owned(),
+                    ));
+                }
                 match (ta, tb) {
                     (CTy::Int, CTy::Int) => {
                         self.pending.int_ops += 1;
@@ -660,7 +727,7 @@ impl<'k> Compiler<'k> {
                             a: a.ireg(),
                             b: b.ireg(),
                         });
-                        (Val::I(dst), CTy::Bool)
+                        Ok((Val::I(dst), CTy::Bool))
                     }
                     _ => {
                         let p = promote_cty(ta, tb);
@@ -674,21 +741,27 @@ impl<'k> Compiler<'k> {
                             a: fa,
                             b: fb,
                         });
-                        (Val::I(dst), CTy::Bool)
+                        Ok((Val::I(dst), CTy::Bool))
                     }
                 }
             }
             Expr::Cast { to, arg } => {
-                let (v, t) = self.expr(arg, None);
+                let (v, t) = self.expr(arg, None)?;
                 let target = match to {
                     TypeRef::Concrete(t) => *t,
                     TypeRef::ElemOf(_) => self.kernel.resolve(to),
                 };
-                self.coerce(v, t, target)
+                Ok(self.coerce(v, t, target))
             }
             Expr::Select { cond, then, els } => {
-                let c = self.expr(cond, None).0.ireg();
-                let (a, ta, b, tb) = self.pair(then, els, hint);
+                let (cv, ct) = self.expr(cond, None)?;
+                if ct != CTy::Bool {
+                    return Err(ExecError::KindError(
+                        "select condition must be a boolean".to_owned(),
+                    ));
+                }
+                let c = cv.ireg();
+                let (a, ta, b, tb) = self.pair(then, els, hint)?;
                 match (ta, tb) {
                     (CTy::Int, CTy::Int) => {
                         let dst = self.alloc_i();
@@ -698,21 +771,19 @@ impl<'k> Compiler<'k> {
                             a: a.ireg(),
                             b: b.ireg(),
                         });
-                        (Val::I(dst), CTy::Int)
+                        Ok((Val::I(dst), CTy::Int))
                     }
                     (CTy::F(pa), CTy::F(pb)) => {
                         let p = pa.max(pb);
-                        let (fa, _) = if pa < p {
-                            let (v2, _) = self.coerce(a, ta, ScalarType::Float(p));
-                            (v2.freg(), ())
+                        let fa = if pa < p {
+                            self.coerce(a, ta, ScalarType::Float(p)).0.freg()
                         } else {
-                            (a.freg(), ())
+                            a.freg()
                         };
-                        let (fb, _) = if pb < p {
-                            let (v2, _) = self.coerce(b, tb, ScalarType::Float(p));
-                            (v2.freg(), ())
+                        let fb = if pb < p {
+                            self.coerce(b, tb, ScalarType::Float(p)).0.freg()
                         } else {
-                            (b.freg(), ())
+                            b.freg()
                         };
                         let dst = self.alloc_f();
                         self.ops.push(Op::SelectF {
@@ -721,9 +792,11 @@ impl<'k> Compiler<'k> {
                             a: fa,
                             b: fb,
                         });
-                        (Val::F(dst), CTy::F(p))
+                        Ok((Val::F(dst), CTy::F(p)))
                     }
-                    _ => unreachable!("checked: select arms agree in kind"),
+                    _ => Err(ExecError::KindError(
+                        "select arms disagree in kind".to_owned(),
+                    )),
                 }
             }
         }
@@ -735,29 +808,30 @@ impl<'k> Compiler<'k> {
         lhs: &'k Expr,
         rhs: &'k Expr,
         hint: Option<Precision>,
-    ) -> (Val, CTy, Val, CTy) {
+    ) -> Result<(Val, CTy, Val, CTy), ExecError> {
         let lw = expr_is_weak(lhs);
         let rw = expr_is_weak(rhs);
         if lw && !rw {
-            let (b, tb) = self.expr(rhs, hint);
-            let (a, ta) = self.expr(lhs, tb.precision());
-            (a, ta, b, tb)
+            let (b, tb) = self.expr(rhs, hint)?;
+            let (a, ta) = self.expr(lhs, tb.precision())?;
+            Ok((a, ta, b, tb))
         } else if rw && !lw {
-            let (a, ta) = self.expr(lhs, hint);
-            let (b, tb) = self.expr(rhs, ta.precision());
-            (a, ta, b, tb)
+            let (a, ta) = self.expr(lhs, hint)?;
+            let (b, tb) = self.expr(rhs, ta.precision())?;
+            Ok((a, ta, b, tb))
         } else {
-            let (a, ta) = self.expr(lhs, hint);
-            let (b, tb) = self.expr(rhs, hint);
-            (a, ta, b, tb)
+            let (a, ta) = self.expr(lhs, hint)?;
+            let (b, tb) = self.expr(rhs, hint)?;
+            Ok((a, ta, b, tb))
         }
     }
 
     /// Materializes an operand as a float register for a promoted binop
-    /// (uncounted, mirroring `Scalar::binop`'s internal widening).
+    /// (uncounted, mirroring `Scalar::binop`'s internal widening). Callers
+    /// reject boolean operands before reaching here, so only ints widen.
     fn float_operand(&mut self, v: Val, t: CTy) -> FReg {
         match t {
-            CTy::F(_) => v.freg(),
+            CTy::F(_) | CTy::Bool => v.freg(),
             CTy::Int => {
                 let dst = self.alloc_f();
                 self.ops.push(Op::IToF {
@@ -767,7 +841,6 @@ impl<'k> Compiler<'k> {
                 });
                 dst
             }
-            CTy::Bool => unreachable!("checked: no bool arithmetic"),
         }
     }
 }
@@ -924,13 +997,14 @@ impl CompiledKernel {
 
         for p in &self.params {
             match p {
-                ParamBind::Buffer { name, elem } => match buffers.get(name.as_str()) {
+                ParamBind::Buffer { name, elem } => match buffers.remove(name.as_str()) {
                     None => {
                         self.restore(buffers, bufs);
                         return Err(ExecError::MissingBuffer(name.clone()));
                     }
                     Some(v) if v.precision() != *elem => {
                         let bound = v.precision();
+                        buffers.insert(name.clone(), v);
                         self.restore(buffers, bufs);
                         return Err(ExecError::BufferPrecisionMismatch {
                             name: name.clone(),
@@ -938,10 +1012,7 @@ impl CompiledKernel {
                             bound,
                         });
                     }
-                    Some(_) => {
-                        let data = buffers.remove(name.as_str()).expect("just checked");
-                        bufs.push((name.clone(), data));
-                    }
+                    Some(data) => bufs.push((name.clone(), data)),
                 },
                 ParamBind::ScalarInt { name, reg } => {
                     let arg = find_arg(launch, name);
@@ -1026,7 +1097,11 @@ impl CompiledKernel {
                             iregs[dst as usize] = match op {
                                 UnaryFn::Neg => v.wrapping_neg(),
                                 UnaryFn::Fabs => v.wrapping_abs(),
-                                _ => unreachable!("compiler emits IUn for neg/abs only"),
+                                _ => {
+                                    return Err(ExecError::KindError(
+                                        "integer unary op must be neg or abs".to_owned(),
+                                    ));
+                                }
                             };
                         }
                         Op::ICmp { op, dst, a, b } => {
@@ -1143,7 +1218,7 @@ mod tests {
         check_kernel(kernel).unwrap();
         let mut bufs_vm = bufs.clone();
         let counts_interp = run_kernel(kernel, &mut bufs, launch).unwrap();
-        let compiled = compile_kernel(kernel);
+        let compiled = compile_kernel(kernel).unwrap();
         let counts_vm = compiled.run(&mut bufs_vm, launch).unwrap();
         assert_eq!(counts_interp, counts_vm, "operation counts must match");
         for (name, data) in &bufs {
@@ -1263,7 +1338,7 @@ mod tests {
         check_kernel(&k).unwrap();
         let mut bufs = BufferMap::new();
         bufs.insert("x".into(), FloatVec::zeros(4, Precision::Double));
-        let compiled = compile_kernel(&k);
+        let compiled = compile_kernel(&k).unwrap();
         let err = compiled.run(&mut bufs, &Launch::one_d(8)).unwrap_err();
         assert!(matches!(
             err,
@@ -1280,7 +1355,7 @@ mod tests {
     #[test]
     fn missing_bindings_error_like_the_interpreter() {
         let k = saxpy(Precision::Double);
-        let compiled = compile_kernel(&k);
+        let compiled = compile_kernel(&k).unwrap();
         let mut bufs = BufferMap::new();
         assert!(matches!(
             compiled.run(&mut bufs, &Launch::one_d(1)),
@@ -1302,7 +1377,7 @@ mod tests {
     #[test]
     fn compiled_code_is_compact() {
         let k = saxpy(Precision::Double);
-        let compiled = compile_kernel(&k);
+        let compiled = compile_kernel(&k).unwrap();
         assert!(compiled.code_len() < 40, "{} ops", compiled.code_len());
         assert_eq!(compiled.name(), "saxpy");
     }
@@ -1321,6 +1396,36 @@ mod tests {
         let mut bufs = BufferMap::new();
         bufs.insert("c".into(), FloatVec::zeros(1, Precision::Double));
         assert_equiv(&k, bufs, &Launch::one_d(3));
+    }
+
+    #[test]
+    fn malformed_kernels_compile_to_typed_errors() {
+        // Unbound variable.
+        let k = kernel("bad")
+            .buffer("c", Precision::Double, Access::Write)
+            .body(vec![store("c", int(0), var("ghost"))]);
+        assert!(matches!(
+            compile_kernel(&k),
+            Err(ExecError::UnboundVar(n)) if n == "ghost"
+        ));
+        // Storing through a non-buffer parameter.
+        let k = kernel("bad")
+            .int_param("n")
+            .body(vec![store("n", int(0), flit(1.0))]);
+        assert!(matches!(
+            compile_kernel(&k),
+            Err(ExecError::NotABuffer(n)) if n == "n"
+        ));
+        // Float buffer index.
+        let k = kernel("bad")
+            .buffer("c", Precision::Double, Access::Write)
+            .body(vec![store("c", flit(0.5), flit(1.0))]);
+        assert!(matches!(compile_kernel(&k), Err(ExecError::KindError(_))));
+        // Boolean operand in arithmetic.
+        let k = kernel("bad")
+            .buffer("c", Precision::Double, Access::Write)
+            .body(vec![store("c", int(0), lt(int(0), int(1)) + flit(1.0))]);
+        assert!(matches!(compile_kernel(&k), Err(ExecError::KindError(_))));
     }
 
     #[test]

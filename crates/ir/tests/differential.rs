@@ -173,7 +173,7 @@ proptest! {
         let mut bufs_i = buffers(pa, pb);
         let counts_i = run_kernel(&k, &mut bufs_i, &launch).expect("interp runs");
 
-        let compiled = compile_kernel(&k);
+        let compiled = compile_kernel(&k).expect("well-typed kernels compile");
         let mut bufs_v = buffers(pa, pb);
         let counts_v = compiled.run(&mut bufs_v, &launch).expect("vm runs");
 

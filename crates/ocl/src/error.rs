@@ -2,6 +2,7 @@
 
 use core::fmt;
 use prescaler_ir::interp::ExecError;
+use prescaler_ir::parse::ParseError;
 use prescaler_ir::typeck::TypeError;
 use prescaler_ir::Precision;
 use prescaler_sim::SimTime;
@@ -43,6 +44,9 @@ pub enum OclError {
     /// The (possibly transformed) kernel failed the type checker — a bug
     /// in a scaling configuration.
     BadKernel(TypeError),
+    /// Kernel source text failed to parse — a malformed program degrades
+    /// into an error instead of aborting the run.
+    BadSource(ParseError),
     /// The kernel failed at execution time.
     Exec(ExecError),
     /// A host↔device transfer aborted transiently (injected or modeled
@@ -115,6 +119,7 @@ impl fmt::Display for OclError {
                 "host data for `{label}` has {got} elements, buffer holds {expected}"
             ),
             OclError::BadKernel(e) => write!(f, "scaled kernel rejected: {e}"),
+            OclError::BadSource(e) => write!(f, "kernel source rejected: {e}"),
             OclError::Exec(e) => write!(f, "kernel execution failed: {e}"),
             OclError::TransferFault { label, attempt } => {
                 write!(f, "transfer of `{label}` aborted (attempt {attempt})")
@@ -136,6 +141,7 @@ impl std::error::Error for OclError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             OclError::BadKernel(e) => Some(e),
+            OclError::BadSource(e) => Some(e),
             OclError::Exec(e) => Some(e),
             _ => None,
         }
@@ -145,6 +151,12 @@ impl std::error::Error for OclError {
 impl From<TypeError> for OclError {
     fn from(e: TypeError) -> OclError {
         OclError::BadKernel(e)
+    }
+}
+
+impl From<ParseError> for OclError {
+    fn from(e: ParseError) -> OclError {
+        OclError::BadSource(e)
     }
 }
 

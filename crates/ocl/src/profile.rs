@@ -20,6 +20,11 @@ pub struct Timeline {
     /// Retry backoff paid riding out transient faults (zero on a clean
     /// run).
     pub fault_overhead: SimTime,
+    /// Sentinel work charged by guarded execution (canary runs and
+    /// breaker bookkeeping). Always zero for plain `run_app` timelines —
+    /// only the guard's cumulative report accrues it, so per-run
+    /// timelines stay bit-identical with the guard enabled.
+    pub guard_overhead: SimTime,
 }
 
 impl Timeline {
@@ -32,6 +37,18 @@ impl Timeline {
             + self.host_convert
             + self.device_convert
             + self.fault_overhead
+            + self.guard_overhead
+    }
+
+    /// Merges another timeline into this one, phase by phase.
+    pub fn accumulate(&mut self, other: &Timeline) {
+        self.htod += other.htod;
+        self.dtoh += other.dtoh;
+        self.kernel += other.kernel;
+        self.host_convert += other.host_convert;
+        self.device_convert += other.device_convert;
+        self.fault_overhead += other.fault_overhead;
+        self.guard_overhead += other.guard_overhead;
     }
 
     /// Total transfer-side time (wire + both conversion legs) — the

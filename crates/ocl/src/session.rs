@@ -163,16 +163,21 @@ impl Session {
                 });
             }
             let backoff = policy.backoff_for(attempt);
-            waited += backoff;
-            self.log.record_fault_overhead(backoff);
             if let Some(budget) = policy.timeout {
-                if waited > budget {
+                if waited + backoff > budget {
+                    // The cap truncates the final backoff: we stop waiting
+                    // the moment the budget runs out, so only the truncated
+                    // wait is charged to the timeline.
+                    self.log
+                        .record_fault_overhead(budget.saturating_sub(waited));
                     return Err(OclError::Timeout {
                         what: what.to_owned(),
                         budget,
                     });
                 }
             }
+            waited += backoff;
+            self.log.record_fault_overhead(backoff);
             attempt += 1;
         }
     }
@@ -486,7 +491,7 @@ impl Session {
                     scaled = insert_casts(&scaled, compute);
                 }
                 check_kernel(&scaled)?;
-                let c = std::sync::Arc::new(compile_kernel(&scaled));
+                let c = std::sync::Arc::new(compile_kernel(&scaled)?);
                 self.compiled.insert(variant_key, c.clone());
                 Some(c)
             }
@@ -766,6 +771,35 @@ mod tests {
             "{e}"
         );
         assert!(!e.is_retryable());
+    }
+
+    #[test]
+    fn truncated_final_backoff_charges_exactly_the_budget() {
+        // Power-of-two durations keep every sum exact, so the assertion
+        // below is bit-exact: backoffs 2⁻¹⁷s, 2⁻¹⁶s, then 2⁻¹⁵s which the
+        // 3.5·2⁻¹⁷s budget truncates to 2⁻¹⁸s — overhead must equal the
+        // budget, not the untruncated sum.
+        let base = SimTime::from_secs(2f64.powi(-17));
+        let budget = SimTime::from_secs(3.5 * 2f64.powi(-17));
+        let policy = RetryPolicy {
+            max_attempts: 16,
+            base_backoff: base,
+            multiplier: 2.0,
+            timeout: Some(budget),
+        };
+        let system =
+            SystemModel::system1().with_faults(FaultPlan::seeded(5).with_transfer_failures(1.0));
+        let mut s = Session::new(system, vec_scale_program(), ScalingSpec::baseline())
+            .with_retry_policy(policy);
+        let x = s.create_buffer("X", 8, Precision::Double).unwrap();
+        let xs = FloatVec::from_f64_slice(&[1.0; 8], Precision::Double);
+        let e = s.enqueue_write(x, &xs).unwrap_err();
+        assert!(matches!(e, OclError::Timeout { .. }), "{e}");
+        assert_eq!(
+            s.timeline().fault_overhead,
+            budget,
+            "overhead must sum exactly to the truncated waits"
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub struct PolyApp {
     dims: Dims,
     input: InputSet,
     seed: u64,
+    gain: f64,
 }
 
 impl PolyApp {
@@ -25,6 +26,7 @@ impl PolyApp {
             dims,
             input,
             seed,
+            gain: 1.0,
         }
     }
 
@@ -71,8 +73,23 @@ impl PolyApp {
         self
     }
 
+    /// A copy whose generated inputs are scaled by `gain` — models input
+    /// drift in production. Gain `1.0` is an exact no-op, so an undrifted
+    /// copy runs bit-identically to the original.
+    #[must_use]
+    pub fn with_input_gain(mut self, gain: f64) -> PolyApp {
+        self.gain = gain;
+        self
+    }
+
+    /// The configured input gain.
+    #[must_use]
+    pub fn input_gain(&self) -> f64 {
+        self.gain
+    }
+
     fn gen(&self) -> InputGen {
-        InputGen::new(self.input, self.kind.default_range(), self.seed)
+        InputGen::new(self.input, self.kind.default_range(), self.seed).with_gain(self.gain)
     }
 }
 
@@ -240,6 +257,35 @@ mod tests {
             q > 0.9,
             "half GEMM on random inputs should pass TOQ, got {q}"
         );
+    }
+
+    #[test]
+    fn unit_input_gain_is_an_exact_noop() {
+        let system = SystemModel::system1();
+        let app = PolyApp::tiny(BenchKind::Gemm);
+        let (a, la) = run_app(&app, &system, &ScalingSpec::baseline()).unwrap();
+        let drifted = app.clone().with_input_gain(1.0);
+        let (b, lb) = run_app(&drifted, &system, &ScalingSpec::baseline()).unwrap();
+        assert_eq!(a, b, "gain 1.0 must be bit-identical");
+        assert_eq!(la.timeline.total(), lb.timeline.total());
+    }
+
+    #[test]
+    fn input_drift_breaks_half_precision_on_random_inputs() {
+        // Random inputs pass TOQ at half precision (Fig. 12); a large
+        // enough gain pushes the inner products past binary16 range and
+        // quality collapses — the scenario the guard exists to catch.
+        let system = SystemModel::system1();
+        let app = PolyApp::new(BenchKind::Gemm, Dims::square(16), InputSet::Random, 7);
+        let mut spec = ScalingSpec::baseline();
+        for label in ["A", "B", "C"] {
+            spec = spec.with_target(label, Precision::Half);
+        }
+        let drifted = app.clone().with_input_gain(256.0);
+        let (reference, _) = run_app(&drifted, &system, &ScalingSpec::baseline()).unwrap();
+        let (scaled, _) = run_app(&drifted, &system, &spec).unwrap();
+        let q = output_quality(&reference, &scaled);
+        assert!(q < 0.9, "drifted half GEMM should fail TOQ, got {q}");
     }
 
     #[test]

@@ -87,20 +87,41 @@ pub struct InputGen {
     pub range: (f64, f64),
     /// Base seed.
     pub seed: u64,
+    /// Multiplicative gain applied to every generated value — models
+    /// production input drift. `1.0` is an exact no-op (the multiply is
+    /// skipped entirely, so drift-free runs stay bit-identical).
+    pub gain: f64,
 }
 
 impl InputGen {
-    /// Creates a generator.
+    /// Creates a generator (gain `1.0`, i.e. no drift).
     #[must_use]
     pub fn new(set: InputSet, range: (f64, f64), seed: u64) -> InputGen {
-        InputGen { set, range, seed }
+        InputGen {
+            set,
+            range,
+            seed,
+            gain: 1.0,
+        }
+    }
+
+    /// A copy with the given drift gain.
+    #[must_use]
+    pub fn with_gain(mut self, gain: f64) -> InputGen {
+        self.gain = gain;
+        self
     }
 
     /// Generates the named input array as host-side doubles.
     #[must_use]
     pub fn array(&self, tag: &str, len: usize) -> prescaler_ir::FloatVec {
         let sub = mix_seed(self.seed, tag);
-        let values = generate(self.set, self.range, len, sub);
+        let mut values = generate(self.set, self.range, len, sub);
+        if self.gain != 1.0 {
+            for v in &mut values {
+                *v *= self.gain;
+            }
+        }
         prescaler_ir::FloatVec::from_f64_slice(&values, prescaler_ir::Precision::Double)
     }
 }
@@ -128,6 +149,18 @@ mod tests {
         assert_eq!(a, g.array("A", 16), "same tag is reproducible");
         let g2 = InputGen::new(InputSet::Default, (0.0, 10.0), 2);
         assert_ne!(a, g2.array("A", 16), "different seeds differ");
+    }
+
+    #[test]
+    fn unit_gain_is_bit_identical_and_drift_scales() {
+        let g = InputGen::new(InputSet::Random, (0.0, 1.0), 3);
+        let plain = g.array("A", 64);
+        assert_eq!(plain, g.clone().with_gain(1.0).array("A", 64));
+        let drifted = g.clone().with_gain(3.0).array("A", 64).to_f64_vec();
+        let base = plain.to_f64_vec();
+        for (d, b) in drifted.iter().zip(&base) {
+            assert_eq!(*d, b * 3.0);
+        }
     }
 
     #[test]

@@ -9,3 +9,16 @@ cargo build --release --offline
 cargo test -q --workspace --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo fmt --all --check
+
+# Seeded fault matrix: the guard and pipeline property suites replayed
+# under fixed seeds, so every CI run explores the same three fault
+# universes deterministically (guard_properties mixes the seed into its
+# generated fault plans via PRESCALER_FAULT_SEED).
+for seed in 1 2 3; do
+    PRESCALER_FAULT_SEED=$seed \
+        cargo test -q --offline --test guard_properties --test pipeline_properties
+done
+
+# The guarded-serving example doubles as an end-to-end smoke test: it
+# asserts its own breaker-trip / recovery / accounting guarantees.
+cargo run --release --offline --example guarded_serving

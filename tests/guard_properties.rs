@@ -1,0 +1,183 @@
+//! Seeded property suite for guarded execution (`prescaler-guard`).
+//!
+//! Two guarantees, each checked over dozens of generated cases (120
+//! total between the two blocks):
+//!
+//! * **(a) Zero-interference**: with an inert fault plan, guarded
+//!   production runs are bit-identical — outputs and per-run timeline —
+//!   to unguarded `run_app` calls, and the anomaly-driven policy adds
+//!   exactly zero virtual overhead.
+//! * **(b) Quality floor**: under *any* seeded input-drift plan,
+//!   [`Guard::verify`] ends with quality at or above TOQ or with the
+//!   full-precision baseline fallback active — and every demotion or
+//!   recovery is visible in the run report.
+//!
+//! The CI fault matrix re-runs this suite under several values of
+//! `PRESCALER_FAULT_SEED`; the seed is mixed into every generated fault
+//! plan so each matrix row explores a distinct replayable fault universe.
+
+use prescaler_guard::{Guard, GuardAction, GuardPolicy};
+use prescaler_ir::Precision;
+use prescaler_ocl::{run_app, ScalingSpec};
+use prescaler_polybench::{BenchKind, Dims, InputSet, PolyApp};
+use prescaler_sim::{FaultPlan, SimTime, SystemModel};
+use proptest::prelude::*;
+
+/// Matrix seed from the environment, mixed into every plan seed so the
+/// CI fault matrix explores distinct universes per row.
+fn matrix_seed() -> u64 {
+    std::env::var("PRESCALER_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn mixed(seed: u64) -> u64 {
+    seed ^ matrix_seed().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn app_for(kind: BenchKind, n: usize, seed: u64) -> PolyApp {
+    PolyApp::new(kind, Dims::square(n), InputSet::Random, seed)
+}
+
+/// A tuned-like spec: every memory object of the app scaled to `target`.
+fn uniform_spec(app: &PolyApp, target: Precision) -> ScalingSpec {
+    let clean = SystemModel::system1();
+    let (_, log) = run_app(app, &clean, &ScalingSpec::baseline()).unwrap();
+    let mut spec = ScalingSpec::baseline();
+    for obj in &log.objects {
+        spec = spec.with_target(&obj.label, target);
+    }
+    spec
+}
+
+fn arb_kind() -> impl Strategy<Value = BenchKind> {
+    prop_oneof![Just(BenchKind::Gemm), Just(BenchKind::Atax)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// Property (a): guard enabled + no faults → bit-identical results
+    /// and virtual time, and zero idle overhead when anomaly-driven.
+    #[test]
+    fn clean_guarded_runs_are_bit_identical(
+        kind in arb_kind(),
+        n in 4usize..12,
+        input_seed in 0u64..1000,
+        plan_seed in 0u64..1000,
+        canary_every in prop_oneof![Just(0u64), Just(3u64)],
+        runs in 1usize..5,
+    ) {
+        let app = app_for(kind, n, input_seed);
+        let tuned = uniform_spec(&app, Precision::Half);
+        // Seeded but inert: no fault kind configured, so the drift gain
+        // is exactly 1.0 and no fault counter ever advances.
+        let system = SystemModel::system1()
+            .with_faults(FaultPlan::seeded(mixed(plan_seed)));
+        let policy = GuardPolicy { canary_every, ..GuardPolicy::default() };
+        let mut guard = Guard::new(&app, &system, tuned.clone(), policy).unwrap();
+
+        for _ in 0..runs {
+            let v = guard
+                .run_production(|gain| app.clone().with_input_gain(gain))
+                .unwrap();
+            prop_assert_eq!(v.gain, 1.0);
+            let (reference, log) = run_app(&app, &system, &tuned).unwrap();
+            prop_assert_eq!(&v.outputs, &reference, "outputs must be bit-identical");
+            prop_assert_eq!(v.timeline, log.timeline, "virtual time must be bit-identical");
+            prop_assert!(!v.degraded);
+            prop_assert!(v.actions.is_empty());
+        }
+        let report = guard.report();
+        prop_assert_eq!(report.demotions, 0);
+        prop_assert!(!report.fallback);
+        if canary_every == 0 {
+            prop_assert_eq!(report.canary_runs, 0);
+            prop_assert_eq!(report.timeline.guard_overhead, SimTime::ZERO,
+                "anomaly-driven guard must add zero idle overhead");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// Property (b): any injected drift plan ends with quality >= TOQ or
+    /// the full-precision fallback active; breaker activity is reported.
+    #[test]
+    fn drifted_sessions_end_at_toq_or_fallback(
+        kind in arb_kind(),
+        n in 4usize..12,
+        input_seed in 0u64..1000,
+        plan_seed in 0u64..1000,
+        rate in 0.1f64..=1.0,
+        magnitude in 1.0f64..2000.0,
+        warmup in 0usize..4,
+    ) {
+        let app = app_for(kind, n, input_seed);
+        let tuned = uniform_spec(&app, Precision::Half);
+        let drifting = FaultPlan::seeded(mixed(plan_seed))
+            .with_input_drift(rate, magnitude);
+        let system = SystemModel::system1().with_faults(drifting);
+        let policy = GuardPolicy::default();
+        let toq = policy.toq;
+        let mut guard = Guard::new(&app, &system, tuned, policy).unwrap();
+
+        for _ in 0..warmup {
+            guard
+                .run_production(|gain| app.clone().with_input_gain(gain))
+                .unwrap();
+        }
+        let quality = guard
+            .verify(|gain| app.clone().with_input_gain(gain))
+            .unwrap();
+        let report = guard.report();
+        prop_assert!(
+            quality >= toq || report.fallback,
+            "final quality {} below TOQ without fallback", quality
+        );
+
+        // Every breaker action is visible in the report's history, and
+        // the counters agree with it.
+        let demoted = report.history.iter()
+            .filter(|e| matches!(e.action, GuardAction::Demoted { .. }))
+            .count() as u64;
+        let promoted = report.history.iter()
+            .filter(|e| matches!(e.action, GuardAction::Promoted { .. }))
+            .count() as u64;
+        let fellback = report.history.iter()
+            .any(|e| e.action == GuardAction::FallbackEngaged);
+        prop_assert_eq!(report.demotions, demoted);
+        prop_assert_eq!(report.promotions, promoted);
+        prop_assert_eq!(report.fallback, fellback);
+        // Canary accounting: scored runs always charge overhead.
+        if report.canary_runs > 0 {
+            prop_assert!(report.timeline.guard_overhead > SimTime::ZERO);
+        }
+        // The serialized summary mirrors the live report.
+        let summary = report.summary();
+        prop_assert_eq!(summary.runs, report.runs);
+        prop_assert_eq!(summary.fallback, report.fallback);
+        prop_assert_eq!(summary.final_quality, Some(quality));
+    }
+}
+
+/// The verify loop's certificate holds even when drift fires on every
+/// single run at catastrophic magnitude (deterministic worst case).
+#[test]
+fn constant_catastrophic_drift_is_survived() {
+    let app = app_for(BenchKind::Gemm, 16, 7);
+    let tuned = uniform_spec(&app, Precision::Half);
+    let plan = FaultPlan::seeded(mixed(99)).with_input_drift(1.0, 1.0e6);
+    let system = SystemModel::system1().with_faults(plan);
+    let mut guard = Guard::new(&app, &system, tuned, GuardPolicy::default()).unwrap();
+    let quality = guard
+        .verify(|gain| app.clone().with_input_gain(gain))
+        .unwrap();
+    assert!(
+        quality >= 0.9 || guard.fallback_active(),
+        "catastrophic drift must end at TOQ or fallback, got {quality}"
+    );
+    assert!(guard.report().demotions > 0 || guard.report().fallback);
+}
