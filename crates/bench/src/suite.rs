@@ -6,7 +6,9 @@ use prescaler_core::report::{
     conversion_distribution, type_distribution, ConversionDistribution, TypeDistribution,
 };
 use prescaler_core::search_space;
-use prescaler_core::{profile_app, InspectorDb, PreScaler, ResultRow, SystemInspector};
+use prescaler_core::{
+    profile_app, InspectorDb, PreScaler, ResultRow, SystemInspector, TrialEngine,
+};
 use prescaler_ocl::ScalingSpec;
 use prescaler_polybench::{BenchKind, InputSet, PolyApp};
 use prescaler_sim::SystemModel;
@@ -127,6 +129,12 @@ pub fn run_one(
         (tl.dtoh + tl.device_convert).as_secs() / total,
     ];
 
+    // One profiling run serves every technique. The two baseline
+    // techniques share one memo cache (their spec shapes are disjoint);
+    // the tuner gets its own engine so its `trials` count stays
+    // comparable to a standalone `tune` call.
+    let baseline_engine = TrialEngine::new(&app, system, &profile);
+
     let mut rows = Vec::new();
     rows.push(ResultRow {
         benchmark: kind.name().to_owned(),
@@ -136,12 +144,14 @@ pub fn run_one(
         speedup: 1.0,
         quality: 1.0,
         trials: 1,
+        cache_hits: 0,
         types: type_distribution(&profile, &ScalingSpec::baseline()),
         conversions: conversion_distribution(&profile, &ScalingSpec::baseline()),
     });
 
     if cfg.run_in_kernel {
-        let ik = in_kernel(&app, system, &profile, cfg.toq, cfg.ik_cap).expect("in-kernel");
+        let before = baseline_engine.stats();
+        let ik = in_kernel(&baseline_engine, cfg.toq, cfg.ik_cap);
         rows.push(ResultRow {
             benchmark: kind.name().to_owned(),
             technique: "In-Kernel".to_owned(),
@@ -150,13 +160,15 @@ pub fn run_one(
             speedup: base_time / ik.eval.time,
             quality: ik.eval.quality,
             trials: ik.trials,
+            cache_hits: baseline_engine.stats().cache_hits - before.cache_hits,
             // In-kernel keeps objects at full precision.
             types: type_distribution(&profile, &ik.config),
             conversions: conversion_distribution(&profile, &ik.config),
         });
     }
 
-    let p = pfp(&app, system, &profile, cfg.toq).expect("pfp");
+    let before = baseline_engine.stats();
+    let p = pfp(&baseline_engine, cfg.toq);
     rows.push(ResultRow {
         benchmark: kind.name().to_owned(),
         technique: "PFP".to_owned(),
@@ -165,12 +177,14 @@ pub fn run_one(
         speedup: base_time / p.eval.time,
         quality: p.eval.quality,
         trials: p.trials,
+        cache_hits: baseline_engine.stats().cache_hits - before.cache_hits,
         types: type_distribution(&profile, &p.config),
         conversions: conversion_distribution(&profile, &p.config),
     });
 
     let tuner = PreScaler::new(system, db, cfg.toq);
-    let tuned = tuner.tune(&app).expect("prescaler");
+    let tuner_engine = TrialEngine::new(&app, system, &profile);
+    let tuned = tuner.tune_with_engine(&tuner_engine);
     rows.push(ResultRow {
         benchmark: kind.name().to_owned(),
         technique: "PreScaler".to_owned(),
@@ -179,6 +193,7 @@ pub fn run_one(
         speedup: tuned.speedup(),
         quality: tuned.eval.quality,
         trials: tuned.trials,
+        cache_hits: tuned.cache_hits,
         types: type_distribution(&tuned.profile, &tuned.config),
         conversions: conversion_distribution(&tuned.profile, &tuned.config),
     });

@@ -1,13 +1,15 @@
 //! The paper's comparison techniques: In-Kernel scaling (Precimonious-
 //! style exhaustive kernel-level search) and Program-level Full Precision
-//! (PFP).
+//! (PFP). Both evaluate candidates through the shared [`TrialEngine`], so
+//! report paths that run several techniques on one app reuse the
+//! profiling run and any overlapping measurements.
 
+use crate::engine::TrialEngine;
 use crate::profiler::AppProfile;
 use crate::search::Evaluation;
 use prescaler_ir::Precision;
-use prescaler_ocl::{run_app, Event, HostApp, OclError, PlanChoice, ScalingSpec};
-use prescaler_polybench::output_quality;
-use prescaler_sim::{Direction, HostMethod, SystemModel};
+use prescaler_ocl::{Event, PlanChoice, ScalingSpec};
+use prescaler_sim::{Direction, HostMethod};
 use std::collections::HashMap;
 
 /// Outcome of a baseline technique's search.
@@ -17,22 +19,9 @@ pub struct TechniqueOutcome {
     pub config: ScalingSpec,
     /// Its evaluation.
     pub eval: Evaluation,
-    /// Application executions spent (excluding the shared profiling run).
+    /// Trials charged by this technique (excluding the shared profiling
+    /// run and any evaluation already paid for through the engine cache).
     pub trials: usize,
-}
-
-fn evaluate(
-    app: &dyn HostApp,
-    system: &SystemModel,
-    profile: &AppProfile,
-    spec: &ScalingSpec,
-) -> Result<Evaluation, OclError> {
-    let (outputs, log) = run_app(app, system, spec)?;
-    Ok(Evaluation {
-        time: log.timeline.total(),
-        kernel_time: log.timeline.kernel,
-        quality: output_quality(&profile.reference, &outputs),
-    })
 }
 
 fn baseline_eval(profile: &AppProfile) -> Evaluation {
@@ -50,18 +39,12 @@ fn baseline_eval(profile: &AppProfile) -> Evaluation {
 /// Program-level Full Precision: every memory object gets the same type;
 /// all types are tested, with both a host-side multithreaded conversion
 /// (threads = logical cores) and a device-side conversion considered
-/// (paper §5.1). The best TOQ-passing configuration wins.
-///
-/// # Errors
-///
-/// Propagates application failures.
-pub fn pfp(
-    app: &dyn HostApp,
-    system: &SystemModel,
-    profile: &AppProfile,
-    toq: f64,
-) -> Result<TechniqueOutcome, OclError> {
-    let threads = system.cpu.threads as usize;
+/// (paper §5.1). The best TOQ-passing configuration wins. A candidate
+/// that cannot run is pruned; the baseline fallback always remains.
+#[must_use]
+pub fn pfp(engine: &TrialEngine, toq: f64) -> TechniqueOutcome {
+    let profile = engine.profile();
+    let threads = engine.system().cpu.threads as usize;
     let mut best = TechniqueOutcome {
         config: ScalingSpec::baseline(),
         eval: baseline_eval(profile),
@@ -69,6 +52,7 @@ pub fn pfp(
     };
     let mut trials = 0usize;
 
+    let mut candidates = Vec::new();
     for target in [Precision::Single, Precision::Half] {
         for device_side in [false, true] {
             let mut spec = ScalingSpec::baseline();
@@ -100,19 +84,27 @@ pub fn pfp(
                     spec = spec.with_read_plan(&obj.label, choice);
                 }
             }
-            let eval = evaluate(app, system, profile, &spec)?;
-            trials += 1;
-            if eval.quality >= toq && eval.time < best.eval.time {
-                best = TechniqueOutcome {
-                    config: spec,
-                    eval,
-                    trials: 0,
-                };
-            }
+            candidates.push(spec);
+        }
+    }
+
+    engine.prefetch(&candidates);
+    for spec in candidates {
+        let (eval, charged) = engine.trial(&spec);
+        trials += usize::from(charged);
+        let Some(eval) = eval else {
+            continue; // unrunnable uniform config: pruned
+        };
+        if eval.quality >= toq && eval.time < best.eval.time {
+            best = TechniqueOutcome {
+                config: spec,
+                eval,
+                trials: 0,
+            };
         }
     }
     best.trials = trials;
-    Ok(best)
+    best
 }
 
 // ---------------------------------------------------------------------------
@@ -125,18 +117,10 @@ pub fn pfp(
 /// "to ensure fair performance gain, we test all possible configurations"),
 /// with monotone pruning: once an assignment fails TOQ, every strictly
 /// lower-precision refinement of it is skipped, and `max_trials` caps
-/// pathological cases.
-///
-/// # Errors
-///
-/// Propagates application failures.
-pub fn in_kernel(
-    app: &dyn HostApp,
-    system: &SystemModel,
-    profile: &AppProfile,
-    toq: f64,
-    max_trials: usize,
-) -> Result<TechniqueOutcome, OclError> {
+/// pathological cases. An assignment that cannot run is skipped.
+#[must_use]
+pub fn in_kernel(engine: &TrialEngine, toq: f64, max_trials: usize) -> TechniqueOutcome {
+    let profile = engine.profile();
     // Which kernels bind which objects, by parameter name.
     let mut kernel_params: HashMap<String, Vec<(String, String)>> = HashMap::new();
     for e in &profile.log.events {
@@ -202,8 +186,11 @@ pub fn in_kernel(
         if spec.in_kernel.is_empty() {
             continue;
         }
-        let eval = evaluate(app, system, profile, &spec)?;
-        trials += 1;
+        let (eval, charged) = engine.trial(&spec);
+        trials += usize::from(charged);
+        let Some(eval) = eval else {
+            continue; // unrunnable assignment: skipped, not generalized
+        };
         if eval.quality < toq {
             failed.push(digits);
             continue;
@@ -217,7 +204,7 @@ pub fn in_kernel(
         }
     }
     best.trials = trials;
-    Ok(best)
+    best
 }
 
 #[cfg(test)]
@@ -225,6 +212,7 @@ mod tests {
     use super::*;
     use crate::profiler::profile_app;
     use prescaler_polybench::{BenchKind, InputSet, PolyApp};
+    use prescaler_sim::SystemModel;
 
     fn setup(kind: BenchKind, scale: f64) -> (SystemModel, PolyApp, AppProfile) {
         let system = SystemModel::system1();
@@ -236,7 +224,8 @@ mod tests {
     #[test]
     fn pfp_improves_over_baseline_when_single_is_safe() {
         let (system, app, profile) = setup(BenchKind::Gemm, 0.4);
-        let out = pfp(&app, &system, &profile, 0.9).unwrap();
+        let engine = TrialEngine::new(&app, &system, &profile);
+        let out = pfp(&engine, 0.9);
         assert!(out.eval.quality >= 0.9);
         assert!(
             out.eval.time < profile.baseline_time,
@@ -251,7 +240,8 @@ mod tests {
     #[test]
     fn in_kernel_finds_a_valid_config_with_few_trials() {
         let (system, app, profile) = setup(BenchKind::Gemm, 0.05);
-        let out = in_kernel(&app, &system, &profile, 0.9, 100).unwrap();
+        let engine = TrialEngine::new(&app, &system, &profile);
+        let out = in_kernel(&engine, 0.9, 100);
         assert!(out.eval.quality >= 0.9);
         assert!(out.trials >= 1);
         // Buffers stay full precision: in-kernel scaling never retargets
@@ -265,7 +255,8 @@ mod tests {
         // shrink transfers, so its gains are capped by the small kernel
         // fraction (the paper's §5.2 observation).
         let (system, app, profile) = setup(BenchKind::Atax, 0.4);
-        let ik = in_kernel(&app, &system, &profile, 0.9, 100).unwrap();
+        let engine = TrialEngine::new(&app, &system, &profile);
+        let ik = in_kernel(&engine, 0.9, 100);
         let speedup = profile.baseline_time / ik.eval.time;
         assert!(
             speedup < 1.10,
@@ -277,7 +268,23 @@ mod tests {
     #[test]
     fn trial_cap_is_respected() {
         let (system, app, profile) = setup(BenchKind::ThreeMM, 0.03);
-        let out = in_kernel(&app, &system, &profile, 0.9, 5).unwrap();
+        let engine = TrialEngine::new(&app, &system, &profile);
+        let out = in_kernel(&engine, 0.9, 5);
         assert!(out.trials <= 5);
+    }
+
+    #[test]
+    fn techniques_share_one_engine_without_extra_executions() {
+        // Running PFP twice over one engine answers the second pass
+        // entirely from the memo cache.
+        let (system, app, profile) = setup(BenchKind::Gemm, 0.05);
+        let engine = TrialEngine::new(&app, &system, &profile);
+        let first = pfp(&engine, 0.9);
+        let executions = engine.stats().executions;
+        let second = pfp(&engine, 0.9);
+        assert_eq!(engine.stats().executions, executions, "no re-execution");
+        assert_eq!(second.trials, 0, "second pass charges nothing");
+        assert_eq!(first.config, second.config);
+        assert_eq!(first.eval.time, second.eval.time);
     }
 }

@@ -1,0 +1,499 @@
+//! The trial engine — every candidate evaluation funnels through here.
+//!
+//! A *trial* is one real execution of the application under a
+//! [`ScalingSpec`]. Three properties make trials cheap without changing
+//! what the search returns:
+//!
+//! 1. **Memoization.** Results are cached under a canonical fingerprint
+//!    of `(spec, app identity, system identity)`, so any spec executes at
+//!    most once per engine. `trials` keeps counting what the sequential
+//!    search would have *charged* (first ask per spec, successful or
+//!    not); repeat asks are reported separately as cache hits.
+//! 2. **Fault forking.** On a system with an active fault plan, each
+//!    distinct spec runs under [`FaultPlan::fork`] salted with its
+//!    fingerprint: the fault stream a trial sees depends only on the
+//!    spec, never on how many trials ran before it. Evaluation is thereby
+//!    a pure function of the spec, which is what makes memoization and
+//!    speculation sound under injected faults. Inert plans fork to inert
+//!    plans, so fault-free behavior is bit-identical to the pre-engine
+//!    tuner.
+//! 3. **Speculation.** [`TrialEngine::prefetch`] executes a batch of
+//!    specs concurrently (scoped threads) and parks the results in the
+//!    cache *uncharged*. The caller then replays its sequential pruning
+//!    semantics through [`TrialEngine::trial`]; speculative results the
+//!    replay never asks for stay uncharged and uncounted, so `trials`
+//!    and the returned configuration are bit-identical to a sequential
+//!    engine.
+//!
+//! [`FaultPlan::fork`]: prescaler_sim::FaultPlan::fork
+
+use crate::profiler::AppProfile;
+use crate::search::Evaluation;
+use prescaler_ocl::{run_app, HostApp, PlanChoice, ScalingSpec};
+use prescaler_polybench::output_quality;
+use prescaler_sim::{HostMethod, SystemModel};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Execution counters of one engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrialStats {
+    /// Trials charged to the search (first ask per spec, failed or not).
+    pub charged: usize,
+    /// Asks answered from the cache after the spec was already charged.
+    pub cache_hits: usize,
+    /// Real application executions, including uncharged speculative ones.
+    pub executions: usize,
+}
+
+struct Entry {
+    eval: Option<Evaluation>,
+    charged: bool,
+}
+
+struct State {
+    cache: HashMap<(u64, bool), Entry>,
+    stats: TrialStats,
+}
+
+/// Memoizing, optionally speculative evaluator for one `(app, system)`
+/// pair. See the module docs for the determinism argument.
+pub struct TrialEngine<'a> {
+    app: &'a dyn HostApp,
+    system: &'a SystemModel,
+    clean: SystemModel,
+    profile: &'a AppProfile,
+    /// Active fault plan on `system`? Decides namespace split + forking.
+    faulty: bool,
+    speculate: bool,
+    base_fp: u64,
+    state: Mutex<State>,
+}
+
+impl<'a> TrialEngine<'a> {
+    /// Creates an engine. Speculation defaults to on only when the host
+    /// actually has more than one core — on a single core the fan-out
+    /// would serialize anyway and speculative misses would cost real time.
+    #[must_use]
+    pub fn new(app: &'a dyn HostApp, system: &'a SystemModel, profile: &'a AppProfile) -> Self {
+        let speculate = std::thread::available_parallelism().is_ok_and(|n| n.get() > 1);
+        Self::with_speculation(app, system, profile, speculate)
+    }
+
+    /// Creates an engine with speculation forced on or off — both modes
+    /// return bit-identical results; tests compare them directly.
+    #[must_use]
+    pub fn with_speculation(
+        app: &'a dyn HostApp,
+        system: &'a SystemModel,
+        profile: &'a AppProfile,
+        speculate: bool,
+    ) -> Self {
+        let faulty = !system.faults.is_inert();
+        let mut base = Fnv::new();
+        base.bytes(app.name().as_bytes());
+        base.bytes(system.name.as_bytes());
+        let engine = TrialEngine {
+            app,
+            system,
+            clean: system.without_faults(),
+            profile,
+            faulty,
+            speculate,
+            base_fp: base.finish(),
+            state: Mutex::new(State {
+                cache: HashMap::new(),
+                stats: TrialStats::default(),
+            }),
+        };
+        engine.seed_baseline();
+        engine
+    }
+
+    /// Parks the profiling run's result in the clean namespace: the
+    /// profile's reference run *is* a clean baseline evaluation (outputs
+    /// equal the reference, so quality is exactly 1.0), and it is already
+    /// charged as the profiling trial. A later clean acceptance of the
+    /// baseline config dedupes against it.
+    fn seed_baseline(&self) {
+        let fp = self.fingerprint(&ScalingSpec::baseline());
+        let eval = Evaluation {
+            time: self.profile.baseline_time,
+            kernel_time: self.profile.log.timeline.kernel,
+            quality: 1.0,
+        };
+        let mut st = self.state.lock().expect("engine lock");
+        st.stats.charged += 1;
+        st.cache.insert(
+            (fp, self.faulty),
+            Entry {
+                eval: Some(eval),
+                charged: true,
+            },
+        );
+    }
+
+    /// The application under test.
+    #[must_use]
+    pub fn app(&self) -> &'a dyn HostApp {
+        self.app
+    }
+
+    /// The (possibly faulty) tuning system.
+    #[must_use]
+    pub fn system(&self) -> &'a SystemModel {
+        self.system
+    }
+
+    /// The shared baseline profile.
+    #[must_use]
+    pub fn profile(&self) -> &'a AppProfile {
+        self.profile
+    }
+
+    /// Snapshot of the engine's counters.
+    #[must_use]
+    pub fn stats(&self) -> TrialStats {
+        self.state.lock().expect("engine lock").stats
+    }
+
+    /// Evaluates `spec` on the tuning system. Returns the evaluation
+    /// (`None` when the run cannot complete — callers prune it like a TOQ
+    /// failure) and whether this ask was charged as a trial.
+    pub fn trial(&self, spec: &ScalingSpec) -> (Option<Evaluation>, bool) {
+        self.trial_in(spec, false)
+    }
+
+    /// Evaluates `spec` on the clean twin of the system (the final
+    /// acceptance check). On a fault-free system this shares the tuning
+    /// namespace — the twin is the system itself.
+    pub fn trial_clean(&self, spec: &ScalingSpec) -> (Option<Evaluation>, bool) {
+        self.trial_in(spec, true)
+    }
+
+    fn trial_in(&self, spec: &ScalingSpec, clean: bool) -> (Option<Evaluation>, bool) {
+        // Namespace: clean-twin results are distinct only when the tuning
+        // system actually injects faults.
+        let ns = clean && self.faulty;
+        let fp = self.fingerprint(spec);
+        {
+            let mut st = self.state.lock().expect("engine lock");
+            if let Some(entry) = st.cache.get_mut(&(fp, ns)) {
+                let (eval, charged) = (entry.eval.clone(), entry.charged);
+                if charged {
+                    st.stats.cache_hits += 1;
+                    return (eval, false);
+                }
+                entry.charged = true;
+                st.stats.charged += 1;
+                return (eval, true);
+            }
+        }
+        let eval = self.execute(spec, ns, fp);
+        let mut st = self.state.lock().expect("engine lock");
+        st.stats.executions += 1;
+        st.stats.charged += 1;
+        st.cache.insert(
+            (fp, ns),
+            Entry {
+                eval: eval.clone(),
+                charged: true,
+            },
+        );
+        (eval, true)
+    }
+
+    /// Speculatively executes `specs` on the tuning system, in parallel,
+    /// parking the results uncharged. No-op when speculation is off.
+    /// Blocks until every speculative run has finished, so subsequent
+    /// [`TrialEngine::trial`] replays are answered from the cache.
+    pub fn prefetch(&self, specs: &[ScalingSpec]) {
+        if !self.speculate {
+            return;
+        }
+        let mut todo: Vec<(u64, &ScalingSpec)> = Vec::new();
+        {
+            let st = self.state.lock().expect("engine lock");
+            for spec in specs {
+                let fp = self.fingerprint(spec);
+                if st.cache.contains_key(&(fp, false)) || todo.iter().any(|(f, _)| *f == fp) {
+                    continue;
+                }
+                todo.push((fp, spec));
+            }
+        }
+        if todo.is_empty() {
+            return;
+        }
+        let results: Vec<Option<Evaluation>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = todo
+                .iter()
+                .map(|&(fp, spec)| scope.spawn(move || self.execute(spec, false, fp)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("speculative trial panicked"))
+                .collect()
+        });
+        let mut st = self.state.lock().expect("engine lock");
+        for ((fp, _), eval) in todo.into_iter().zip(results) {
+            st.stats.executions += 1;
+            st.cache.entry((fp, false)).or_insert(Entry {
+                eval,
+                charged: false,
+            });
+        }
+    }
+
+    /// One real execution. Pure in `spec`: on a faulty system the run
+    /// draws from a fault stream forked off the spec's fingerprint, so
+    /// re-executing the same spec replays the same faults.
+    fn execute(&self, spec: &ScalingSpec, clean: bool, fp: u64) -> Option<Evaluation> {
+        let forked;
+        let system = if clean {
+            &self.clean
+        } else if self.faulty {
+            forked = self.system.clone().with_faults(self.system.faults.fork(fp));
+            &forked
+        } else {
+            self.system
+        };
+        let (outputs, log) = run_app(self.app, system, spec).ok()?;
+        let raw = output_quality(&self.profile.reference, &outputs);
+        Some(Evaluation {
+            time: log.timeline.total(),
+            kernel_time: log.timeline.kernel,
+            // Clamp non-finite quality to 0: corrupted (NaN-poisoned)
+            // outputs must read as failure, not sneak past TOQ checks.
+            quality: if raw.is_finite() { raw } else { 0.0 },
+        })
+    }
+
+    /// Canonical fingerprint of a spec: FNV-1a over a sorted encoding of
+    /// every map, mixed with the app/system identity. Stable across runs
+    /// (no hasher randomness) because it doubles as the fault-fork salt.
+    fn fingerprint(&self, spec: &ScalingSpec) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.base_fp);
+
+        h.u8(1);
+        for (label, prec) in sorted(&spec.object_targets) {
+            h.bytes(label.as_bytes());
+            h.u8(prec_tag(*prec));
+        }
+        h.u8(2);
+        for (label, plan) in sorted(&spec.write_plans) {
+            h.bytes(label.as_bytes());
+            plan_bytes(&mut h, plan);
+        }
+        h.u8(3);
+        for (label, plan) in sorted(&spec.read_plans) {
+            h.bytes(label.as_bytes());
+            plan_bytes(&mut h, plan);
+        }
+        h.u8(4);
+        for (kernel, casts) in sorted(&spec.in_kernel) {
+            h.bytes(kernel.as_bytes());
+            for (param, prec) in sorted(casts) {
+                h.bytes(param.as_bytes());
+                h.u8(prec_tag(*prec));
+            }
+            h.u8(0xFF); // kernel-map terminator
+        }
+        h.finish()
+    }
+}
+
+fn sorted<V>(map: &HashMap<String, V>) -> Vec<(&String, &V)> {
+    let mut entries: Vec<_> = map.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    entries
+}
+
+fn prec_tag(p: prescaler_ir::Precision) -> u8 {
+    match p {
+        prescaler_ir::Precision::Half => 0,
+        prescaler_ir::Precision::Single => 1,
+        prescaler_ir::Precision::Double => 2,
+    }
+}
+
+fn plan_bytes(h: &mut Fnv, plan: &PlanChoice) {
+    h.u8(prec_tag(plan.intermediate));
+    match plan.host_method {
+        HostMethod::Loop => h.u8(0),
+        HostMethod::Multithread { threads } => {
+            h.u8(1);
+            h.u64(threads as u64);
+        }
+        HostMethod::Pipelined { threads, chunks } => {
+            h.u8(2);
+            h.u64(threads as u64);
+            h.u64(chunks as u64);
+        }
+    }
+}
+
+/// Minimal FNV-1a (64-bit) — the canonical, seed-free fingerprint hash.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u8(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.u8(b);
+        }
+        self.u8(0); // length/field separator
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.u8(b);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::profile_app;
+    use prescaler_ir::Precision;
+    use prescaler_polybench::{BenchKind, PolyApp};
+    use prescaler_sim::FaultPlan;
+
+    fn fixture() -> (PolyApp, SystemModel) {
+        (PolyApp::tiny(BenchKind::Gemm), SystemModel::system1())
+    }
+
+    #[test]
+    fn repeat_asks_hit_the_cache_and_charge_once() {
+        let (app, system) = fixture();
+        let profile = profile_app(&app, &system).unwrap();
+        let engine = TrialEngine::with_speculation(&app, &system, &profile, false);
+        let spec = ScalingSpec::baseline().with_target("A", Precision::Single);
+
+        let (a, charged_a) = engine.trial(&spec);
+        let (b, charged_b) = engine.trial(&spec);
+        assert!(charged_a && !charged_b);
+        let (a, b) = (a.unwrap(), b.unwrap());
+        assert_eq!(a.time, b.time);
+        assert_eq!(a.quality.to_bits(), b.quality.to_bits());
+        let stats = engine.stats();
+        // The baseline seed is pre-charged, so: 1 executed trial + 1 hit.
+        assert_eq!(stats.executions, 1);
+        assert_eq!(stats.charged, 2);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn prefetch_is_uncharged_until_replayed() {
+        let (app, system) = fixture();
+        let profile = profile_app(&app, &system).unwrap();
+        let engine = TrialEngine::with_speculation(&app, &system, &profile, true);
+        let specs = [
+            ScalingSpec::baseline().with_target("A", Precision::Single),
+            ScalingSpec::baseline().with_target("B", Precision::Single),
+        ];
+        engine.prefetch(&specs);
+        let stats = engine.stats();
+        assert_eq!(stats.executions, 2);
+        assert_eq!(stats.charged, 1, "only the baseline seed is charged");
+
+        let (eval, charged) = engine.trial(&specs[0]);
+        assert!(charged, "first replay ask charges the speculative run");
+        assert!(eval.is_some());
+        let stats = engine.stats();
+        assert_eq!(stats.executions, 2, "no re-execution");
+        assert_eq!(stats.charged, 2);
+        assert_eq!(stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn speculative_and_sequential_results_are_bit_identical() {
+        let (app, system) = fixture();
+        let profile = profile_app(&app, &system).unwrap();
+        let seq = TrialEngine::with_speculation(&app, &system, &profile, false);
+        let par = TrialEngine::with_speculation(&app, &system, &profile, true);
+        let specs: Vec<ScalingSpec> = [Precision::Half, Precision::Single]
+            .iter()
+            .map(|&p| {
+                ScalingSpec::baseline()
+                    .with_target("A", p)
+                    .with_target("C", p)
+            })
+            .collect();
+        par.prefetch(&specs);
+        for spec in &specs {
+            let (a, ca) = seq.trial(spec);
+            let (b, cb) = par.trial(spec);
+            assert_eq!(ca, cb);
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.time, b.time);
+                    assert_eq!(a.kernel_time, b.kernel_time);
+                    assert_eq!(a.quality.to_bits(), b.quality.to_bits());
+                }
+                (None, None) => {}
+                (a, b) => panic!("divergent outcomes: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_trials_are_idempotent_via_forked_streams() {
+        let (app, _) = fixture();
+        let system = SystemModel::system1().with_faults(
+            FaultPlan::seeded(11)
+                .with_transfer_failures(0.05)
+                .with_clock_noise(0.2),
+        );
+        let profile = profile_app(&app, &system).unwrap();
+        let engine_a = TrialEngine::with_speculation(&app, &system, &profile, false);
+        let engine_b = TrialEngine::with_speculation(&app, &system, &profile, false);
+        let warm = ScalingSpec::baseline().with_target("B", Precision::Single);
+        let spec = ScalingSpec::baseline().with_target("A", Precision::Single);
+        // Engine B evaluates an extra spec first; forked streams make the
+        // shared spec's result independent of that history.
+        engine_b.trial(&warm);
+        let (a, _) = engine_a.trial(&spec);
+        let (b, _) = engine_b.trial(&spec);
+        match (a, b) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.time, b.time, "forked stream must not depend on history");
+                assert_eq!(a.quality.to_bits(), b.quality.to_bits());
+            }
+            (None, None) => {}
+            (a, b) => panic!("divergent outcomes: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn fingerprints_ignore_map_iteration_order() {
+        let (app, system) = fixture();
+        let profile = profile_app(&app, &system).unwrap();
+        let engine = TrialEngine::with_speculation(&app, &system, &profile, false);
+        let a = ScalingSpec::baseline()
+            .with_target("A", Precision::Single)
+            .with_target("B", Precision::Half);
+        let b = ScalingSpec::baseline()
+            .with_target("B", Precision::Half)
+            .with_target("A", Precision::Single);
+        assert_eq!(engine.fingerprint(&a), engine.fingerprint(&b));
+        let c = ScalingSpec::baseline()
+            .with_target("A", Precision::Half)
+            .with_target("B", Precision::Single);
+        assert_ne!(engine.fingerprint(&a), engine.fingerprint(&c));
+    }
+}

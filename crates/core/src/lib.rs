@@ -14,6 +14,8 @@
 //! * [`search::PreScaler`] — the decision maker: pre-full-precision
 //!   seeding, per-object normal search, wildcard/transient test (§4.4,
 //!   Algorithms 1–2);
+//! * [`engine::TrialEngine`] — memoized, speculatively parallel
+//!   candidate evaluation shared by the search and every baseline;
 //! * [`baselines`] — the paper's comparison points (In-Kernel, PFP);
 //! * [`search_space`] — Equations 1–3;
 //! * [`report`] — type / conversion-method distribution extraction.
@@ -38,12 +40,14 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod engine;
 pub mod inspector;
 pub mod profiler;
 pub mod report;
 pub mod search;
 pub mod search_space;
 
+pub use engine::{TrialEngine, TrialStats};
 pub use inspector::{DbError, InspectorDb, SystemInspector};
 pub use profiler::{profile_app, AppProfile};
 pub use report::{conversion_distribution, type_distribution, GuardSummary, ResultRow};

@@ -201,8 +201,11 @@ pub struct ResultRow {
     pub speedup: f64,
     /// Output quality.
     pub quality: f64,
-    /// Application executions spent searching.
+    /// Application executions charged to the technique's search.
     pub trials: usize,
+    /// Evaluations answered from the trial-engine memo cache instead of
+    /// a real execution (0 for techniques that never repeat a spec).
+    pub cache_hits: usize,
     /// Final object type distribution.
     pub types: TypeDistribution,
     /// Final conversion-method distribution.

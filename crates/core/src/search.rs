@@ -18,11 +18,11 @@
 //!    types, or a failed type as intermediate) is verified with one real
 //!    execution before being adopted.
 
+use crate::engine::TrialEngine;
 use crate::inspector::{valid_intermediate, InspectorDb, PlanKey, SystemInspector};
 use crate::profiler::{profile_app, AppProfile, ObjectProfile};
 use prescaler_ir::Precision;
-use prescaler_ocl::{run_app, HostApp, OclError, PlanChoice, ScalingSpec};
-use prescaler_polybench::output_quality;
+use prescaler_ocl::{HostApp, OclError, PlanChoice, ScalingSpec};
 use prescaler_sim::{Direction, HostMethod, SimTime, SystemModel};
 
 /// One measured configuration evaluation.
@@ -45,9 +45,14 @@ pub struct Tuned {
     pub eval: Evaluation,
     /// Baseline total time (speedup denominator).
     pub baseline_time: SimTime,
-    /// Number of real application executions spent (profiling, PFP
-    /// seeding, search, verification, final run).
+    /// Number of *charged* trials (profiling, PFP seeding, search,
+    /// verification, final run) — what the sequential search pays for.
+    /// Memoized repeats are counted in [`Tuned::cache_hits`] instead.
     pub trials: usize,
+    /// Evaluations answered from the trial-engine cache instead of a
+    /// real execution (e.g. a wildcard candidate that reduces to an
+    /// already-measured configuration).
+    pub cache_hits: usize,
     /// The baseline profile (for reports).
     pub profile: AppProfile,
     /// The target output quality the configuration was tuned against —
@@ -125,7 +130,19 @@ impl<'a> PreScaler<'a> {
     /// (an application that cannot run at full precision cannot be tuned).
     pub fn tune(&self, app: &dyn HostApp) -> Result<Tuned, OclError> {
         let profile = profile_app(app, self.system)?;
-        let mut trials = 1usize; // the profiling run
+        let engine = TrialEngine::new(app, self.system, &profile);
+        Ok(self.tune_with_engine(&engine))
+    }
+
+    /// [`PreScaler::tune`] over a caller-supplied [`TrialEngine`] — the
+    /// engine carries the profile and the memo cache, so report/ablation
+    /// paths that evaluate several techniques on one app can share the
+    /// profiling run (and any overlapping trials) instead of repeating
+    /// them. The profiling run is charged to this tuner's `trials`.
+    #[must_use]
+    pub fn tune_with_engine(&self, engine: &TrialEngine) -> Tuned {
+        let profile = engine.profile();
+        let before = engine.stats();
 
         // --- Pre-full-precision scaling (also the PFP baseline). ---
         let (mut current, mut current_eval) = (
@@ -137,30 +154,18 @@ impl<'a> PreScaler<'a> {
             },
         );
         if self.use_pfp_seed {
-            let (seed_types, seeded, seeded_eval, pfp_trials) =
-                self.pre_full_precision(app, &profile);
-            trials += pfp_trials;
-            let _ = seed_types;
-            current = seeded;
-            current_eval = seeded_eval;
+            (current, current_eval) = self.pre_full_precision(engine);
         }
 
         // --- Decision tree over objects. ---
-        let order: Vec<ObjectProfile> = profile.scaling_order.clone();
-        for obj in &order {
-            let (cfg, eval, t) = self.tune_object(app, &profile, obj, current, current_eval);
-            trials += t;
-            current = cfg;
-            current_eval = eval;
+        for obj in &profile.scaling_order {
+            (current, current_eval) = self.tune_object(engine, obj, current, current_eval);
         }
 
         // --- Final acceptance run of the chosen configuration, on the
         // clean twin of the system: the never-worse-than-baseline
         // guarantee must not hinge on injected noise. ---
-        let clean = self.system.without_faults();
-        let final_eval = self.evaluate_on(&clean, app, &profile, &current).ok();
-        trials += 1;
-        let chosen = match final_eval {
+        let chosen = match engine.trial_clean(&current).0 {
             Some(eval) if eval.quality >= self.toq && eval.time <= profile.baseline_time => {
                 (current, eval)
             }
@@ -177,26 +182,25 @@ impl<'a> PreScaler<'a> {
             ),
         };
 
-        Ok(Tuned {
+        let after = engine.stats();
+        Tuned {
             config: chosen.0,
             eval: chosen.1,
             baseline_time: profile.baseline_time,
-            trials,
-            profile,
+            trials: 1 + (after.charged - before.charged), // +1: profiling
+            cache_hits: after.cache_hits - before.cache_hits,
+            profile: profile.clone(),
             toq: self.toq,
-        })
+        }
     }
 
     /// §4.4.1: test uniform-precision configurations and return the best
-    /// one as the tree's starting point.
-    #[allow(clippy::type_complexity)]
-    fn pre_full_precision(
-        &self,
-        app: &dyn HostApp,
-        profile: &AppProfile,
-    ) -> (Precision, ScalingSpec, Evaluation, usize) {
+    /// one as the tree's starting point. Both uniform candidates are
+    /// speculatively prefetched; the replay below keeps the sequential
+    /// pruning semantics (a failed type stops the descent).
+    fn pre_full_precision(&self, engine: &TrialEngine) -> (ScalingSpec, Evaluation) {
+        let profile = engine.profile();
         let mut best = (
-            Precision::Double,
             ScalingSpec::baseline(),
             Evaluation {
                 time: profile.baseline_time,
@@ -204,40 +208,48 @@ impl<'a> PreScaler<'a> {
                 quality: 1.0,
             },
         );
-        let mut trials = 0usize;
-        for target in [Precision::Single, Precision::Half] {
+        let uniform = |target: Precision| {
             let mut spec = ScalingSpec::baseline();
             for obj in &profile.scaling_order {
-                spec = self.apply_object_target(spec, profile, &obj.label, target, false);
+                spec = self.apply_object_target(spec, profile, &obj.label, target);
             }
-            trials += 1;
-            let Some(eval) = self.try_evaluate(app, profile, &spec) else {
+            spec
+        };
+        let candidates: Vec<ScalingSpec> = [Precision::Single, Precision::Half]
+            .into_iter()
+            .map(uniform)
+            .collect();
+        engine.prefetch(&candidates);
+        for spec in candidates {
+            let Some(eval) = engine.trial(&spec).0 else {
                 // An unrunnable uniform configuration is pruned like a TOQ
                 // failure; lower precisions will not recover it.
                 break;
             };
             let failed = eval.quality < self.toq;
-            if !failed && eval.time < best.2.time {
-                best = (target, spec, eval);
+            if !failed && eval.time < best.1.time {
+                best = (spec, eval);
             }
             if failed {
                 // Lower uniform precisions will not recover quality.
                 break;
             }
         }
-        (best.0, best.1, best.2, trials)
+        best
     }
 
-    /// Algorithm 1 for one memory object.
+    /// Algorithm 1 for one memory object. The per-target candidates are
+    /// speculatively prefetched in one parallel fan-out; the sequential
+    /// replay below preserves Alg. 1's pruning order, and measurements
+    /// past the first TOQ failure stay uncharged in the engine's cache.
     fn tune_object(
         &self,
-        app: &dyn HostApp,
-        profile: &AppProfile,
+        engine: &TrialEngine,
         obj: &ObjectProfile,
         current: ScalingSpec,
         current_eval: Evaluation,
-    ) -> (ScalingSpec, Evaluation, usize) {
-        let mut trials = 0usize;
+    ) -> (ScalingSpec, Evaluation) {
+        let profile = engine.profile();
         let current_type = current.target_for(&obj.label, obj.original);
 
         // ---------- Normal search ----------
@@ -247,14 +259,22 @@ impl<'a> PreScaler<'a> {
         let mut failed: Option<Precision> = None;
         let mut normal_best = (current.clone(), current_eval.clone());
 
-        for target in [Precision::Double, Precision::Single, Precision::Half] {
-            if target == current_type {
-                continue;
-            }
-            let candidate =
-                self.apply_object_target(current.clone(), profile, &obj.label, target, false);
-            trials += 1;
-            let Some(eval) = self.try_evaluate(app, profile, &candidate) else {
+        let targets: Vec<(Precision, ScalingSpec)> =
+            [Precision::Double, Precision::Single, Precision::Half]
+                .into_iter()
+                .filter(|t| *t != current_type)
+                .map(|t| {
+                    (
+                        t,
+                        self.apply_object_target(current.clone(), profile, &obj.label, t),
+                    )
+                })
+                .collect();
+        let specs: Vec<ScalingSpec> = targets.iter().map(|(_, s)| s.clone()).collect();
+        engine.prefetch(&specs);
+
+        for (target, candidate) in targets {
+            let Some(eval) = engine.trial(&candidate).0 else {
                 // A trial that cannot complete is pruned like a TOQ
                 // failure (Alg. 1, line 10).
                 failed = Some(target);
@@ -313,17 +333,17 @@ impl<'a> PreScaler<'a> {
                 // endpoints); otherwise adopt it on predicted time and
                 // measure it to keep the running evaluation grounded. A
                 // verification run that cannot complete simply rejects
-                // the wildcard.
-                trials += 1;
-                if let Some(eval) = self.try_evaluate(app, profile, &wc_config) {
+                // the wildcard. A wildcard whose wires reduce to an
+                // already-measured plan is answered from the memo cache.
+                if let Some(eval) = engine.trial(&wc_config).0 {
                     if eval.quality >= self.toq && eval.time < normal_best.1.time {
-                        return (wc_config, eval, trials);
+                        return (wc_config, eval);
                     }
                 }
             }
         }
 
-        (normal_best.0, normal_best.1, trials)
+        (normal_best.0, normal_best.1)
     }
 
     /// Applies `target` to one object in a spec, choosing the best direct
@@ -335,7 +355,6 @@ impl<'a> PreScaler<'a> {
         profile: &AppProfile,
         label: &str,
         target: Precision,
-        _unused: bool,
     ) -> ScalingSpec {
         let Some(obj) = profile.scaling_order.iter().find(|o| o.label == label) else {
             return spec; // unknown object: leave the spec untouched
@@ -483,48 +502,6 @@ impl<'a> PreScaler<'a> {
             }
         }
         best
-    }
-
-    /// Runs one configuration on `system` and scores it against the
-    /// reference. Output quality is clamped to 0 when the metric is not
-    /// finite: corrupted (NaN-poisoned) outputs must read as a failure,
-    /// not sneak past `quality < toq` comparisons.
-    fn evaluate_on(
-        &self,
-        system: &SystemModel,
-        app: &dyn HostApp,
-        profile: &AppProfile,
-        spec: &ScalingSpec,
-    ) -> Result<Evaluation, OclError> {
-        let (outputs, log) = run_app(app, system, spec)?;
-        let raw = output_quality(&profile.reference, &outputs);
-        Ok(Evaluation {
-            time: log.timeline.total(),
-            kernel_time: log.timeline.kernel,
-            quality: if raw.is_finite() { raw } else { 0.0 },
-        })
-    }
-
-    /// Runs one configuration on the tuner's (possibly faulty) system.
-    fn evaluate(
-        &self,
-        app: &dyn HostApp,
-        profile: &AppProfile,
-        spec: &ScalingSpec,
-    ) -> Result<Evaluation, OclError> {
-        self.evaluate_on(self.system, app, profile, spec)
-    }
-
-    /// A candidate trial that cannot complete (retries exhausted, timeout)
-    /// yields `None`, which every caller prunes exactly like a TOQ
-    /// failure — a fault can cost performance, never a panic.
-    fn try_evaluate(
-        &self,
-        app: &dyn HostApp,
-        profile: &AppProfile,
-        spec: &ScalingSpec,
-    ) -> Option<Evaluation> {
-        self.evaluate(app, profile, spec).ok()
     }
 }
 

@@ -275,6 +275,23 @@ impl FaultPlan {
         self
     }
 
+    /// Forks an independent plan for a sub-experiment.
+    ///
+    /// The fork keeps every rate of the parent but derives a fresh seed
+    /// from `salt` and starts its counters at zero, so the child draws a
+    /// fault stream that depends only on `(parent config, salt)` — not on
+    /// how far the parent's stream has advanced. Evaluating the same salt
+    /// twice therefore replays the exact same faults, which is what makes
+    /// memoized and speculatively parallel trial execution deterministic.
+    /// Forks of an inert plan are inert.
+    #[must_use]
+    pub fn fork(&self, salt: u64) -> FaultPlan {
+        FaultPlan::new(FaultConfig {
+            seed: splitmix64(self.config.seed ^ salt),
+            ..self.config
+        })
+    }
+
     /// The plan's configuration.
     #[must_use]
     pub fn config(&self) -> &FaultConfig {
@@ -509,6 +526,33 @@ mod tests {
         let fresh = FaultPlan::seeded(7).with_transfer_failures(0.5);
         let replay: Vec<bool> = (0..200).map(|_| fresh.transfer_fails()).collect();
         assert_eq!(interleaved, replay);
+    }
+
+    #[test]
+    fn forks_are_independent_and_replayable() {
+        let parent = FaultPlan::seeded(7).with_transfer_failures(0.5);
+        // Advance the parent's stream; forks must not care.
+        for _ in 0..17 {
+            let _ = parent.transfer_fails();
+        }
+        let collect =
+            |plan: &FaultPlan| -> Vec<bool> { (0..200).map(|_| plan.transfer_fails()).collect() };
+        let a = collect(&parent.fork(99));
+        for _ in 0..5 {
+            let _ = parent.transfer_fails();
+        }
+        let b = collect(&parent.fork(99));
+        assert_eq!(a, b, "same salt must replay the same stream");
+        assert_ne!(a, collect(&parent.fork(100)), "salts must decorrelate");
+        assert_eq!(
+            parent.fork(99).config().transfer_failure_rate,
+            0.5,
+            "forks keep the parent's rates"
+        );
+        assert!(
+            FaultPlan::none().fork(99).is_inert(),
+            "forks of an inert plan are inert"
+        );
     }
 
     #[test]

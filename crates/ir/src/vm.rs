@@ -118,6 +118,83 @@ enum Op {
     Count { idx: u32 },
     /// End of the work-item.
     Halt,
+    // ------------------------------------------------------------------
+    // Fused superinstructions, produced only by the peephole pass. Each
+    // is the exact composition of the ops it replaces — same values,
+    // same error behaviour — collapsing the dispatch count of hot loops.
+    // ------------------------------------------------------------------
+    /// `ICmp` + `JumpIfFalse` on its (otherwise dead) result.
+    JumpICmpFalse {
+        op: CmpOp,
+        a: IReg,
+        b: IReg,
+        target: u32,
+    },
+    /// `FCmp` + `JumpIfFalse` on its (otherwise dead) result.
+    JumpFCmpFalse {
+        op: CmpOp,
+        a: FReg,
+        b: FReg,
+        target: u32,
+    },
+    /// Loop back-edge: `IAddImm` + `Jump` (increment, then jump).
+    IAddImmJump {
+        dst: IReg,
+        a: IReg,
+        imm: i64,
+        target: u32,
+    },
+    /// Row-major indexed load: `f[dst] = buffers[buf][i[a]*i[b] + i[c]]`
+    /// (`IBin Mul` + `IBin Add` + `Load` with dead index temporaries).
+    LoadMulAdd {
+        buf: u16,
+        a: IReg,
+        b: IReg,
+        c: IReg,
+        dst: FReg,
+    },
+    /// Multiply-accumulate: `f[dst] = f[acc] + f[a]*f[b]`, rounding the
+    /// product at `pm` and the sum at `pa` — two roundings, exactly as
+    /// the unfused `FBin Mul` + `FBin Add` pair (this is *not* an FMA).
+    FMulAcc {
+        pm: Precision,
+        pa: Precision,
+        dst: FReg,
+        acc: FReg,
+        a: FReg,
+        b: FReg,
+    },
+    /// A full dot-product step (`LoadMulAdd` + `LoadMulAdd` + `FMulAcc`);
+    /// the operands live in `dot_table[idx]` so `Op` stays compact.
+    DotStep { idx: u32 },
+    /// `Count` folded into the loop back-edge `IAddImmJump` (the
+    /// increment fits in an `i32` whenever this fires).
+    CountAddJump {
+        idx: u32,
+        dst: IReg,
+        a: IReg,
+        imm: i32,
+        target: u32,
+    },
+}
+
+/// Operands of a fused [`Op::DotStep`]:
+/// `f[dst] = f[acc] + buf1[i[a1]*i[b1]+i[c1]] * buf2[i[a2]*i[b2]+i[c2]]`
+/// with the product rounded at `pm` and the sum at `pa`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct DotStepArgs {
+    pm: Precision,
+    pa: Precision,
+    dst: FReg,
+    acc: FReg,
+    buf1: u16,
+    a1: IReg,
+    b1: IReg,
+    c1: IReg,
+    buf2: u16,
+    a2: IReg,
+    b2: IReg,
+    c2: IReg,
 }
 
 /// How one kernel parameter binds at launch.
@@ -144,9 +221,36 @@ pub struct CompiledKernel {
     name: String,
     ops: Vec<Op>,
     counts_table: Vec<OpCounts>,
+    dot_table: Vec<DotStepArgs>,
     params: Vec<ParamBind>,
     n_iregs: u32,
     n_fregs: u32,
+}
+
+/// Reusable execution state for [`CompiledKernel::run_with_scratch`]:
+/// register files and the buffer-binding list. Holding one scratch across
+/// launches avoids three heap allocations per launch; any kernel can run
+/// against any scratch.
+#[derive(Debug, Default)]
+pub struct VmScratch {
+    iregs: Vec<i64>,
+    fregs: Vec<f64>,
+    bufs: Vec<(String, FloatVec)>,
+}
+
+impl VmScratch {
+    /// An empty scratch; storage grows on first use.
+    #[must_use]
+    pub fn new() -> VmScratch {
+        VmScratch::default()
+    }
+}
+
+/// Moves temporarily-bound buffers back into the caller's map.
+fn restore(buffers: &mut BufferMap, bufs: &mut Vec<(String, FloatVec)>) {
+    for (name, data) in bufs.drain(..) {
+        buffers.insert(name, data);
+    }
 }
 
 /// Compile-time value classification.
@@ -252,10 +356,13 @@ pub fn compile_kernel(kernel: &Kernel) -> Result<CompiledKernel, ExecError> {
     c.flush();
     c.ops.push(Op::Halt);
 
+    let mut dot_table = Vec::new();
+    let ops = peephole(c.ops, &mut dot_table);
     Ok(CompiledKernel {
         name: kernel.name.clone(),
-        ops: c.ops,
+        ops,
         counts_table: c.counts_table,
+        dot_table,
         params: c.params,
         n_iregs: c.next_i,
         n_fregs: c.next_f,
@@ -845,6 +952,381 @@ impl<'k> Compiler<'k> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Peephole fusion
+// ---------------------------------------------------------------------------
+
+/// The destination register an op writes, if it has exactly one.
+fn dst_of(op: Op, dot: &[DotStepArgs]) -> Option<Val> {
+    match op {
+        Op::IConst { dst, .. }
+        | Op::IMov { dst, .. }
+        | Op::IBin { dst, .. }
+        | Op::IAddImm { dst, .. }
+        | Op::IUn { dst, .. }
+        | Op::ICmp { dst, .. }
+        | Op::FCmp { dst, .. }
+        | Op::FToI { dst, .. }
+        | Op::SelectI { dst, .. } => Some(Val::I(dst)),
+        Op::FConst { dst, .. }
+        | Op::FMov { dst, .. }
+        | Op::FBin { dst, .. }
+        | Op::FUn { dst, .. }
+        | Op::Cvt { dst, .. }
+        | Op::IToF { dst, .. }
+        | Op::Load { dst, .. }
+        | Op::SelectF { dst, .. }
+        | Op::FMulAcc { dst, .. } => Some(Val::F(dst)),
+        Op::DotStep { idx } => Some(Val::F(dot[idx as usize].dst)),
+        _ => None,
+    }
+}
+
+/// Rewrites an op's destination register (same kind).
+fn with_dst(op: Op, new: Val, dot: &mut [DotStepArgs]) -> Op {
+    let mut op = op;
+    match (&mut op, new) {
+        (Op::DotStep { idx }, Val::F(r)) => dot[*idx as usize].dst = r,
+        (
+            Op::IConst { dst, .. }
+            | Op::IMov { dst, .. }
+            | Op::IBin { dst, .. }
+            | Op::IAddImm { dst, .. }
+            | Op::IUn { dst, .. }
+            | Op::ICmp { dst, .. }
+            | Op::FCmp { dst, .. }
+            | Op::FToI { dst, .. }
+            | Op::SelectI { dst, .. },
+            Val::I(r),
+        ) => *dst = r,
+        (
+            Op::FConst { dst, .. }
+            | Op::FMov { dst, .. }
+            | Op::FBin { dst, .. }
+            | Op::FUn { dst, .. }
+            | Op::Cvt { dst, .. }
+            | Op::IToF { dst, .. }
+            | Op::Load { dst, .. }
+            | Op::SelectF { dst, .. }
+            | Op::FMulAcc { dst, .. },
+            Val::F(r),
+        ) => *dst = r,
+        _ => unreachable!("destination kind mismatch in peephole"),
+    }
+    op
+}
+
+/// Calls `fi`/`ff` for every integer / float register an op reads.
+fn for_each_read(
+    op: Op,
+    dot: &[DotStepArgs],
+    fi: &mut impl FnMut(IReg),
+    ff: &mut impl FnMut(FReg),
+) {
+    match op {
+        Op::Jump(_) | Op::IConst { .. } | Op::FConst { .. } | Op::Count { .. } | Op::Halt => {}
+        Op::JumpIfFalse { cond, .. } => fi(cond),
+        Op::IMov { src, .. } => fi(src),
+        Op::FMov { src, .. } => ff(src),
+        Op::IBin { a, b, .. } | Op::ICmp { a, b, .. } | Op::JumpICmpFalse { a, b, .. } => {
+            fi(a);
+            fi(b);
+        }
+        Op::IAddImm { a, .. }
+        | Op::IAddImmJump { a, .. }
+        | Op::CountAddJump { a, .. }
+        | Op::IUn { a, .. } => fi(a),
+        Op::DotStep { idx } => {
+            let d = dot[idx as usize];
+            for r in [d.a1, d.b1, d.c1, d.a2, d.b2, d.c2] {
+                fi(r);
+            }
+            ff(d.acc);
+        }
+        Op::FCmp { a, b, .. } | Op::FBin { a, b, .. } | Op::JumpFCmpFalse { a, b, .. } => {
+            ff(a);
+            ff(b);
+        }
+        Op::FUn { a, .. } | Op::Cvt { a, .. } | Op::FToI { a, .. } => ff(a),
+        Op::IToF { a, .. } => fi(a),
+        Op::Load { idx, .. } => fi(idx),
+        Op::Store { idx, src, .. } => {
+            fi(idx);
+            ff(src);
+        }
+        Op::LoadMulAdd { a, b, c, .. } => {
+            fi(a);
+            fi(b);
+            fi(c);
+        }
+        Op::FMulAcc { acc, a, b, .. } => {
+            ff(acc);
+            ff(a);
+            ff(b);
+        }
+        Op::SelectF { cond, a, b, .. } => {
+            fi(cond);
+            ff(a);
+            ff(b);
+        }
+        Op::SelectI { cond, a, b, .. } => {
+            fi(cond);
+            fi(a);
+            fi(b);
+        }
+    }
+}
+
+/// Fuses adjacent op patterns into superinstructions.
+///
+/// Every fusion is semantics-preserving by construction:
+///
+/// * a group is only fused when no interior op is a jump target, so
+///   control flow cannot enter the middle of a fused sequence;
+/// * an intermediate register is only eliminated when its *global* read
+///   count is exactly the one read inside the group, so no other op (in
+///   this or any later loop iteration) can observe the dropped write;
+/// * the fused op performs the identical arithmetic in the identical
+///   order (including wrapping/rounding and bounds checks).
+///
+/// Count deltas are never altered: a `Count` either survives verbatim or
+/// rides along inside `CountAddJump` with the same table index, so
+/// [`OpCounts`] are unchanged.
+///
+/// Runs to a fixpoint: a fused op can enable further fusion (e.g. the
+/// multiply-accumulate's result copy sinks on the next pass).
+fn peephole(mut ops: Vec<Op>, dot_table: &mut Vec<DotStepArgs>) -> Vec<Op> {
+    loop {
+        let before = ops.len();
+        ops = peephole_pass(ops, dot_table);
+        if ops.len() == before {
+            return ops;
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn peephole_pass(ops: Vec<Op>, dot_table: &mut Vec<DotStepArgs>) -> Vec<Op> {
+    let n = ops.len();
+    let mut is_target = vec![false; n];
+    let mut ireads = HashMap::new();
+    let mut freads = HashMap::new();
+    for &op in &ops {
+        match op {
+            Op::Jump(t)
+            | Op::JumpIfFalse { target: t, .. }
+            | Op::JumpICmpFalse { target: t, .. }
+            | Op::JumpFCmpFalse { target: t, .. }
+            | Op::IAddImmJump { target: t, .. }
+            | Op::CountAddJump { target: t, .. } => is_target[t as usize] = true,
+            _ => {}
+        }
+        for_each_read(
+            op,
+            dot_table,
+            &mut |r| *ireads.entry(r).or_insert(0u32) += 1,
+            &mut |r| *freads.entry(r).or_insert(0u32) += 1,
+        );
+    }
+    let iread = |r: IReg| ireads.get(&r).copied().unwrap_or(0);
+    let fread = |r: FReg| freads.get(&r).copied().unwrap_or(0);
+    let interior_free = |lo: usize, hi: usize| (lo..=hi).all(|k| !is_target[k]);
+
+    let mut out = Vec::with_capacity(n);
+    let mut remap = vec![0u32; n + 1];
+    let mut i = 0usize;
+    while i < n {
+        let new_pc = out.len() as u32;
+        let fused: Option<(Op, usize)> = match (ops[i], ops.get(i + 1), ops.get(i + 2)) {
+            // Row-major indexed load: t1 = a*b; t2 = t1+c; dst = buf[t2].
+            (
+                Op::IBin {
+                    op: FloatBinOp::Mul,
+                    dst: t1,
+                    a,
+                    b,
+                },
+                Some(&Op::IBin {
+                    op: FloatBinOp::Add,
+                    dst: t2,
+                    a: aa,
+                    b: ab,
+                }),
+                Some(&Op::Load { buf, idx, dst }),
+            ) if idx == t2
+                && (aa == t1 || ab == t1)
+                && iread(t1) == 1
+                && iread(t2) == 1
+                && interior_free(i + 1, i + 2) =>
+            {
+                // Wrapping add commutes, so either operand slot works.
+                let c = if aa == t1 { ab } else { aa };
+                Some((Op::LoadMulAdd { buf, a, b, c, dst }, 3))
+            }
+            // Multiply feeding only an accumulate (`acc + a*b`): fuse
+            // keeping both roundings and the exact operand order.
+            (
+                Op::FBin {
+                    prec: pm,
+                    op: FloatBinOp::Mul,
+                    dst: t,
+                    a,
+                    b,
+                },
+                Some(&Op::FBin {
+                    prec: pa,
+                    op: FloatBinOp::Add,
+                    dst,
+                    a: acc,
+                    b: prod,
+                }),
+                _,
+            ) if prod == t && fread(t) == 1 && interior_free(i + 1, i + 1) => Some((
+                Op::FMulAcc {
+                    pm,
+                    pa,
+                    dst,
+                    acc,
+                    a,
+                    b,
+                },
+                2,
+            )),
+            // Compare feeding only a branch.
+            (Op::ICmp { op, dst, a, b }, Some(&Op::JumpIfFalse { cond, target }), _)
+                if cond == dst && iread(dst) == 1 && interior_free(i + 1, i + 1) =>
+            {
+                Some((Op::JumpICmpFalse { op, a, b, target }, 2))
+            }
+            (Op::FCmp { op, dst, a, b }, Some(&Op::JumpIfFalse { cond, target }), _)
+                if cond == dst && iread(dst) == 1 && interior_free(i + 1, i + 1) =>
+            {
+                Some((Op::JumpFCmpFalse { op, a, b, target }, 2))
+            }
+            // Loop back-edge: increment, then unconditional jump.
+            (Op::IAddImm { dst, a, imm }, Some(&Op::Jump(target)), _)
+                if interior_free(i + 1, i + 1) =>
+            {
+                Some((
+                    Op::IAddImmJump {
+                        dst,
+                        a,
+                        imm,
+                        target,
+                    },
+                    2,
+                ))
+            }
+            // Per-iteration counter flush folded into the back-edge.
+            (
+                Op::Count { idx },
+                Some(&Op::IAddImmJump {
+                    dst,
+                    a,
+                    imm,
+                    target,
+                }),
+                _,
+            ) if interior_free(i + 1, i + 1) && i32::try_from(imm).is_ok() => Some((
+                Op::CountAddJump {
+                    idx,
+                    dst,
+                    a,
+                    imm: imm as i32,
+                    target,
+                },
+                2,
+            )),
+            // A dot-product step: two indexed loads whose only consumer
+            // is a multiply-accumulate, in operand order.
+            (
+                Op::LoadMulAdd {
+                    buf: buf1,
+                    a: a1,
+                    b: b1,
+                    c: c1,
+                    dst: t1,
+                },
+                Some(&Op::LoadMulAdd {
+                    buf: buf2,
+                    a: a2,
+                    b: b2,
+                    c: c2,
+                    dst: t2,
+                }),
+                Some(&Op::FMulAcc {
+                    pm,
+                    pa,
+                    dst,
+                    acc,
+                    a: ma,
+                    b: mb,
+                }),
+            ) if ma == t1
+                && mb == t2
+                && t1 != t2
+                && fread(t1) == 1
+                && fread(t2) == 1
+                && interior_free(i + 1, i + 2) =>
+            {
+                let idx = dot_table.len() as u32;
+                dot_table.push(DotStepArgs {
+                    pm,
+                    pa,
+                    dst,
+                    acc,
+                    buf1,
+                    a1,
+                    b1,
+                    c1,
+                    buf2,
+                    a2,
+                    b2,
+                    c2,
+                });
+                Some((Op::DotStep { idx }, 3))
+            }
+            // Copy sink: a producer whose only consumer is a register move
+            // writes the move's destination directly.
+            (producer, Some(&Op::IMov { dst, src }), _)
+                if dst_of(producer, dot_table) == Some(Val::I(src))
+                    && iread(src) == 1
+                    && interior_free(i + 1, i + 1) =>
+            {
+                Some((with_dst(producer, Val::I(dst), dot_table), 2))
+            }
+            (producer, Some(&Op::FMov { dst, src }), _)
+                if dst_of(producer, dot_table) == Some(Val::F(src))
+                    && fread(src) == 1
+                    && interior_free(i + 1, i + 1) =>
+            {
+                Some((with_dst(producer, Val::F(dst), dot_table), 2))
+            }
+            _ => None,
+        };
+        let (op, width) = fused.unwrap_or((ops[i], 1));
+        for k in 0..width {
+            remap[i + k] = new_pc;
+        }
+        out.push(op);
+        i += width;
+    }
+    remap[n] = out.len() as u32;
+
+    for op in &mut out {
+        match op {
+            Op::Jump(t)
+            | Op::JumpIfFalse { target: t, .. }
+            | Op::JumpICmpFalse { target: t, .. }
+            | Op::JumpFCmpFalse { target: t, .. }
+            | Op::IAddImmJump { target: t, .. }
+            | Op::CountAddJump { target: t, .. } => *t = remap[*t as usize],
+            _ => {}
+        }
+    }
+    out
+}
+
 fn expr_is_weak(e: &Expr) -> bool {
     match e {
         Expr::FloatConst(_) => true,
@@ -986,44 +1468,69 @@ impl CompiledKernel {
     /// Executes the compiled kernel over the launch NDRange. Semantics and
     /// error behaviour match [`crate::interp::run_kernel`] exactly.
     ///
+    /// Allocates fresh execution state; launch-heavy callers should hold a
+    /// [`VmScratch`] and use [`CompiledKernel::run_with_scratch`] instead.
+    ///
     /// # Errors
     ///
     /// See [`ExecError`].
     pub fn run(&self, buffers: &mut BufferMap, launch: &Launch) -> Result<OpCounts, ExecError> {
-        // Bind parameters.
-        let mut iregs = vec![0i64; self.n_iregs as usize];
-        let mut fregs = vec![0f64; self.n_fregs as usize];
-        let mut bufs: Vec<(String, FloatVec)> = Vec::new();
+        self.run_with_scratch(buffers, launch, &mut VmScratch::new())
+    }
 
+    /// Like [`CompiledKernel::run`], but reuses `scratch`'s register and
+    /// buffer-binding storage across launches instead of allocating per
+    /// launch. Results are identical; any `CompiledKernel` may share one
+    /// scratch (it is resized per run).
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`].
+    pub fn run_with_scratch(
+        &self,
+        buffers: &mut BufferMap,
+        launch: &Launch,
+        scratch: &mut VmScratch,
+    ) -> Result<OpCounts, ExecError> {
+        let VmScratch { iregs, fregs, bufs } = scratch;
+        iregs.clear();
+        iregs.resize(self.n_iregs as usize, 0);
+        fregs.clear();
+        fregs.resize(self.n_fregs as usize, 0.0);
+        debug_assert!(bufs.is_empty(), "scratch buffers left bound");
+
+        // Bind parameters. Buffers move map entry → scratch and back
+        // (`remove_entry` keeps the owned key, so the hot path never
+        // clones a name).
         for p in &self.params {
             match p {
-                ParamBind::Buffer { name, elem } => match buffers.remove(name.as_str()) {
+                ParamBind::Buffer { name, elem } => match buffers.remove_entry(name.as_str()) {
                     None => {
-                        self.restore(buffers, bufs);
+                        restore(buffers, bufs);
                         return Err(ExecError::MissingBuffer(name.clone()));
                     }
-                    Some(v) if v.precision() != *elem => {
+                    Some((key, v)) if v.precision() != *elem => {
                         let bound = v.precision();
-                        buffers.insert(name.clone(), v);
-                        self.restore(buffers, bufs);
+                        buffers.insert(key, v);
+                        restore(buffers, bufs);
                         return Err(ExecError::BufferPrecisionMismatch {
                             name: name.clone(),
                             declared: *elem,
                             bound,
                         });
                     }
-                    Some(data) => bufs.push((name.clone(), data)),
+                    Some(entry) => bufs.push(entry),
                 },
                 ParamBind::ScalarInt { name, reg } => {
                     let arg = find_arg(launch, name);
                     match arg {
                         Some(ArgValue::Int(v)) => iregs[*reg as usize] = v,
                         Some(ArgValue::Float(_)) => {
-                            self.restore(buffers, bufs);
+                            restore(buffers, bufs);
                             return Err(ExecError::ArgKindMismatch(name.clone()));
                         }
                         None => {
-                            self.restore(buffers, bufs);
+                            restore(buffers, bufs);
                             return Err(ExecError::MissingArg(name.clone()));
                         }
                     }
@@ -1034,7 +1541,7 @@ impl CompiledKernel {
                         Some(ArgValue::Float(v)) => fregs[*reg as usize] = round_to(*prec, v),
                         Some(ArgValue::Int(v)) => fregs[*reg as usize] = round_to(*prec, v as f64),
                         None => {
-                            self.restore(buffers, bufs);
+                            restore(buffers, bufs);
                             return Err(ExecError::MissingArg(name.clone()));
                         }
                     }
@@ -1042,15 +1549,9 @@ impl CompiledKernel {
             }
         }
 
-        let result = self.exec(&mut iregs, &mut fregs, &mut bufs, launch);
-        self.restore(buffers, bufs);
+        let result = self.exec(iregs, fregs, bufs, launch);
+        restore(buffers, bufs);
         result
-    }
-
-    fn restore(&self, buffers: &mut BufferMap, bufs: Vec<(String, FloatVec)>) {
-        for (name, data) in bufs {
-            buffers.insert(name, data);
-        }
     }
 
     #[allow(clippy::too_many_lines)]
@@ -1061,7 +1562,11 @@ impl CompiledKernel {
         bufs: &mut [(String, FloatVec)],
         launch: &Launch,
     ) -> Result<OpCounts, ExecError> {
-        let mut counts = OpCounts::new();
+        // Count sites fire millions of times in hot loops; adding the full
+        // `OpCounts` struct each time costs ~20 u64 additions per hit.  Tally
+        // hits per table index instead and scale once at the end — repeated
+        // addition of a constant delta is exactly multiplication.
+        let mut hits = vec![0u64; self.counts_table.len()];
         let ops = &self.ops[..];
         for gy in 0..launch.global[1] {
             for gx in 0..launch.global[0] {
@@ -1184,11 +1689,127 @@ impl CompiledKernel {
                             };
                         }
                         Op::Count { idx } => {
-                            counts += self.counts_table[idx as usize];
+                            hits[idx as usize] += 1;
+                        }
+                        Op::JumpICmpFalse { op, a, b, target } => {
+                            if !apply_icmp(op, iregs[a as usize], iregs[b as usize]) {
+                                pc = target as usize;
+                                continue;
+                            }
+                        }
+                        Op::JumpFCmpFalse { op, a, b, target } => {
+                            if !apply_fcmp(op, fregs[a as usize], fregs[b as usize]) {
+                                pc = target as usize;
+                                continue;
+                            }
+                        }
+                        Op::IAddImmJump {
+                            dst,
+                            a,
+                            imm,
+                            target,
+                        } => {
+                            iregs[dst as usize] = iregs[a as usize].wrapping_add(imm);
+                            pc = target as usize;
+                            continue;
+                        }
+                        Op::LoadMulAdd { buf, a, b, c, dst } => {
+                            let i = iregs[a as usize]
+                                .wrapping_mul(iregs[b as usize])
+                                .wrapping_add(iregs[c as usize]);
+                            let (name, data) = &bufs[buf as usize];
+                            let len = data.len();
+                            if i < 0 || i as usize >= len {
+                                return Err(ExecError::OutOfBounds {
+                                    buf: name.clone(),
+                                    index: i,
+                                    len,
+                                });
+                            }
+                            fregs[dst as usize] = match data {
+                                FloatVec::F16(v) => v[i as usize].to_f64(),
+                                FloatVec::F32(v) => f64::from(v[i as usize]),
+                                FloatVec::F64(v) => v[i as usize],
+                            };
+                        }
+                        Op::FMulAcc {
+                            pm,
+                            pa,
+                            dst,
+                            acc,
+                            a,
+                            b,
+                        } => {
+                            let m = apply_fbin(
+                                pm,
+                                FloatBinOp::Mul,
+                                fregs[a as usize],
+                                fregs[b as usize],
+                            );
+                            fregs[dst as usize] =
+                                apply_fbin(pa, FloatBinOp::Add, fregs[acc as usize], m);
+                        }
+                        Op::DotStep { idx } => {
+                            let d = &self.dot_table[idx as usize];
+                            let i1 = iregs[d.a1 as usize]
+                                .wrapping_mul(iregs[d.b1 as usize])
+                                .wrapping_add(iregs[d.c1 as usize]);
+                            let (name, data) = &bufs[d.buf1 as usize];
+                            let len = data.len();
+                            if i1 < 0 || i1 as usize >= len {
+                                return Err(ExecError::OutOfBounds {
+                                    buf: name.clone(),
+                                    index: i1,
+                                    len,
+                                });
+                            }
+                            let v1 = match data {
+                                FloatVec::F16(v) => v[i1 as usize].to_f64(),
+                                FloatVec::F32(v) => f64::from(v[i1 as usize]),
+                                FloatVec::F64(v) => v[i1 as usize],
+                            };
+                            let i2 = iregs[d.a2 as usize]
+                                .wrapping_mul(iregs[d.b2 as usize])
+                                .wrapping_add(iregs[d.c2 as usize]);
+                            let (name, data) = &bufs[d.buf2 as usize];
+                            let len = data.len();
+                            if i2 < 0 || i2 as usize >= len {
+                                return Err(ExecError::OutOfBounds {
+                                    buf: name.clone(),
+                                    index: i2,
+                                    len,
+                                });
+                            }
+                            let v2 = match data {
+                                FloatVec::F16(v) => v[i2 as usize].to_f64(),
+                                FloatVec::F32(v) => f64::from(v[i2 as usize]),
+                                FloatVec::F64(v) => v[i2 as usize],
+                            };
+                            let m = apply_fbin(d.pm, FloatBinOp::Mul, v1, v2);
+                            fregs[d.dst as usize] =
+                                apply_fbin(d.pa, FloatBinOp::Add, fregs[d.acc as usize], m);
+                        }
+                        Op::CountAddJump {
+                            idx,
+                            dst,
+                            a,
+                            imm,
+                            target,
+                        } => {
+                            hits[idx as usize] += 1;
+                            iregs[dst as usize] = iregs[a as usize].wrapping_add(i64::from(imm));
+                            pc = target as usize;
+                            continue;
                         }
                     }
                     pc += 1;
                 }
+            }
+        }
+        let mut counts = OpCounts::new();
+        for (i, &h) in hits.iter().enumerate() {
+            if h != 0 {
+                counts += self.counts_table[i].scaled(h);
             }
         }
         Ok(counts)
@@ -1426,6 +2047,80 @@ mod tests {
             .buffer("c", Precision::Double, Access::Write)
             .body(vec![store("c", int(0), lt(int(0), int(1)) + flit(1.0))]);
         assert!(matches!(compile_kernel(&k), Err(ExecError::KindError(_))));
+    }
+
+    #[test]
+    fn hot_loops_fuse_into_superinstructions() {
+        // A GEMM-shaped inner loop must hit every fusion pattern: fused
+        // compare-branches, a fused back-edge, row-major indexed loads,
+        // and the accumulator copy sunk into its producer.
+        let k = kernel("mm")
+            .buffer("a", Precision::Double, Access::Read)
+            .buffer("b", Precision::Double, Access::Read)
+            .buffer("c", Precision::Double, Access::ReadWrite)
+            .int_param("n")
+            .body(vec![
+                let_("j", global_id(0)),
+                let_("i", global_id(1)),
+                if_(
+                    lt(var("i"), var("n")),
+                    vec![
+                        let_acc("acc", "c", flit(0.0)),
+                        for_(
+                            "kk",
+                            int(0),
+                            var("n"),
+                            vec![add_assign(
+                                "acc",
+                                load("a", var("i") * var("n") + var("kk"))
+                                    * load("b", var("kk") * var("n") + var("j")),
+                            )],
+                        ),
+                        store("c", var("i") * var("n") + var("j"), var("acc")),
+                    ],
+                ),
+            ]);
+        let compiled = compile_kernel(&k).unwrap();
+        let has = |f: &dyn Fn(&Op) -> bool| compiled.ops.iter().any(f);
+        assert!(has(&|o| matches!(o, Op::JumpICmpFalse { .. })));
+        assert!(has(&|o| matches!(o, Op::DotStep { .. })));
+        assert!(has(&|o| matches!(o, Op::CountAddJump { .. })));
+        assert!(
+            !has(&|o| matches!(o, Op::FMov { .. })),
+            "accumulator moves must sink into their producers"
+        );
+        // The fused inner loop (head + dot-step + counting back-edge)
+        // dispatches 3 ops per iteration, down from 14 unfused.
+        let n = 6usize;
+        let mut bufs = BufferMap::new();
+        let xs: Vec<f64> = (0..n * n).map(|i| (i as f64).sin()).collect();
+        bufs.insert("a".into(), FloatVec::from_f64_slice(&xs, Precision::Double));
+        bufs.insert("b".into(), FloatVec::from_f64_slice(&xs, Precision::Double));
+        bufs.insert("c".into(), FloatVec::zeros(n * n, Precision::Double));
+        let launch = Launch::two_d(n, n).arg_int("n", n as i64);
+        assert_equiv(&k, bufs, &launch);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_kernels() {
+        let mut scratch = VmScratch::new();
+        for elem in Precision::ALL {
+            let k = saxpy(elem);
+            let n = 24usize;
+            let xs: Vec<f64> = (0..n).map(|i| (i as f64).sqrt()).collect();
+            let mut bufs = BufferMap::new();
+            bufs.insert("x".into(), FloatVec::from_f64_slice(&xs, elem));
+            bufs.insert("y".into(), FloatVec::from_f64_slice(&xs, elem));
+            let mut bufs_fresh = bufs.clone();
+            let launch = Launch::one_d(n).arg_float("a", 1.25).arg_int("n", n as i64);
+            let compiled = compile_kernel(&k).unwrap();
+            let c1 = compiled
+                .run_with_scratch(&mut bufs, &launch, &mut scratch)
+                .unwrap();
+            let c2 = compiled.run(&mut bufs_fresh, &launch).unwrap();
+            assert_eq!(c1, c2);
+            assert_eq!(bufs["y"], bufs_fresh["y"], "shared scratch diverged");
+        }
     }
 
     #[test]

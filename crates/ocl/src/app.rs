@@ -17,7 +17,7 @@ use prescaler_sim::SystemModel;
 pub type Outputs = Vec<(String, FloatVec)>;
 
 /// A complete OpenCL application: kernels plus host driver.
-pub trait HostApp {
+pub trait HostApp: Sync {
     /// Application name ("GEMM").
     fn name(&self) -> &str;
 

@@ -13,7 +13,7 @@ use crate::spec::ScalingSpec;
 use prescaler_ir::interp::{run_kernel, BufferMap, Launch};
 use prescaler_ir::passes::{insert_casts, retype_buffers};
 use prescaler_ir::typeck::check_kernel;
-use prescaler_ir::vm::{compile_kernel, CompiledKernel};
+use prescaler_ir::vm::{compile_kernel, CompiledKernel, VmScratch};
 use prescaler_ir::{FloatVec, Param, Precision, Program};
 use prescaler_sim::{Direction, FaultPlan, HostMethod, SimTime, SystemModel, TransferPlan};
 use std::collections::HashMap;
@@ -103,6 +103,8 @@ pub struct Session {
     use_interpreter: bool,
     /// How transient faults are retried.
     retry: RetryPolicy,
+    /// Register/binding storage reused across kernel launches.
+    scratch: VmScratch,
 }
 
 impl Session {
@@ -119,6 +121,7 @@ impl Session {
             compiled: HashMap::new(),
             use_interpreter: false,
             retry: RetryPolicy::default(),
+            scratch: VmScratch::new(),
         }
     }
 
@@ -514,7 +517,7 @@ impl Session {
             None => compiled
                 .as_ref()
                 .expect("compiled variant exists when not interpreting")
-                .run(&mut map, &launch),
+                .run_with_scratch(&mut map, &launch, &mut self.scratch),
         };
         for (pname, id) in &buffer_args {
             if let Some(data) = map.remove(pname.as_str()) {

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Performance benchmarks for the trial engine and the kernel VM.
+#
+# Runs the criterion-compat `decision_search` and `kernel_execution`
+# benches, then the `bench_search` binary, which times the full tune
+# pipeline wall-clock (min over several runs — the robust statistic on a
+# noisy host), reports charged trials and the trial-engine cache
+# hit-rate, and writes the results to BENCH_search.json at the repo
+# root next to the recorded pre-trial-engine baseline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo bench --offline -p prescaler-bench --bench decision_search
+cargo bench --offline -p prescaler-bench --bench kernel_execution
+cargo run --release --offline -p prescaler-bench --bin bench_search "${1:-5}"
+
+echo
+echo "=== BENCH_search.json ==="
+cat BENCH_search.json

@@ -22,3 +22,9 @@ done
 # The guarded-serving example doubles as an end-to-end smoke test: it
 # asserts its own breaker-trip / recovery / accounting guarantees.
 cargo run --release --offline --example guarded_serving
+
+# Benchmarks must keep compiling, and the search benchmark binary doubles
+# as a perf smoke test (one tune, trial/cache accounting asserted
+# deterministic). Full timed runs live in scripts/bench.sh.
+cargo bench --offline --no-run -p prescaler-bench
+cargo run --release --offline -p prescaler-bench --bin bench_search 1

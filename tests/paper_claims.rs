@@ -2,7 +2,7 @@
 //! meaningful scale (the `figures` binary runs the full-scale versions).
 
 use prescaler_core::baselines::{in_kernel, pfp};
-use prescaler_core::{profile_app, PreScaler, SystemInspector};
+use prescaler_core::{profile_app, PreScaler, SystemInspector, TrialEngine};
 use prescaler_polybench::{BenchKind, InputSet, PolyApp};
 use prescaler_sim::SystemModel;
 
@@ -30,8 +30,9 @@ fn prescaler_beats_both_baseline_techniques_on_the_mix() {
         let profile = profile_app(&app, &system).unwrap();
         let base = profile.baseline_time;
 
-        let ik = in_kernel(&app, &system, &profile, 0.9, 40).unwrap();
-        let p = pfp(&app, &system, &profile, 0.9).unwrap();
+        let engine = TrialEngine::new(&app, &system, &profile);
+        let ik = in_kernel(&engine, 0.9, 40);
+        let p = pfp(&engine, 0.9);
         let tuned = tuner.tune(&app).unwrap();
 
         assert!(ik.eval.quality >= 0.9, "{kind} in-kernel TOQ");

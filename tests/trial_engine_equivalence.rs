@@ -1,0 +1,159 @@
+//! Differential suite for the trial engine's execution modes.
+//!
+//! The tuner must be *mode-blind*: a [`TrialEngine`] with speculative
+//! parallel fan-out enabled returns a [`Tuned`] bit-identical — chosen
+//! config, evaluation times, quality, charged trials and cache hits — to
+//! the sequential engine. Speculation may only change *when* candidate
+//! evaluations happen, never *what* the search observes, because every
+//! trial's fault stream is forked from the spec fingerprint rather than
+//! drawn from a shared cursor.
+//!
+//! The CI fault matrix re-runs this suite under several values of
+//! `PRESCALER_FAULT_SEED` so the equivalence is pinned down per fault
+//! universe, not just on the clean path.
+
+use prescaler_core::{profile_app, PreScaler, SystemInspector, TrialEngine, Tuned};
+use prescaler_ocl::HostApp;
+use prescaler_polybench::{BenchKind, PolyApp};
+use prescaler_sim::{FaultPlan, SystemModel};
+
+/// Matrix seed from the environment, mixed into every plan seed so the
+/// CI fault matrix explores distinct universes per row.
+fn matrix_seed() -> u64 {
+    std::env::var("PRESCALER_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn mixed(seed: u64) -> u64 {
+    seed ^ matrix_seed().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Tunes `app` on `system` twice — sequential engine, then speculative
+/// engine — sharing one inspection and one profiling run so both modes
+/// see the exact same starting state.
+fn tune_both(app: &PolyApp, system: &SystemModel, toq: f64) -> (Tuned, Tuned) {
+    let db = SystemInspector::inspect(system);
+    let tuner = PreScaler::new(system, &db, toq);
+    let profile = profile_app(app, system).expect("baseline profiling");
+
+    let seq = TrialEngine::with_speculation(app, system, &profile, false);
+    let seq_tuned = tuner.tune_with_engine(&seq);
+
+    let par = TrialEngine::with_speculation(app, system, &profile, true);
+    let par_tuned = tuner.tune_with_engine(&par);
+
+    (seq_tuned, par_tuned)
+}
+
+/// Every observable field of [`Tuned`] must match to the bit.
+fn assert_bit_identical(app: &PolyApp, seq: &Tuned, par: &Tuned) {
+    let name = app.name();
+    assert_eq!(seq.config, par.config, "{name}: chosen config diverged");
+    assert_eq!(
+        seq.eval.time.as_secs().to_bits(),
+        par.eval.time.as_secs().to_bits(),
+        "{name}: eval time diverged"
+    );
+    assert_eq!(
+        seq.eval.kernel_time.as_secs().to_bits(),
+        par.eval.kernel_time.as_secs().to_bits(),
+        "{name}: kernel time diverged"
+    );
+    assert_eq!(
+        seq.eval.quality.to_bits(),
+        par.eval.quality.to_bits(),
+        "{name}: quality diverged"
+    );
+    assert_eq!(
+        seq.baseline_time.as_secs().to_bits(),
+        par.baseline_time.as_secs().to_bits(),
+        "{name}: baseline time diverged"
+    );
+    assert_eq!(seq.trials, par.trials, "{name}: charged trials diverged");
+    assert_eq!(
+        seq.cache_hits, par.cache_hits,
+        "{name}: cache hits diverged"
+    );
+    assert_eq!(seq.toq.to_bits(), par.toq.to_bits(), "{name}: toq diverged");
+}
+
+#[test]
+fn speculative_engine_is_bit_identical_across_the_polybench_matrix() {
+    let system = SystemModel::system1();
+    for kind in BenchKind::ALL {
+        let app = PolyApp::tiny(kind);
+        let (seq, par) = tune_both(&app, &system, 0.999);
+        assert_bit_identical(&app, &seq, &par);
+        assert!(seq.trials > 0, "{}: search must pay for trials", app.name());
+    }
+}
+
+#[test]
+fn speculative_engine_is_bit_identical_on_other_systems() {
+    // Different throughput tables steer the decision tree down different
+    // branches; the equivalence must hold on each.
+    for system in [SystemModel::system2(), SystemModel::system3()] {
+        for kind in [BenchKind::Gemm, BenchKind::Atax, BenchKind::TwoDConv] {
+            let app = PolyApp::tiny(kind);
+            let (seq, par) = tune_both(&app, &system, 0.999);
+            assert_bit_identical(&app, &seq, &par);
+        }
+    }
+}
+
+#[test]
+fn speculative_engine_is_bit_identical_under_faults() {
+    // Trial fault streams are forked per spec fingerprint, so evaluation
+    // order cannot leak into what any one trial observes — even when the
+    // injected faults actually fire.
+    for seed in [1, 2, 3] {
+        let faults = FaultPlan::seeded(mixed(seed))
+            .with_transfer_failures(0.10)
+            .with_launch_failures(0.05)
+            .with_buffer_corruption(0.05)
+            .with_clock_noise(0.05);
+        let system = SystemModel::system1().with_faults(faults);
+        for kind in [BenchKind::Gemm, BenchKind::Atax, BenchKind::Syrk] {
+            let app = PolyApp::tiny(kind);
+            let (seq, par) = tune_both(&app, &system, 0.999);
+            assert_bit_identical(&app, &seq, &par);
+        }
+    }
+}
+
+#[test]
+fn memoization_reports_cache_hits_without_inflating_trials() {
+    // Tuning the same app twice on one shared engine: the second pass must
+    // answer (almost) everything from the cache — strictly more cache hits
+    // and strictly fewer charged trials than the first.
+    let system = SystemModel::system1();
+    let db = SystemInspector::inspect(&system);
+    let tuner = PreScaler::new(&system, &db, 0.999);
+    let app = PolyApp::tiny(BenchKind::Gemm);
+    let profile = profile_app(&app, &system).expect("baseline profiling");
+    let engine = TrialEngine::new(&app, &system, &profile);
+
+    let first = tuner.tune_with_engine(&engine);
+    let second = tuner.tune_with_engine(&engine);
+
+    assert_eq!(
+        first.config, second.config,
+        "memoized rerun changed the answer"
+    );
+    assert_eq!(
+        first.eval.time.as_secs().to_bits(),
+        second.eval.time.as_secs().to_bits()
+    );
+    assert!(
+        second.trials < first.trials,
+        "second pass re-paid for trials: {} vs {}",
+        second.trials,
+        first.trials
+    );
+    assert!(
+        second.cache_hits > first.cache_hits,
+        "second pass found no cache hits"
+    );
+}
