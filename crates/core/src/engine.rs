@@ -25,15 +25,33 @@
 //!    and the returned configuration are bit-identical to a sequential
 //!    engine.
 //!
+//! A fourth property makes trials *durable* without changing what the
+//! search returns:
+//!
+//! 4. **Write-ahead journaling.** With a [`TrialJournal`] attached, every
+//!    real execution is appended (and fsynced) to the journal before its
+//!    result is used. A later engine replays the journal into its cache
+//!    *uncharged* via [`TrialEngine::attach_journal`]; the deterministic
+//!    search then re-asks the same specs in the same order, charging the
+//!    replayed entries without re-executing them — so a resumed tune is
+//!    bit-identical to an uninterrupted one (including its `trials` and
+//!    `cache_hits` accounting) while re-charging zero completed trials.
+//!    An armed [`CrashPoint`] kills the run (panics with
+//!    [`prescaler_faults::SimulatedCrash`]) at a seeded journal-append
+//!    boundary, optionally tearing the journal tail first — the
+//!    deterministic drill for exactly that recovery path.
+//!
 //! [`FaultPlan::fork`]: prescaler_sim::FaultPlan::fork
 
 use crate::profiler::AppProfile;
 use crate::search::Evaluation;
+use prescaler_faults::{CrashPoint, SimulatedCrash, TearMode};
 use prescaler_ocl::{run_app, HostApp, PlanChoice, ScalingSpec};
+use prescaler_persist::{EvalBits, TrialJournal, TrialRecord};
 use prescaler_polybench::output_quality;
 use prescaler_sim::{HostMethod, SystemModel};
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Execution counters of one engine.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -54,6 +72,10 @@ struct Entry {
 struct State {
     cache: HashMap<(u64, bool), Entry>,
     stats: TrialStats,
+    /// Attached write-ahead journal; `None` runs non-durably. Dropped
+    /// (degrading to non-durable) if an append ever fails — durability is
+    /// best-effort and must never take the tuning run down with it.
+    journal: Option<TrialJournal>,
 }
 
 /// Memoizing, optionally speculative evaluator for one `(app, system)`
@@ -67,6 +89,8 @@ pub struct TrialEngine<'a> {
     faulty: bool,
     speculate: bool,
     base_fp: u64,
+    /// Armed crash drill: observed once per journaled execution.
+    crash: Option<CrashPoint>,
     state: Mutex<State>,
 }
 
@@ -101,13 +125,74 @@ impl<'a> TrialEngine<'a> {
             faulty,
             speculate,
             base_fp: base.finish(),
+            crash: None,
             state: Mutex::new(State {
                 cache: HashMap::new(),
                 stats: TrialStats::default(),
+                journal: None,
             }),
         };
         engine.seed_baseline();
         engine
+    }
+
+    /// Locks the engine state, tolerating poison: a [`SimulatedCrash`]
+    /// unwinding through a locked section is a drill, not corruption —
+    /// every mutation under the lock is complete before any panic point.
+    fn state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The engine's `(app, system)` identity fingerprint — the context a
+    /// [`TrialJournal`] is bound to, so a journal can never be replayed
+    /// into a different application or system.
+    #[must_use]
+    pub fn context_fingerprint(&self) -> u64 {
+        self.base_fp
+    }
+
+    /// Attaches a write-ahead journal and replays `recovered` records
+    /// into the memo cache, **uncharged**. Returns how many records were
+    /// replayed (records for specs already cached — e.g. the pre-charged
+    /// baseline seed — are skipped).
+    ///
+    /// Replayed entries behave exactly like speculative prefetches: the
+    /// deterministic search re-asks the same specs in the same order and
+    /// charges them on first ask without re-executing, so a resumed run's
+    /// `trials`/`cache_hits` accounting is bit-identical to an
+    /// uninterrupted run while `executions` shrinks to only the work the
+    /// journal had not yet made durable.
+    pub fn attach_journal(&mut self, journal: TrialJournal, recovered: &[TrialRecord]) -> usize {
+        let st = self.state.get_mut().unwrap_or_else(PoisonError::into_inner);
+        let mut replayed = 0;
+        for rec in recovered {
+            let eval = rec.eval.map(|bits| Evaluation {
+                time: prescaler_sim::SimTime::from_secs_unchecked(f64::from_bits(bits.time_bits)),
+                kernel_time: prescaler_sim::SimTime::from_secs_unchecked(f64::from_bits(
+                    bits.kernel_bits,
+                )),
+                quality: f64::from_bits(bits.quality_bits),
+            });
+            if let std::collections::hash_map::Entry::Vacant(slot) =
+                st.cache.entry((rec.fingerprint, rec.clean))
+            {
+                slot.insert(Entry {
+                    eval,
+                    charged: false,
+                });
+                replayed += 1;
+            }
+        }
+        st.journal = Some(journal);
+        replayed
+    }
+
+    /// Arms a deterministic crash drill: after the `boundary`-th journaled
+    /// execution (counting from this call), the engine tears the journal
+    /// tail per the crash point's [`TearMode`] and panics with
+    /// [`SimulatedCrash`]. No-op unless a journal is attached.
+    pub fn arm_crash(&mut self, crash: CrashPoint) {
+        self.crash = Some(crash);
     }
 
     /// Parks the profiling run's result in the clean namespace: the
@@ -122,7 +207,7 @@ impl<'a> TrialEngine<'a> {
             kernel_time: self.profile.log.timeline.kernel,
             quality: 1.0,
         };
-        let mut st = self.state.lock().expect("engine lock");
+        let mut st = self.state();
         st.stats.charged += 1;
         st.cache.insert(
             (fp, self.faulty),
@@ -154,7 +239,7 @@ impl<'a> TrialEngine<'a> {
     /// Snapshot of the engine's counters.
     #[must_use]
     pub fn stats(&self) -> TrialStats {
-        self.state.lock().expect("engine lock").stats
+        self.state().stats
     }
 
     /// Evaluates `spec` on the tuning system. Returns the evaluation
@@ -177,7 +262,7 @@ impl<'a> TrialEngine<'a> {
         let ns = clean && self.faulty;
         let fp = self.fingerprint(spec);
         {
-            let mut st = self.state.lock().expect("engine lock");
+            let mut st = self.state();
             if let Some(entry) = st.cache.get_mut(&(fp, ns)) {
                 let (eval, charged) = (entry.eval.clone(), entry.charged);
                 if charged {
@@ -190,7 +275,7 @@ impl<'a> TrialEngine<'a> {
             }
         }
         let eval = self.execute(spec, ns, fp);
-        let mut st = self.state.lock().expect("engine lock");
+        let mut st = self.state();
         st.stats.executions += 1;
         st.stats.charged += 1;
         st.cache.insert(
@@ -200,7 +285,54 @@ impl<'a> TrialEngine<'a> {
                 charged: true,
             },
         );
+        self.journal_execution(&mut st, fp, ns, &eval, true);
         (eval, true)
+    }
+
+    /// Journals one completed execution (write-ahead, fsynced) and runs
+    /// the crash drill if one is armed. Called with the state lock held,
+    /// after the cache insert — so the record order in the journal is the
+    /// deterministic order results entered the cache, and a crash fires
+    /// on the calling thread at a reproducible boundary.
+    fn journal_execution(
+        &self,
+        st: &mut State,
+        fp: u64,
+        ns: bool,
+        eval: &Option<Evaluation>,
+        charged: bool,
+    ) {
+        let Some(journal) = st.journal.as_mut() else {
+            return;
+        };
+        let record = TrialRecord {
+            fingerprint: fp,
+            clean: ns,
+            charged,
+            eval: eval.as_ref().map(|e| EvalBits {
+                time_bits: e.time.as_secs().to_bits(),
+                kernel_bits: e.kernel_time.as_secs().to_bits(),
+                quality_bits: e.quality.to_bits(),
+            }),
+        };
+        if journal.append(&record).is_err() {
+            // Degrade to non-durable rather than fail the tuning run.
+            st.journal = None;
+            return;
+        }
+        if let Some(crash) = &self.crash {
+            if crash.observe_trial() {
+                let boundary = crash.boundary();
+                if let Some(journal) = st.journal.as_mut() {
+                    let _ = match crash.tear() {
+                        TearMode::Clean => Ok(()),
+                        TearMode::Truncate { bytes } => journal.tear_tail(u64::from(bytes)),
+                        TearMode::Garbage { bytes } => journal.scribble_tail(u64::from(bytes)),
+                    };
+                }
+                std::panic::panic_any(SimulatedCrash { boundary });
+            }
+        }
     }
 
     /// Speculatively executes `specs` on the tuning system, in parallel,
@@ -213,7 +345,7 @@ impl<'a> TrialEngine<'a> {
         }
         let mut todo: Vec<(u64, &ScalingSpec)> = Vec::new();
         {
-            let st = self.state.lock().expect("engine lock");
+            let st = self.state();
             for spec in specs {
                 let fp = self.fingerprint(spec);
                 if st.cache.contains_key(&(fp, false)) || todo.iter().any(|(f, _)| *f == fp) {
@@ -232,16 +364,22 @@ impl<'a> TrialEngine<'a> {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("speculative trial panicked"))
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                 .collect()
         });
-        let mut st = self.state.lock().expect("engine lock");
+        let mut st = self.state();
         for ((fp, _), eval) in todo.into_iter().zip(results) {
             st.stats.executions += 1;
-            st.cache.entry((fp, false)).or_insert(Entry {
-                eval,
-                charged: false,
-            });
+            if let std::collections::hash_map::Entry::Vacant(slot) = st.cache.entry((fp, false)) {
+                slot.insert(Entry {
+                    eval: eval.clone(),
+                    charged: false,
+                });
+                // Journaled in todo order, under the lock: the record
+                // sequence (and any armed crash boundary) is deterministic
+                // even though the executions above ran concurrently.
+                self.journal_execution(&mut st, fp, false, &eval, false);
+            }
         }
     }
 

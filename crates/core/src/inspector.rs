@@ -15,6 +15,7 @@
 //! is the same).
 
 use prescaler_ir::Precision;
+use prescaler_persist::{snapshot, PersistError};
 use prescaler_sim::{Direction, HostMethod, SimTime, SystemModel, TransferPlan};
 use serde::{Deserialize, Serialize};
 
@@ -679,31 +680,45 @@ mod tests {
 }
 
 impl InspectorDb {
-    /// Persists the database as JSON (the paper's artifact stores the
-    /// one-time inspection result on disk the same way).
+    /// Persists the database: a JSON payload under the atomic,
+    /// checksummed snapshot container (temp file + fsync + rename). A
+    /// crash mid-save leaves either the old file or the new one on disk —
+    /// never a torn mix — and any later corruption is caught by the
+    /// container's CRCs at load.
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures.
-    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        let json = serde_json::to_string(self)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        std::fs::write(path, json)
+    /// Propagates I/O failures as [`PersistError::Io`].
+    pub fn save(&self, path: &std::path::Path) -> Result<(), PersistError> {
+        let json = serde_json::to_string(self).map_err(|e| PersistError::Decode(e.to_string()))?;
+        snapshot::save(path, snapshot::KIND_INSPECTOR_DB, json.as_bytes())
     }
 
-    /// Loads a previously saved database, rejecting structurally broken
-    /// content (truncated files, empty grids, curve/grid length
-    /// mismatches) with a clean [`std::io::ErrorKind::InvalidData`].
+    /// Loads a previously saved database. Snapshot containers are
+    /// verified (magic, version, kind, CRCs); bare legacy JSON files —
+    /// the pre-container on-disk format — still load for backward
+    /// compatibility. Structurally broken content (empty grids,
+    /// curve/grid length mismatches) is rejected with a typed error; a
+    /// caller that loses its database this way degrades to the analytic
+    /// cost model (see `PreScaler::best_plan_or_analytic`) rather than
+    /// trusting damaged curves.
     ///
     /// # Errors
     ///
-    /// Fails on I/O errors or malformed content.
-    pub fn load(path: &std::path::Path) -> std::io::Result<InspectorDb> {
+    /// [`PersistError::Io`] for filesystem failures, the container's
+    /// taxonomy (truncation, checksum, kind, version) for damaged
+    /// snapshots, and [`PersistError::Decode`] for malformed payloads.
+    pub fn load(path: &std::path::Path) -> Result<InspectorDb, PersistError> {
         let bytes = std::fs::read(path)?;
-        let db: InspectorDb = serde_json::from_slice(&bytes)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let payload = if snapshot::has_magic(&bytes) {
+            snapshot::load_bytes(&bytes, snapshot::KIND_INSPECTOR_DB)?
+        } else {
+            bytes // legacy bare-JSON database
+        };
+        let db: InspectorDb =
+            serde_json::from_slice(&payload).map_err(|e| PersistError::Decode(e.to_string()))?;
         db.validate()
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            .map_err(|e| PersistError::Decode(e.to_string()))?;
         Ok(db)
     }
 }

@@ -43,6 +43,7 @@ pub mod baselines;
 pub mod engine;
 pub mod inspector;
 pub mod profiler;
+pub mod recovery;
 pub mod report;
 pub mod search;
 pub mod search_space;
@@ -50,5 +51,9 @@ pub mod search_space;
 pub use engine::{TrialEngine, TrialStats};
 pub use inspector::{DbError, InspectorDb, SystemInspector};
 pub use profiler::{profile_app, AppProfile};
-pub use report::{conversion_distribution, type_distribution, GuardSummary, ResultRow};
+pub use recovery::{tune_durable, tune_durable_with_crash, DurableReport, TuneError};
+pub use report::{
+    conversion_distribution, type_distribution, GuardSummary, ResultRow, SpecSnapshot,
+    TunedSnapshot,
+};
 pub use search::{Evaluation, PreScaler, Tuned};

@@ -64,8 +64,18 @@ pub fn profile_app(app: &dyn HostApp, system: &SystemModel) -> Result<AppProfile
     let noisy_median = if system.faults.is_inert() {
         None
     } else {
+        // Each sample runs under a fault stream forked off a fixed salt,
+        // so profiling is a pure function of `(app, system)` — never of
+        // how many runs drew from the shared stream before it. A durable
+        // tune resumed after a crash re-profiles and *must* reconstruct
+        // the exact same object order, or the journal it replays would
+        // describe a different search.
         let mut samples: Vec<ProfileLog> = (0..PROFILE_SAMPLES)
-            .filter_map(|_| run_app(app, system, &ScalingSpec::baseline()).ok())
+            .filter_map(|i| {
+                let salt = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1);
+                let forked = system.clone().with_faults(system.faults.fork(salt));
+                run_app(app, &forked, &ScalingSpec::baseline()).ok()
+            })
             .map(|(_, l)| l)
             .collect();
         samples.sort_by(|a, b| {

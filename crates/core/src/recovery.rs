@@ -1,0 +1,245 @@
+//! Resume-after-crash tuning: the durable wrapper around
+//! [`PreScaler::tune`].
+//!
+//! A durable tune binds a [`TrialJournal`] to the engine's
+//! `(app, system)` context fingerprint, replays whatever the journal
+//! already holds into the memo cache, and runs the normal search. If the
+//! process dies mid-tune — simulated deterministically by an armed
+//! [`CrashPoint`] — calling [`tune_durable`] again with the same journal
+//! path resumes: every durably journaled execution is answered from the
+//! replayed cache, so the resumed run re-charges **zero** completed
+//! trials and returns a [`Tuned`] bit-identical to an uninterrupted run.
+//!
+//! The crash drill panics with a [`SimulatedCrash`] payload;
+//! [`tune_durable_with_crash`] catches exactly that payload (anything
+//! else unwinding out of a tune is a real bug and is re-raised) and
+//! reports the kill as `Ok(None)`.
+
+use crate::engine::{TrialEngine, TrialStats};
+use crate::profiler::profile_app;
+use crate::search::{PreScaler, Tuned};
+use prescaler_faults::{CrashPoint, SimulatedCrash};
+use prescaler_ocl::{HostApp, OclError};
+use prescaler_persist::{PersistError, Recovery, TrialJournal};
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::Once;
+
+/// A durable-tuning failure: either the underlying pipeline could not
+/// run at all, or the journal was unusable in a way recovery must not
+/// paper over (foreign context, newer format).
+#[derive(Debug)]
+pub enum TuneError {
+    /// The clean baseline profiling run failed — the application cannot
+    /// be tuned at all.
+    Ocl(OclError),
+    /// The journal could not be opened for this context (a journal from
+    /// a different app/system pair, a newer format version, or an I/O
+    /// failure). Corrupt journals do *not* land here — they are repaired
+    /// by truncation and the tune proceeds.
+    Persist(PersistError),
+}
+
+impl fmt::Display for TuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneError::Ocl(e) => write!(f, "tuning pipeline failed: {e}"),
+            TuneError::Persist(e) => write!(f, "trial journal unusable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TuneError::Ocl(e) => Some(e),
+            TuneError::Persist(e) => Some(e),
+        }
+    }
+}
+
+impl From<OclError> for TuneError {
+    fn from(e: OclError) -> TuneError {
+        TuneError::Ocl(e)
+    }
+}
+
+impl From<PersistError> for TuneError {
+    fn from(e: PersistError) -> TuneError {
+        TuneError::Persist(e)
+    }
+}
+
+/// The outcome of a completed durable tune.
+#[derive(Debug)]
+pub struct DurableReport {
+    /// The tuning result — bit-identical to an uninterrupted run.
+    pub tuned: Tuned,
+    /// Journal records replayed into the memo cache before the search
+    /// started (0 on a fresh run).
+    pub replayed: usize,
+    /// Engine counters for this run; `stats.executions` is the work the
+    /// journal had *not* yet made durable.
+    pub stats: TrialStats,
+    /// What journal recovery found on open (torn-tail repairs, recreated
+    /// headers).
+    pub recovery: Recovery,
+}
+
+/// Runs a journal-backed tune to completion, resuming from whatever the
+/// journal at `journal_path` already holds. A missing journal starts
+/// fresh; a torn or garbage-tailed one is repaired by truncation first.
+///
+/// # Errors
+///
+/// [`TuneError::Ocl`] when baseline profiling fails;
+/// [`TuneError::Persist`] when the journal belongs to a different
+/// `(app, system)` context or a newer format version.
+pub fn tune_durable(
+    tuner: &PreScaler<'_>,
+    app: &dyn HostApp,
+    journal_path: &Path,
+) -> Result<DurableReport, TuneError> {
+    match tune_durable_with_crash(tuner, app, journal_path, None)? {
+        Some(report) => Ok(report),
+        None => unreachable!("no crash point armed, so the tune cannot be killed"),
+    }
+}
+
+/// [`tune_durable`] with an optional armed [`CrashPoint`] drill.
+/// Returns `Ok(None)` when the drill killed the run — the journal then
+/// holds every execution completed before the kill (minus an injected
+/// tear), and a follow-up call resumes from it.
+///
+/// # Errors
+///
+/// Same taxonomy as [`tune_durable`].
+///
+/// # Panics
+///
+/// Re-raises any panic that is *not* the drill's [`SimulatedCrash`]
+/// payload — a real defect must never be mistaken for a simulated kill.
+pub fn tune_durable_with_crash(
+    tuner: &PreScaler<'_>,
+    app: &dyn HostApp,
+    journal_path: &Path,
+    crash: Option<CrashPoint>,
+) -> Result<Option<DurableReport>, TuneError> {
+    silence_simulated_crashes();
+    let profile = profile_app(app, tuner.system())?;
+    let mut engine = TrialEngine::new(app, tuner.system(), &profile);
+    let (journal, recovery) = TrialJournal::open(journal_path, engine.context_fingerprint())?;
+    let replayed = engine.attach_journal(journal, &recovery.records);
+    if let Some(crash) = crash {
+        engine.arm_crash(crash);
+    }
+    match panic::catch_unwind(AssertUnwindSafe(|| tuner.tune_with_engine(&engine))) {
+        Ok(tuned) => {
+            let stats = engine.stats();
+            Ok(Some(DurableReport {
+                tuned,
+                replayed,
+                stats,
+                recovery,
+            }))
+        }
+        Err(payload) if payload.downcast_ref::<SimulatedCrash>().is_some() => Ok(None),
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+/// Installs (once per process) a panic hook that suppresses the default
+/// "thread panicked" stderr spew for [`SimulatedCrash`] drills — they
+/// are expected, caught, and reported through the harness — while
+/// delegating every real panic to the previously installed hook.
+fn silence_simulated_crashes() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<SimulatedCrash>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inspector::SystemInspector;
+    use prescaler_faults::TearMode;
+    use prescaler_polybench::{BenchKind, InputSet, PolyApp};
+    use prescaler_sim::SystemModel;
+    use std::path::PathBuf;
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("prescaler_recovery_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}.wal"))
+    }
+
+    fn assert_bit_identical(a: &Tuned, b: &Tuned) {
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.eval.time, b.eval.time);
+        assert_eq!(a.eval.kernel_time, b.eval.kernel_time);
+        assert_eq!(a.eval.quality.to_bits(), b.eval.quality.to_bits());
+        assert_eq!(a.trials, b.trials);
+        assert_eq!(a.cache_hits, b.cache_hits);
+    }
+
+    #[test]
+    fn killed_and_resumed_tune_matches_uninterrupted_run() {
+        let system = SystemModel::system1();
+        let db = SystemInspector::inspect(&system);
+        let tuner = PreScaler::new(&system, &db, 0.9);
+        let app = PolyApp::scaled(BenchKind::Gemm, InputSet::Default, 0.2);
+
+        let reference_path = temp_journal("reference");
+        std::fs::remove_file(&reference_path).ok();
+        let reference = tune_durable(&tuner, &app, &reference_path).unwrap();
+        assert_eq!(reference.replayed, 0);
+        assert!(reference.stats.executions > 2);
+
+        let path = temp_journal("killed");
+        std::fs::remove_file(&path).ok();
+        let crash = CrashPoint::at(2).with_tear(TearMode::Truncate { bytes: 9 });
+        let killed = tune_durable_with_crash(&tuner, &app, &path, Some(crash)).unwrap();
+        assert!(killed.is_none(), "the drill must kill the first run");
+
+        let resumed = tune_durable(&tuner, &app, &path).unwrap();
+        // The tear cost the second record; the first survived.
+        assert!(resumed.recovery.repaired());
+        assert_eq!(resumed.replayed, 1);
+        assert_bit_identical(&reference.tuned, &resumed.tuned);
+        // Zero completed trials re-charged: the resumed run re-executes
+        // only what the (torn) journal had not made durable.
+        assert_eq!(
+            resumed.stats.executions,
+            reference.stats.executions - resumed.replayed
+        );
+
+        std::fs::remove_file(&reference_path).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_journal_is_a_typed_error() {
+        let system = SystemModel::system1();
+        let db = SystemInspector::inspect(&system);
+        let tuner = PreScaler::new(&system, &db, 0.9);
+        let path = temp_journal("foreign");
+        TrialJournal::create(&path, 0x5EED).unwrap();
+        let app = PolyApp::tiny(BenchKind::Gemm);
+        let err = tune_durable(&tuner, &app, &path).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TuneError::Persist(PersistError::ContextMismatch { .. })
+            ),
+            "{err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,11 +1,16 @@
 //! Report extraction: the type and conversion-method distributions the
-//! paper plots in Fig. 9(d,e), Fig. 11(b,c) and Fig. 12(b,c).
+//! paper plots in Fig. 9(d,e), Fig. 11(b,c) and Fig. 12(b,c) — plus the
+//! durable [`TunedSnapshot`] form of a tuning result ([`Tuned::save`] /
+//! [`Tuned::load`]).
 
 use crate::profiler::AppProfile;
+use crate::search::Tuned;
 use prescaler_ir::Precision;
-use prescaler_ocl::ScalingSpec;
+use prescaler_ocl::{PlanChoice, ScalingSpec};
+use prescaler_persist::{snapshot, PersistError};
 use prescaler_sim::HostMethod;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// How many memory objects ended up at each precision.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -212,6 +217,198 @@ pub struct ResultRow {
     pub conversions: ConversionDistribution,
 }
 
+/// One `label → precision` assignment of a [`SpecSnapshot`], sorted by
+/// label so serialization is canonical (byte-identical for equal specs).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TargetEntry {
+    /// Memory-object label.
+    pub label: String,
+    /// Storage precision chosen for it.
+    pub precision: Precision,
+}
+
+/// One transfer-plan assignment of a [`SpecSnapshot`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlanEntry {
+    /// Memory-object label.
+    pub label: String,
+    /// Wire (intermediate) precision of the transfer.
+    pub intermediate: Precision,
+    /// Host-side conversion method.
+    pub host_method: HostMethod,
+}
+
+/// One in-kernel cast of a [`SpecSnapshot`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KernelCastEntry {
+    /// Kernel name.
+    pub kernel: String,
+    /// Parameter name.
+    pub param: String,
+    /// Compute precision the parameter is cast to.
+    pub precision: Precision,
+}
+
+/// A [`ScalingSpec`] in canonical (sorted-entry) serialized form. The
+/// spec's maps serialize as sorted entry lists, so two equal specs always
+/// produce byte-identical snapshots — the property the crash-resume
+/// acceptance diff relies on.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpecSnapshot {
+    /// Per-object storage precisions (sorted by label).
+    pub targets: Vec<TargetEntry>,
+    /// Host→device transfer plans (sorted by label).
+    pub write_plans: Vec<PlanEntry>,
+    /// Device→host transfer plans (sorted by label).
+    pub read_plans: Vec<PlanEntry>,
+    /// In-kernel compute casts (sorted by kernel, then parameter).
+    pub in_kernel: Vec<KernelCastEntry>,
+}
+
+impl SpecSnapshot {
+    /// Canonical snapshot of a spec.
+    #[must_use]
+    pub fn of(spec: &ScalingSpec) -> SpecSnapshot {
+        let mut targets: Vec<TargetEntry> = spec
+            .object_targets
+            .iter()
+            .map(|(label, &precision)| TargetEntry {
+                label: label.clone(),
+                precision,
+            })
+            .collect();
+        targets.sort_by(|a, b| a.label.cmp(&b.label));
+        let plans = |map: &std::collections::HashMap<String, PlanChoice>| {
+            let mut entries: Vec<PlanEntry> = map
+                .iter()
+                .map(|(label, plan)| PlanEntry {
+                    label: label.clone(),
+                    intermediate: plan.intermediate,
+                    host_method: plan.host_method,
+                })
+                .collect();
+            entries.sort_by(|a, b| a.label.cmp(&b.label));
+            entries
+        };
+        let mut in_kernel: Vec<KernelCastEntry> = spec
+            .in_kernel
+            .iter()
+            .flat_map(|(kernel, casts)| {
+                casts.iter().map(|(param, &precision)| KernelCastEntry {
+                    kernel: kernel.clone(),
+                    param: param.clone(),
+                    precision,
+                })
+            })
+            .collect();
+        in_kernel.sort_by(|a, b| (&a.kernel, &a.param).cmp(&(&b.kernel, &b.param)));
+        SpecSnapshot {
+            targets,
+            write_plans: plans(&spec.write_plans),
+            read_plans: plans(&spec.read_plans),
+            in_kernel,
+        }
+    }
+
+    /// Reconstructs the spec the snapshot was taken from.
+    #[must_use]
+    pub fn to_spec(&self) -> ScalingSpec {
+        let mut spec = ScalingSpec::baseline();
+        for t in &self.targets {
+            spec.object_targets.insert(t.label.clone(), t.precision);
+        }
+        for p in &self.write_plans {
+            spec.write_plans.insert(
+                p.label.clone(),
+                PlanChoice {
+                    intermediate: p.intermediate,
+                    host_method: p.host_method,
+                },
+            );
+        }
+        for p in &self.read_plans {
+            spec.read_plans.insert(
+                p.label.clone(),
+                PlanChoice {
+                    intermediate: p.intermediate,
+                    host_method: p.host_method,
+                },
+            );
+        }
+        for c in &self.in_kernel {
+            spec.in_kernel
+                .entry(c.kernel.clone())
+                .or_default()
+                .insert(c.param.clone(), c.precision);
+        }
+        spec
+    }
+}
+
+/// The durable form of a [`Tuned`] result: the chosen configuration and
+/// every number the acceptance criteria compare, in canonical order.
+/// Equal tuning results serialize to byte-identical snapshots.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TunedSnapshot {
+    /// The chosen configuration, canonicalized.
+    pub config: SpecSnapshot,
+    /// Total virtual time of the chosen configuration, in seconds.
+    pub time_secs: f64,
+    /// Kernel-only virtual time, in seconds.
+    pub kernel_secs: f64,
+    /// Output quality vs the full-precision reference.
+    pub quality: f64,
+    /// Baseline total time in seconds (speedup denominator).
+    pub baseline_secs: f64,
+    /// Charged trials.
+    pub trials: usize,
+    /// Memo-cache hits.
+    pub cache_hits: usize,
+    /// The target output quality the run was tuned against.
+    pub toq: f64,
+}
+
+impl Tuned {
+    /// The durable snapshot of this result.
+    #[must_use]
+    pub fn snapshot(&self) -> TunedSnapshot {
+        TunedSnapshot {
+            config: SpecSnapshot::of(&self.config),
+            time_secs: self.eval.time.as_secs(),
+            kernel_secs: self.eval.kernel_time.as_secs(),
+            quality: self.eval.quality,
+            baseline_secs: self.baseline_time.as_secs(),
+            trials: self.trials,
+            cache_hits: self.cache_hits,
+            toq: self.toq,
+        }
+    }
+
+    /// Persists the result atomically under the checksummed snapshot
+    /// container — the artifact a resumed tune is diffed against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures as [`PersistError::Io`].
+    pub fn save(&self, path: &Path) -> Result<(), PersistError> {
+        let json = serde_json::to_string(&self.snapshot())
+            .map_err(|e| PersistError::Decode(e.to_string()))?;
+        snapshot::save(path, snapshot::KIND_TUNED, json.as_bytes())
+    }
+
+    /// Loads a previously saved result snapshot, verifying the container
+    /// (magic, version, kind, CRCs) before decoding.
+    ///
+    /// # Errors
+    ///
+    /// The container's taxonomy (truncation, checksum, kind, version
+    /// mismatches) plus [`PersistError::Decode`] for malformed payloads.
+    pub fn load(path: &Path) -> Result<TunedSnapshot, PersistError> {
+        let payload = snapshot::load(path, snapshot::KIND_TUNED)?;
+        serde_json::from_slice(&payload).map_err(|e| PersistError::Decode(e.to_string()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +481,39 @@ mod tests {
         assert_eq!(c.transient, 1, "C read through single");
         assert_eq!(c.none, 0);
         assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn tuned_snapshot_round_trips_bit_exactly() {
+        use crate::inspector::SystemInspector;
+        use crate::search::PreScaler;
+        let system = SystemModel::system1();
+        let db = SystemInspector::inspect(&system);
+        let tuned = PreScaler::new(&system, &db, 0.9)
+            .tune(&PolyApp::tiny(BenchKind::Gemm))
+            .unwrap();
+        let dir = std::env::temp_dir().join("prescaler_tuned_snapshot");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gemm.snap");
+        tuned.save(&path).unwrap();
+        let loaded = Tuned::load(&path).unwrap();
+        assert_eq!(loaded, tuned.snapshot());
+        assert_eq!(loaded.config.to_spec(), tuned.config);
+        assert_eq!(
+            loaded.time_secs.to_bits(),
+            tuned.eval.time.as_secs().to_bits()
+        );
+        assert_eq!(loaded.quality.to_bits(), tuned.eval.quality.to_bits());
+        // Saving the same result twice is byte-identical on disk.
+        let first = std::fs::read(&path).unwrap();
+        tuned.save(&path).unwrap();
+        assert_eq!(first, std::fs::read(&path).unwrap());
+        // A wrong-kind load is a typed error, not a misparse.
+        assert!(matches!(
+            crate::inspector::InspectorDb::load(&path),
+            Err(PersistError::WrongKind { .. })
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

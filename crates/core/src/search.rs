@@ -98,6 +98,12 @@ impl<'a> PreScaler<'a> {
         self.toq
     }
 
+    /// The system this tuner targets.
+    #[must_use]
+    pub fn system(&self) -> &'a SystemModel {
+        self.system
+    }
+
     /// Disables the wildcard (transient-conversion) test — an ablation of
     /// the paper's §4.4 design choice.
     #[must_use]

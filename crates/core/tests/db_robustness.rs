@@ -1,9 +1,11 @@
 //! Robustness of the inspector database's on-disk persistence: damaged
-//! files must surface as clean errors or degraded-but-safe lookups, never
-//! as panics.
+//! files must surface as typed errors or degraded-but-safe lookups, never
+//! as panics — and the snapshot container must catch torn writes and bit
+//! rot that the JSON layer cannot see.
 
 use prescaler_core::{InspectorDb, SystemInspector};
 use prescaler_ir::Precision;
+use prescaler_persist::{snapshot, PersistError};
 use prescaler_sim::{Direction, SystemModel};
 use std::path::PathBuf;
 
@@ -14,13 +16,19 @@ fn temp_path(name: &str) -> PathBuf {
 }
 
 /// Inspects system 1 and saves the database, returning its path and the
-/// serialized JSON text for surgical corruption.
+/// serialized JSON payload text for surgical corruption.
 fn saved_json(name: &str) -> (PathBuf, String) {
     let db = SystemInspector::inspect(&SystemModel::system1());
     let path = temp_path(name);
     db.save(&path).unwrap();
-    let json = std::fs::read_to_string(&path).unwrap();
-    (path, json)
+    let payload = snapshot::load(&path, snapshot::KIND_INSPECTOR_DB).unwrap();
+    (path, String::from_utf8(payload).unwrap())
+}
+
+/// Re-wraps corrupted payload text in a *valid* container, so the test
+/// exercises the JSON/structural validation layer rather than the CRC.
+fn rewrap(path: &std::path::Path, json: &str) {
+    snapshot::save(path, snapshot::KIND_INSPECTOR_DB, json.as_bytes()).unwrap();
 }
 
 #[test]
@@ -40,23 +48,58 @@ fn round_trip_is_lossless() {
 }
 
 #[test]
-fn truncated_file_is_a_clean_error() {
-    let (path, json) = saved_json("truncated.json");
+fn legacy_bare_json_databases_still_load() {
+    let (path, json) = saved_json("legacy.json");
+    // The pre-container on-disk format: raw JSON, no header.
+    std::fs::write(&path, &json).unwrap();
+    let db = InspectorDb::load(&path).unwrap();
+    assert!(db.curve_count() > 0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_container_is_a_typed_error() {
+    let (path, _) = saved_json("truncated.snap");
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    let err = InspectorDb::load(&path).unwrap_err();
+    assert!(matches!(err, PersistError::Truncated { .. }), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn flipped_payload_byte_is_a_checksum_error() {
+    let (path, _) = saved_json("bitflip.snap");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let at = bytes.len() - 20;
+    bytes[at] ^= 0x08;
+    std::fs::write(&path, &bytes).unwrap();
+    let err = InspectorDb::load(&path).unwrap_err();
+    assert!(
+        matches!(err, PersistError::ChecksumMismatch { .. }),
+        "{err}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_legacy_json_is_a_decode_error() {
+    let (path, json) = saved_json("truncated_legacy.json");
     std::fs::write(&path, &json[..json.len() / 2]).unwrap();
     let err = InspectorDb::load(&path).unwrap_err();
-    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(matches!(err, PersistError::Decode(_)), "{err}");
     std::fs::remove_file(&path).ok();
 }
 
 #[test]
 fn negative_timing_is_detected_and_routed_around() {
-    let (path, json) = saved_json("negative.json");
+    let (path, json) = saved_json("negative.snap");
     // Replace the first sample of the first curve with a negative time.
     let marker = "\"times\":[";
     let start = json.find(marker).expect("a times array") + marker.len();
     let end = start + json[start..].find(',').expect("more than one sample");
     let corrupted = format!("{}-1.0{}", &json[..start], &json[end..]);
-    std::fs::write(&path, corrupted).unwrap();
+    rewrap(&path, &corrupted);
     // Structurally intact, so the load succeeds…
     let db = InspectorDb::load(&path).unwrap();
     // …with exactly the poisoned curve flagged…
@@ -74,27 +117,27 @@ fn negative_timing_is_detected_and_routed_around() {
 }
 
 #[test]
-fn unknown_method_key_is_a_clean_error() {
-    let (path, json) = saved_json("unknown_method.json");
+fn unknown_method_key_is_a_typed_error() {
+    let (path, json) = saved_json("unknown_method.snap");
     let corrupted = json.replacen("\"host_method\":\"Loop\"", "\"host_method\":\"Warp\"", 1);
     assert_ne!(corrupted, json, "fixture must contain a Loop method");
-    std::fs::write(&path, corrupted).unwrap();
+    rewrap(&path, &corrupted);
     let err = InspectorDb::load(&path).unwrap_err();
-    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(matches!(err, PersistError::Decode(_)), "{err}");
     assert!(err.to_string().contains("Warp"), "{err}");
     std::fs::remove_file(&path).ok();
 }
 
 #[test]
 fn empty_grid_is_rejected_at_load() {
-    let (path, json) = saved_json("empty_grid.json");
+    let (path, json) = saved_json("empty_grid.snap");
     let marker = "\"grid\":[";
     let start = json.find(marker).expect("grid array") + marker.len();
     let end = start + json[start..].find(']').expect("grid closes");
     let corrupted = format!("{}{}", &json[..start], &json[end..]);
-    std::fs::write(&path, corrupted).unwrap();
+    rewrap(&path, &corrupted);
     let err = InspectorDb::load(&path).unwrap_err();
-    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(matches!(err, PersistError::Decode(_)), "{err}");
     assert!(err.to_string().contains("empty measurement grid"), "{err}");
     std::fs::remove_file(&path).ok();
 }

@@ -403,6 +403,128 @@ impl FaultPlan {
     }
 }
 
+/// What happens to the write-ahead journal's in-flight record when a
+/// [`CrashPoint`] fires — the three ways a real `write(2)` dies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TearMode {
+    /// The record made it to disk intact before the process died.
+    Clean,
+    /// A torn write: the final `bytes` bytes of the file are lost.
+    Truncate {
+        /// Bytes cut off the tail.
+        bytes: u32,
+    },
+    /// A partial next write: `bytes` bytes of garbage land after the
+    /// last complete record.
+    Garbage {
+        /// Garbage bytes appended.
+        bytes: u32,
+    },
+}
+
+/// The panic payload of a simulated process kill. Crash-recovery
+/// harnesses `catch_unwind` and downcast to this type; anything else
+/// unwinding out of a tuning run is a real bug and is re-raised.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimulatedCrash {
+    /// The 1-based trial boundary the crash fired at.
+    pub boundary: u64,
+}
+
+/// A deterministic process-kill point for crash-recovery drills.
+///
+/// A crash point is armed with a 1-based trial *boundary*: the consumer
+/// calls [`CrashPoint::observe_trial`] once after each durably completed
+/// trial, and the call returns `true` exactly once — when the counter
+/// reaches the boundary. The consumer then applies the configured
+/// [`TearMode`] to its journal tail and dies (via
+/// [`std::panic::panic_any`] with a [`SimulatedCrash`] payload).
+///
+/// Clones share the observation counter, mirroring [`FaultPlan`]'s
+/// shared-stream discipline, and [`CrashPoint::seeded`] derives both the
+/// boundary and the tear mode from a seed with the same splitmix64
+/// generator as every other fault kind — the same seed always kills the
+/// same run at the same place in the same way.
+#[derive(Clone, Debug)]
+pub struct CrashPoint {
+    boundary: u64,
+    tear: TearMode,
+    observed: Arc<AtomicU64>,
+}
+
+impl CrashPoint {
+    /// A crash point firing when the `boundary`-th trial completes
+    /// (1-based), with a clean journal tail. A boundary of 0 never fires.
+    #[must_use]
+    pub fn at(boundary: u64) -> CrashPoint {
+        CrashPoint {
+            boundary,
+            tear: TearMode::Clean,
+            observed: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Sets what the crash does to the journal's tail.
+    #[must_use]
+    pub fn with_tear(mut self, tear: TearMode) -> CrashPoint {
+        self.tear = tear;
+        self
+    }
+
+    /// A seeded crash point: the boundary lands uniformly in
+    /// `1..=max_boundary` and the tear mode (clean / torn / garbage, with
+    /// a seeded size) is drawn from the same stream.
+    #[must_use]
+    pub fn seeded(seed: u64, max_boundary: u64) -> CrashPoint {
+        let salt = 0xC4A5_44C7_25D9_8B11u64; // domain separation for crashes
+        let a = splitmix64(seed ^ salt);
+        let b = splitmix64(a);
+        let c = splitmix64(b);
+        let boundary = if max_boundary == 0 {
+            0
+        } else {
+            1 + a % max_boundary
+        };
+        // 1..=36: strictly inside one 37-byte journal record, so a torn
+        // tail always leaves a partial record to recover from.
+        let bytes = 1 + (c % 36) as u32;
+        let tear = match b % 3 {
+            0 => TearMode::Clean,
+            1 => TearMode::Truncate { bytes },
+            _ => TearMode::Garbage { bytes },
+        };
+        CrashPoint::at(boundary).with_tear(tear)
+    }
+
+    /// The armed boundary.
+    #[must_use]
+    pub fn boundary(&self) -> u64 {
+        self.boundary
+    }
+
+    /// The armed tear mode.
+    #[must_use]
+    pub fn tear(&self) -> TearMode {
+        self.tear
+    }
+
+    /// Records one completed trial; `true` exactly when this trial is the
+    /// armed boundary (fires at most once, clones fire together).
+    #[must_use]
+    pub fn observe_trial(&self) -> bool {
+        if self.boundary == 0 {
+            return false;
+        }
+        self.observed.fetch_add(1, Ordering::Relaxed) + 1 == self.boundary
+    }
+
+    /// Trials observed so far.
+    #[must_use]
+    pub fn observed(&self) -> u64 {
+        self.observed.load(Ordering::Relaxed)
+    }
+}
+
 impl fmt::Display for FaultPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let c = &self.config;
@@ -612,6 +734,61 @@ mod tests {
         assert!((50..150).contains(&drifted), "drifted {drifted}/200");
         let c = FaultPlan::seeded(22).with_input_drift(0.5, 2.0);
         assert_ne!(replay, collect(&c), "different seed, different stream");
+    }
+
+    #[test]
+    fn crash_point_fires_exactly_once_at_its_boundary() {
+        let crash = CrashPoint::at(3);
+        let fires: Vec<bool> = (0..6).map(|_| crash.observe_trial()).collect();
+        assert_eq!(fires, [false, false, true, false, false, false]);
+        assert_eq!(crash.observed(), 6);
+        // Disarmed (boundary 0) never fires and never counts as armed.
+        let off = CrashPoint::at(0);
+        assert!((0..10).all(|_| !off.observe_trial()));
+    }
+
+    #[test]
+    fn crash_point_clones_share_the_counter() {
+        let a = CrashPoint::at(4);
+        let b = a.clone();
+        let mut fired = 0;
+        for _ in 0..2 {
+            if a.observe_trial() {
+                fired += 1;
+            }
+            if b.observe_trial() {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 1, "the shared counter fires exactly once");
+        assert_eq!(a.observed(), 4);
+    }
+
+    #[test]
+    fn seeded_crash_points_are_deterministic_and_in_range() {
+        for seed in 0..200u64 {
+            let a = CrashPoint::seeded(seed, 12);
+            let b = CrashPoint::seeded(seed, 12);
+            assert_eq!(a.boundary(), b.boundary());
+            assert_eq!(a.tear(), b.tear());
+            assert!((1..=12).contains(&a.boundary()), "{}", a.boundary());
+            match a.tear() {
+                TearMode::Clean => {}
+                TearMode::Truncate { bytes } | TearMode::Garbage { bytes } => {
+                    assert!((1..=36).contains(&bytes), "{bytes}");
+                }
+            }
+        }
+        // All three tear modes occur across seeds.
+        let modes: Vec<TearMode> = (0..64).map(|s| CrashPoint::seeded(s, 5).tear()).collect();
+        assert!(modes.iter().any(|m| matches!(m, TearMode::Clean)));
+        assert!(modes.iter().any(|m| matches!(m, TearMode::Truncate { .. })));
+        assert!(modes.iter().any(|m| matches!(m, TearMode::Garbage { .. })));
+        // Boundaries spread across the range rather than clumping.
+        let boundaries: std::collections::HashSet<u64> = (0..64)
+            .map(|s| CrashPoint::seeded(s, 12).boundary())
+            .collect();
+        assert!(boundaries.len() > 6, "{boundaries:?}");
     }
 
     #[test]

@@ -230,7 +230,9 @@ impl ProfileLog {
             .iter()
             .map(|o| (o.label.clone(), self.effective_time(&o.label)))
             .collect();
-        labels.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("durations are finite"));
+        // total_cmp: a fault-corrupted (NaN) duration must produce a
+        // deterministic order, never a panic mid-profiling.
+        labels.sort_by(|a, b| b.1.as_secs().total_cmp(&a.1.as_secs()));
         labels.into_iter().map(|(l, _)| l).collect()
     }
 

@@ -476,29 +476,31 @@ impl Session {
                 })
                 .collect::<Vec<Precision>>(),
         );
-        let interp_kernel = if self.use_interpreter {
+        // Exactly one execution engine per launch, decided here — making
+        // the choice a total enum (instead of two `Option`s with an
+        // implicit invariant) keeps the dispatch below panic-free.
+        enum Engine {
+            Interp(prescaler_ir::Kernel),
+            Compiled(std::sync::Arc<CompiledKernel>),
+        }
+        let engine = if self.use_interpreter {
             let mut scaled = retype_buffers(&kernel, &retype);
             if let Some(compute) = self.spec.in_kernel.get(name) {
                 scaled = insert_casts(&scaled, compute);
             }
             check_kernel(&scaled)?;
-            Some(scaled)
+            Engine::Interp(scaled)
+        } else if let Some(c) = self.compiled.get(&variant_key) {
+            Engine::Compiled(c.clone())
         } else {
-            None
-        };
-        let compiled = match self.compiled.get(&variant_key) {
-            Some(c) => Some(c.clone()),
-            None if interp_kernel.is_none() => {
-                let mut scaled = retype_buffers(&kernel, &retype);
-                if let Some(compute) = self.spec.in_kernel.get(name) {
-                    scaled = insert_casts(&scaled, compute);
-                }
-                check_kernel(&scaled)?;
-                let c = std::sync::Arc::new(compile_kernel(&scaled)?);
-                self.compiled.insert(variant_key, c.clone());
-                Some(c)
+            let mut scaled = retype_buffers(&kernel, &retype);
+            if let Some(compute) = self.spec.in_kernel.get(name) {
+                scaled = insert_casts(&scaled, compute);
             }
-            None => None,
+            check_kernel(&scaled)?;
+            let c = std::sync::Arc::new(compile_kernel(&scaled)?);
+            self.compiled.insert(variant_key, c.clone());
+            Engine::Compiled(c)
         };
 
         // Move the bound buffers into an interpreter map, run, move back.
@@ -512,12 +514,9 @@ impl Session {
                 ),
             );
         }
-        let result = match &interp_kernel {
-            Some(k) => run_kernel(k, &mut map, &launch),
-            None => compiled
-                .as_ref()
-                .expect("compiled variant exists when not interpreting")
-                .run_with_scratch(&mut map, &launch, &mut self.scratch),
+        let result = match &engine {
+            Engine::Interp(k) => run_kernel(k, &mut map, &launch),
+            Engine::Compiled(c) => c.run_with_scratch(&mut map, &launch, &mut self.scratch),
         };
         for (pname, id) in &buffer_args {
             if let Some(data) = map.remove(pname.as_str()) {

@@ -1,0 +1,961 @@
+//! Crash-safe durability for the PreScaler pipeline.
+//!
+//! PreScaler's value proposition is amortizing expensive one-time work —
+//! the system-inspector database and the per-application trial runs — so
+//! that state has to survive the two ways long runs actually die on real
+//! machines: a kill mid-flight (losing hours of charged trials) and a
+//! crash mid-write (leaving a torn, half-written file that a later load
+//! silently trusts). This crate provides the two primitives the rest of
+//! the workspace builds on:
+//!
+//! * [`snapshot`] — **atomic, versioned, checksummed whole-file
+//!   persistence**: payloads are written to a temp file in the target
+//!   directory, fsynced, and renamed into place, under a fixed-size
+//!   header carrying magic, format version, a payload kind tag, the
+//!   payload length, and CRC-32 checksums of header and payload. A load
+//!   either returns the exact bytes that were saved or a typed
+//!   [`PersistError`] — never a silently truncated or bit-flipped
+//!   payload.
+//! * [`journal`] — an **append-only write-ahead trial journal** of
+//!   fixed-size, per-record-checksummed entries. Appends are synced
+//!   record by record; recovery scans from the top and truncates at the
+//!   first bad record (a torn write or garbage tail loses at most the
+//!   records at and after the tear, never the prefix), so an interrupted
+//!   consumer resumes from everything that was durably completed.
+//!
+//! The crate is deliberately free of PreScaler types: it moves bytes and
+//! `u64`-encoded floats. The trial-engine semantics (what a record
+//! *means*, how replay restores a memo cache) live in `prescaler-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A typed durability failure.
+///
+/// Every variant is recoverable by policy: callers either surface it,
+/// regenerate the artifact, or degrade (the inspector database falls back
+/// to the analytic cost model; the journal truncates and resumes).
+#[derive(Debug)]
+pub enum PersistError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The file does not start with the expected magic — it is not a
+    /// PreScaler artifact (or its header was destroyed).
+    BadMagic {
+        /// Magic the reader expected.
+        expected: [u8; 4],
+        /// Bytes actually found.
+        got: [u8; 4],
+    },
+    /// The artifact was written by an unknown (newer) format version.
+    UnsupportedVersion {
+        /// Version found in the header.
+        got: u16,
+        /// Latest version this build understands.
+        supported: u16,
+    },
+    /// The artifact is a valid snapshot of the *wrong* payload kind
+    /// (e.g. a `Tuned` snapshot passed to `InspectorDb::load`).
+    WrongKind {
+        /// Kind tag the reader expected.
+        expected: u16,
+        /// Kind tag found in the header.
+        got: u16,
+    },
+    /// The file is shorter than its header claims — a torn write.
+    Truncated {
+        /// Bytes the header promised.
+        expected: u64,
+        /// Bytes actually present.
+        got: u64,
+    },
+    /// A checksum did not match — bit rot or a torn overwrite.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum computed over the bytes actually read.
+        computed: u32,
+    },
+    /// A journal was created for a different context (another
+    /// application/system pair) than the one trying to resume from it.
+    ContextMismatch {
+        /// Context fingerprint the consumer expected.
+        expected: u64,
+        /// Fingerprint stored in the journal header.
+        got: u64,
+    },
+    /// The payload bytes were intact but could not be decoded into the
+    /// expected in-memory shape.
+    Decode(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "I/O failure: {e}"),
+            PersistError::BadMagic { expected, got } => write!(
+                f,
+                "bad magic {:02x?} (expected {:02x?}): not a PreScaler artifact",
+                got, expected
+            ),
+            PersistError::UnsupportedVersion { got, supported } => {
+                write!(
+                    f,
+                    "format version {got} is newer than supported {supported}"
+                )
+            }
+            PersistError::WrongKind { expected, got } => {
+                write!(f, "snapshot holds payload kind {got}, expected {expected}")
+            }
+            PersistError::Truncated { expected, got } => {
+                write!(
+                    f,
+                    "file truncated: {got} bytes present, {expected} promised"
+                )
+            }
+            PersistError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            PersistError::ContextMismatch { expected, got } => write!(
+                f,
+                "journal context {got:#018x} does not match consumer {expected:#018x}"
+            ),
+            PersistError::Decode(msg) => write!(f, "payload decode failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> PersistError {
+        PersistError::Io(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) — the checksum guarding every header,
+/// snapshot payload, and journal record.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// content fsynced, then renamed over the target, then the directory
+/// entry fsynced (best effort). A crash at any point leaves either the
+/// old file or the new one — never a mix.
+///
+/// # Errors
+///
+/// Propagates filesystem failures as [`PersistError::Io`].
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| PersistError::Decode(format!("path {} has no file name", path.display())))?;
+    let mut tmp = PathBuf::from(path);
+    tmp.set_file_name(format!(
+        ".{}.tmp-{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+
+    let result = (|| -> Result<(), PersistError> {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        // Durability of the rename itself: fsync the directory entry.
+        // Opening a directory read-only for sync is Linux-friendly; on
+        // platforms where it fails the rename is still atomic, so this
+        // stays best effort.
+        if let Some(dir) = dir {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+pub mod snapshot {
+    //! Atomic, versioned, checksummed whole-file snapshots.
+    //!
+    //! Layout (all integers little-endian):
+    //!
+    //! ```text
+    //! offset  size  field
+    //!      0     4  magic  b"PSNP"
+    //!      4     2  format version (1)
+    //!      6     2  payload kind tag
+    //!      8     8  payload length in bytes
+    //!     16     4  CRC-32 of the payload
+    //!     20     4  CRC-32 of header bytes 0..20
+    //!     24     n  payload
+    //! ```
+
+    use super::{crc32, write_atomic, PersistError};
+    use std::io::Read;
+    use std::path::Path;
+
+    /// Snapshot container magic.
+    pub const MAGIC: [u8; 4] = *b"PSNP";
+    /// Current container format version.
+    pub const VERSION: u16 = 1;
+    /// Header size in bytes.
+    pub const HEADER_LEN: usize = 24;
+
+    /// Payload kind tag: a serialized `InspectorDb`.
+    pub const KIND_INSPECTOR_DB: u16 = 1;
+    /// Payload kind tag: a serialized `Tuned` result snapshot.
+    pub const KIND_TUNED: u16 = 2;
+
+    /// Saves `payload` under an atomic, checksummed container.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn save(path: &Path, kind: u16, payload: &[u8]) -> Result<(), PersistError> {
+        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&kind.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+        let header_crc = crc32(&bytes[..20]);
+        bytes.extend_from_slice(&header_crc.to_le_bytes());
+        bytes.extend_from_slice(payload);
+        write_atomic(path, &bytes)
+    }
+
+    /// Loads and verifies a snapshot, returning the exact payload bytes
+    /// that were saved.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`PersistError`]s for every way the file can be wrong:
+    /// foreign content ([`PersistError::BadMagic`]), newer formats,
+    /// mismatched payload kind, truncation, and checksum failures.
+    pub fn load(path: &Path, kind: u16) -> Result<Vec<u8>, PersistError> {
+        let mut f = std::fs::File::open(path)?;
+        let mut bytes = Vec::new();
+        f.read_to_end(&mut bytes)?;
+        load_bytes(&bytes, kind)
+    }
+
+    /// [`load`] over bytes already in memory.
+    ///
+    /// # Errors
+    ///
+    /// Same taxonomy as [`load`].
+    pub fn load_bytes(bytes: &[u8], kind: u16) -> Result<Vec<u8>, PersistError> {
+        if bytes.len() < HEADER_LEN {
+            let mut got = [0u8; 4];
+            let n = bytes.len().min(4);
+            got[..n].copy_from_slice(&bytes[..n]);
+            if got != MAGIC {
+                return Err(PersistError::BadMagic {
+                    expected: MAGIC,
+                    got,
+                });
+            }
+            return Err(PersistError::Truncated {
+                expected: HEADER_LEN as u64,
+                got: bytes.len() as u64,
+            });
+        }
+        let magic: [u8; 4] = bytes[0..4].try_into().expect("4-byte slice");
+        if magic != MAGIC {
+            return Err(PersistError::BadMagic {
+                expected: MAGIC,
+                got: magic,
+            });
+        }
+        let stored_header_crc = u32_le(&bytes[20..24]);
+        let computed_header_crc = crc32(&bytes[..20]);
+        if stored_header_crc != computed_header_crc {
+            return Err(PersistError::ChecksumMismatch {
+                stored: stored_header_crc,
+                computed: computed_header_crc,
+            });
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2-byte slice"));
+        if version > VERSION {
+            return Err(PersistError::UnsupportedVersion {
+                got: version,
+                supported: VERSION,
+            });
+        }
+        let got_kind = u16::from_le_bytes(bytes[6..8].try_into().expect("2-byte slice"));
+        if got_kind != kind {
+            return Err(PersistError::WrongKind {
+                expected: kind,
+                got: got_kind,
+            });
+        }
+        let payload_len = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+        let available = (bytes.len() - HEADER_LEN) as u64;
+        if available < payload_len {
+            return Err(PersistError::Truncated {
+                expected: payload_len,
+                got: available,
+            });
+        }
+        let payload = &bytes[HEADER_LEN..HEADER_LEN + payload_len as usize];
+        let stored_crc = u32_le(&bytes[16..20]);
+        let computed = crc32(payload);
+        if stored_crc != computed {
+            return Err(PersistError::ChecksumMismatch {
+                stored: stored_crc,
+                computed,
+            });
+        }
+        Ok(payload.to_vec())
+    }
+
+    /// Whether `bytes` begin with the snapshot magic — used by loaders
+    /// that keep a legacy (pre-container) fallback path.
+    #[must_use]
+    pub fn has_magic(bytes: &[u8]) -> bool {
+        bytes.len() >= 4 && bytes[..4] == MAGIC
+    }
+
+    fn u32_le(b: &[u8]) -> u32 {
+        u32::from_le_bytes(b.try_into().expect("4-byte slice"))
+    }
+}
+
+pub mod journal {
+    //! The append-only, per-record-checksummed write-ahead trial journal.
+    //!
+    //! File layout (all integers little-endian):
+    //!
+    //! ```text
+    //! header (20 bytes)
+    //!   0   4  magic b"PSWJ"
+    //!   4   2  format version (1)
+    //!   6   2  reserved (0)
+    //!   8   8  context fingerprint (app × system identity)
+    //!  16   4  CRC-32 of header bytes 0..16
+    //! record (37 bytes, repeated)
+    //!   0   8  spec fingerprint
+    //!   8   1  flags: bit0 clean-twin namespace, bit1 evaluation present,
+    //!           bit2 charged at execution time
+    //!   9   8  total-time bits       (f64::to_bits; 0 when absent)
+    //!  17   8  kernel-time bits      (f64::to_bits; 0 when absent)
+    //!  25   8  quality bits          (f64::to_bits; 0 when absent)
+    //!  33   4  CRC-32 of record bytes 0..33
+    //! ```
+    //!
+    //! Recovery rule: records are scanned from the top; the first record
+    //! that is short (torn write) or fails its CRC (garbage/bit rot)
+    //! truncates the file at its own start, and everything before it is
+    //! replayed. A file with a destroyed header is recreated empty — the
+    //! consumer loses the journal, never its correctness.
+
+    use super::{crc32, PersistError};
+    use std::fs::{File, OpenOptions};
+    use std::io::{Read, Seek, SeekFrom, Write};
+    use std::path::{Path, PathBuf};
+
+    /// Journal file magic.
+    pub const MAGIC: [u8; 4] = *b"PSWJ";
+    /// Current journal format version.
+    pub const VERSION: u16 = 1;
+    /// Header size in bytes.
+    pub const HEADER_LEN: u64 = 20;
+    /// Fixed record size in bytes.
+    pub const RECORD_LEN: u64 = 37;
+
+    const FLAG_CLEAN: u8 = 1;
+    const FLAG_EVAL: u8 = 1 << 1;
+    const FLAG_CHARGED: u8 = 1 << 2;
+
+    /// One completed trial execution, as the journal stores it. Floats
+    /// travel as raw bits so replay is bit-exact.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct TrialRecord {
+        /// Canonical spec fingerprint (the memo-cache key).
+        pub fingerprint: u64,
+        /// Whether the result lives in the clean-twin namespace.
+        pub clean: bool,
+        /// Whether the execution was charged as a trial when it ran
+        /// (informational; replay always re-derives charging).
+        pub charged: bool,
+        /// The evaluation, absent when the run could not complete.
+        pub eval: Option<EvalBits>,
+    }
+
+    /// Bit-exact evaluation payload.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct EvalBits {
+        /// `f64::to_bits` of the total virtual time in seconds.
+        pub time_bits: u64,
+        /// `f64::to_bits` of the kernel-only time in seconds.
+        pub kernel_bits: u64,
+        /// `f64::to_bits` of the output quality.
+        pub quality_bits: u64,
+    }
+
+    impl TrialRecord {
+        fn encode(&self) -> [u8; RECORD_LEN as usize] {
+            let mut buf = [0u8; RECORD_LEN as usize];
+            buf[0..8].copy_from_slice(&self.fingerprint.to_le_bytes());
+            let mut flags = 0u8;
+            if self.clean {
+                flags |= FLAG_CLEAN;
+            }
+            if self.eval.is_some() {
+                flags |= FLAG_EVAL;
+            }
+            if self.charged {
+                flags |= FLAG_CHARGED;
+            }
+            buf[8] = flags;
+            let eval = self.eval.unwrap_or(EvalBits {
+                time_bits: 0,
+                kernel_bits: 0,
+                quality_bits: 0,
+            });
+            buf[9..17].copy_from_slice(&eval.time_bits.to_le_bytes());
+            buf[17..25].copy_from_slice(&eval.kernel_bits.to_le_bytes());
+            buf[25..33].copy_from_slice(&eval.quality_bits.to_le_bytes());
+            let crc = crc32(&buf[..33]);
+            buf[33..37].copy_from_slice(&crc.to_le_bytes());
+            buf
+        }
+
+        fn decode(buf: &[u8]) -> Option<TrialRecord> {
+            if buf.len() < RECORD_LEN as usize {
+                return None;
+            }
+            let stored = u32::from_le_bytes(buf[33..37].try_into().ok()?);
+            if stored != crc32(&buf[..33]) {
+                return None;
+            }
+            let flags = buf[8];
+            let eval = (flags & FLAG_EVAL != 0).then(|| EvalBits {
+                time_bits: u64::from_le_bytes(buf[9..17].try_into().expect("8-byte slice")),
+                kernel_bits: u64::from_le_bytes(buf[17..25].try_into().expect("8-byte slice")),
+                quality_bits: u64::from_le_bytes(buf[25..33].try_into().expect("8-byte slice")),
+            });
+            Some(TrialRecord {
+                fingerprint: u64::from_le_bytes(buf[0..8].try_into().expect("8-byte slice")),
+                clean: flags & FLAG_CLEAN != 0,
+                charged: flags & FLAG_CHARGED != 0,
+                eval,
+            })
+        }
+    }
+
+    /// What recovery found in an existing journal file.
+    #[derive(Clone, Debug, Default, PartialEq, Eq)]
+    pub struct Recovery {
+        /// Valid records, in append order.
+        pub records: Vec<TrialRecord>,
+        /// Bytes dropped past the last valid record (torn write or
+        /// garbage tail). `0` for a clean journal.
+        pub dropped_bytes: u64,
+        /// Whether the header itself was unusable and the journal was
+        /// recreated empty.
+        pub recreated: bool,
+    }
+
+    impl Recovery {
+        /// Whether recovery had to repair anything.
+        #[must_use]
+        pub fn repaired(&self) -> bool {
+            self.dropped_bytes > 0 || self.recreated
+        }
+    }
+
+    /// An open write-ahead trial journal, positioned for appending.
+    #[derive(Debug)]
+    pub struct TrialJournal {
+        file: File,
+        path: PathBuf,
+        records: u64,
+    }
+
+    impl TrialJournal {
+        /// Creates a fresh journal at `path` (truncating any existing
+        /// file) bound to `context`.
+        ///
+        /// # Errors
+        ///
+        /// Propagates filesystem failures.
+        pub fn create(path: &Path, context: u64) -> Result<TrialJournal, PersistError> {
+            let mut file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(path)?;
+            let mut header = [0u8; HEADER_LEN as usize];
+            header[0..4].copy_from_slice(&MAGIC);
+            header[4..6].copy_from_slice(&VERSION.to_le_bytes());
+            // bytes 6..8 reserved, zero
+            header[8..16].copy_from_slice(&context.to_le_bytes());
+            let crc = crc32(&header[..16]);
+            header[16..20].copy_from_slice(&crc.to_le_bytes());
+            file.write_all(&header)?;
+            file.sync_all()?;
+            Ok(TrialJournal {
+                file,
+                path: path.to_path_buf(),
+                records: 0,
+            })
+        }
+
+        /// Opens the journal at `path` for `context`, recovering whatever
+        /// prefix of it is valid:
+        ///
+        /// * missing file, or a file too short / corrupt to even carry a
+        ///   header → recreated empty ([`Recovery::recreated`]);
+        /// * torn or garbage tail → truncated at the first bad record
+        ///   ([`Recovery::dropped_bytes`]);
+        /// * intact header for a *different* context, a foreign magic, or
+        ///   a newer version → typed error, the file is left untouched
+        ///   (it is somebody else's data, not a crash artifact).
+        ///
+        /// # Errors
+        ///
+        /// [`PersistError::ContextMismatch`], [`PersistError::BadMagic`],
+        /// [`PersistError::UnsupportedVersion`] (intact-but-foreign
+        /// files), or [`PersistError::Io`].
+        pub fn open(path: &Path, context: u64) -> Result<(TrialJournal, Recovery), PersistError> {
+            if !path.exists() {
+                let journal = TrialJournal::create(path, context)?;
+                return Ok((journal, Recovery::default()));
+            }
+            let mut bytes = Vec::new();
+            File::open(path)?.read_to_end(&mut bytes)?;
+
+            // Header triage.
+            let header_ok = bytes.len() >= HEADER_LEN as usize && {
+                let stored = u32::from_le_bytes(bytes[16..20].try_into().expect("4-byte slice"));
+                stored == crc32(&bytes[..16])
+            };
+            if !header_ok {
+                // A half-written header is a crash artifact of our own
+                // making; recreate the journal rather than fail the run.
+                let journal = TrialJournal::create(path, context)?;
+                return Ok((
+                    journal,
+                    Recovery {
+                        records: Vec::new(),
+                        dropped_bytes: bytes.len() as u64,
+                        recreated: true,
+                    },
+                ));
+            }
+            let magic: [u8; 4] = bytes[0..4].try_into().expect("4-byte slice");
+            if magic != MAGIC {
+                return Err(PersistError::BadMagic {
+                    expected: MAGIC,
+                    got: magic,
+                });
+            }
+            let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2-byte slice"));
+            if version > VERSION {
+                return Err(PersistError::UnsupportedVersion {
+                    got: version,
+                    supported: VERSION,
+                });
+            }
+            let got_context = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+            if got_context != context {
+                return Err(PersistError::ContextMismatch {
+                    expected: context,
+                    got: got_context,
+                });
+            }
+
+            // Record scan: accept the longest valid prefix.
+            let mut records = Vec::new();
+            let mut offset = HEADER_LEN as usize;
+            while offset + RECORD_LEN as usize <= bytes.len() {
+                match TrialRecord::decode(&bytes[offset..offset + RECORD_LEN as usize]) {
+                    Some(rec) => {
+                        records.push(rec);
+                        offset += RECORD_LEN as usize;
+                    }
+                    None => break,
+                }
+            }
+            let dropped = (bytes.len() - offset) as u64;
+
+            let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+            if dropped > 0 {
+                file.set_len(offset as u64)?;
+                file.sync_all()?;
+            }
+            file.seek(SeekFrom::End(0))?;
+            Ok((
+                TrialJournal {
+                    file,
+                    path: path.to_path_buf(),
+                    records: records.len() as u64,
+                },
+                Recovery {
+                    records,
+                    dropped_bytes: dropped,
+                    recreated: false,
+                },
+            ))
+        }
+
+        /// Appends one record and syncs it to disk — after this returns,
+        /// the record survives a crash.
+        ///
+        /// # Errors
+        ///
+        /// Propagates filesystem failures.
+        pub fn append(&mut self, record: &TrialRecord) -> Result<(), PersistError> {
+            self.file.write_all(&record.encode())?;
+            self.file.sync_data()?;
+            self.records += 1;
+            Ok(())
+        }
+
+        /// Number of records appended or recovered so far.
+        #[must_use]
+        pub fn record_count(&self) -> u64 {
+            self.records
+        }
+
+        /// The journal's path.
+        #[must_use]
+        pub fn path(&self) -> &Path {
+            &self.path
+        }
+
+        /// Fault-injection hook: simulates a torn final write by cutting
+        /// the last `bytes` bytes off the file, as if the process died
+        /// mid-`write`.
+        ///
+        /// # Errors
+        ///
+        /// Propagates filesystem failures.
+        pub fn tear_tail(&mut self, bytes: u64) -> Result<(), PersistError> {
+            let len = self.file.metadata()?.len();
+            self.file.set_len(len.saturating_sub(bytes))?;
+            self.file.sync_all()?;
+            Ok(())
+        }
+
+        /// Fault-injection hook: simulates a crash mid-append by leaving
+        /// `bytes` bytes of garbage (an `0xA5` fill that cannot pass a
+        /// record CRC) at the tail.
+        ///
+        /// # Errors
+        ///
+        /// Propagates filesystem failures.
+        pub fn scribble_tail(&mut self, bytes: u64) -> Result<(), PersistError> {
+            let junk = vec![0xA5u8; bytes as usize];
+            self.file.write_all(&junk)?;
+            self.file.sync_data()?;
+            Ok(())
+        }
+    }
+}
+
+pub use journal::{EvalBits, Recovery, TrialJournal, TrialRecord};
+
+#[cfg(test)]
+mod tests {
+    use super::journal::{EvalBits, TrialJournal, TrialRecord, HEADER_LEN, RECORD_LEN};
+    use super::{crc32, snapshot, PersistError};
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("prescaler_persist_{}_{}", tag, std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_records(n: u64) -> Vec<TrialRecord> {
+        (0..n)
+            .map(|i| TrialRecord {
+                fingerprint: 0x1000 + i,
+                clean: i % 3 == 0,
+                charged: i % 2 == 0,
+                eval: (i % 4 != 3).then(|| EvalBits {
+                    time_bits: (1.5e-3 * (i + 1) as f64).to_bits(),
+                    kernel_bits: (1.0e-3 * (i + 1) as f64).to_bits(),
+                    quality_bits: (1.0 - 1e-6 * i as f64).to_bits(),
+                }),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_checks_kind() {
+        let dir = temp_dir("snap_rt");
+        let path = dir.join("a.snap");
+        let payload = b"{\"hello\":1}".to_vec();
+        snapshot::save(&path, snapshot::KIND_INSPECTOR_DB, &payload).unwrap();
+        assert_eq!(
+            snapshot::load(&path, snapshot::KIND_INSPECTOR_DB).unwrap(),
+            payload
+        );
+        assert!(matches!(
+            snapshot::load(&path, snapshot::KIND_TUNED),
+            Err(PersistError::WrongKind {
+                expected: 2,
+                got: 1
+            })
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_detects_truncation_and_bit_flips() {
+        let dir = temp_dir("snap_corrupt");
+        let path = dir.join("b.snap");
+        let payload = vec![7u8; 4096];
+        snapshot::save(&path, snapshot::KIND_TUNED, &payload).unwrap();
+        let full = fs::read(&path).unwrap();
+
+        // Truncated payload.
+        fs::write(&path, &full[..full.len() - 100]).unwrap();
+        assert!(matches!(
+            snapshot::load(&path, snapshot::KIND_TUNED),
+            Err(PersistError::Truncated { .. })
+        ));
+
+        // Flipped payload byte.
+        let mut flipped = full.clone();
+        let i = flipped.len() - 10;
+        flipped[i] ^= 0x40;
+        fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            snapshot::load(&path, snapshot::KIND_TUNED),
+            Err(PersistError::ChecksumMismatch { .. })
+        ));
+
+        // Flipped header byte.
+        let mut bad_header = full.clone();
+        bad_header[9] ^= 0x01;
+        fs::write(&path, &bad_header).unwrap();
+        assert!(matches!(
+            snapshot::load(&path, snapshot::KIND_TUNED),
+            Err(PersistError::ChecksumMismatch { .. })
+        ));
+
+        // Foreign file.
+        fs::write(&path, b"not a snapshot at all").unwrap();
+        assert!(matches!(
+            snapshot::load(&path, snapshot::KIND_TUNED),
+            Err(PersistError::BadMagic { .. })
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_round_trips_records() {
+        let dir = temp_dir("journal_rt");
+        let path = dir.join("trials.wal");
+        let records = sample_records(7);
+        {
+            let mut j = TrialJournal::create(&path, 0xDEAD_BEEF).unwrap();
+            for r in &records {
+                j.append(r).unwrap();
+            }
+            assert_eq!(j.record_count(), 7);
+        }
+        let (j, rec) = TrialJournal::open(&path, 0xDEAD_BEEF).unwrap();
+        assert_eq!(rec.records, records);
+        assert_eq!(rec.dropped_bytes, 0);
+        assert!(!rec.repaired());
+        assert_eq!(j.record_count(), 7);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_loses_only_the_torn_record() {
+        let dir = temp_dir("journal_torn");
+        let path = dir.join("trials.wal");
+        let records = sample_records(5);
+        let mut j = TrialJournal::create(&path, 1).unwrap();
+        for r in &records {
+            j.append(r).unwrap();
+        }
+        // Tear 10 bytes off the final record: a torn write.
+        j.tear_tail(10).unwrap();
+        drop(j);
+        let (j2, rec) = TrialJournal::open(&path, 1).unwrap();
+        assert_eq!(rec.records, records[..4].to_vec());
+        assert_eq!(rec.dropped_bytes, RECORD_LEN - 10);
+        assert!(rec.repaired());
+        // The file is truncated back to a clean record boundary.
+        assert_eq!(
+            fs::metadata(&path).unwrap().len(),
+            HEADER_LEN + 4 * RECORD_LEN
+        );
+        drop(j2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn garbage_tail_is_dropped_and_appends_resume() {
+        let dir = temp_dir("journal_garbage");
+        let path = dir.join("trials.wal");
+        let records = sample_records(4);
+        let mut j = TrialJournal::create(&path, 2).unwrap();
+        for r in &records[..3] {
+            j.append(r).unwrap();
+        }
+        j.scribble_tail(21).unwrap();
+        drop(j);
+        let (mut j2, rec) = TrialJournal::open(&path, 2).unwrap();
+        assert_eq!(rec.records, records[..3].to_vec());
+        assert_eq!(rec.dropped_bytes, 21);
+        // Appending after recovery lands on a clean boundary.
+        j2.append(&records[3]).unwrap();
+        drop(j2);
+        let (_, rec2) = TrialJournal::open(&path, 2).unwrap();
+        assert_eq!(rec2.records, records);
+        assert_eq!(rec2.dropped_bytes, 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mid_file_bit_flip_truncates_from_the_flip() {
+        let dir = temp_dir("journal_flip");
+        let path = dir.join("trials.wal");
+        let records = sample_records(6);
+        let mut j = TrialJournal::create(&path, 3).unwrap();
+        for r in &records {
+            j.append(r).unwrap();
+        }
+        drop(j);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one byte inside record index 2.
+        let at = HEADER_LEN as usize + 2 * RECORD_LEN as usize + 5;
+        bytes[at] ^= 0x80;
+        fs::write(&path, &bytes).unwrap();
+        let (_, rec) = TrialJournal::open(&path, 3).unwrap();
+        assert_eq!(
+            rec.records,
+            records[..2].to_vec(),
+            "replay stops at the first bad record"
+        );
+        assert_eq!(rec.dropped_bytes, 4 * RECORD_LEN);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn destroyed_header_recreates_empty() {
+        let dir = temp_dir("journal_header");
+        let path = dir.join("trials.wal");
+        let mut j = TrialJournal::create(&path, 4).unwrap();
+        for r in sample_records(3) {
+            j.append(&r).unwrap();
+        }
+        drop(j);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[17] ^= 0xFF; // break the header CRC
+        fs::write(&path, &bytes).unwrap();
+        let (j2, rec) = TrialJournal::open(&path, 4).unwrap();
+        assert!(rec.recreated);
+        assert!(rec.records.is_empty());
+        assert_eq!(j2.record_count(), 0);
+        drop(j2);
+        // Truncated-below-header files likewise recreate.
+        fs::write(&path, b"PSWJ\x01").unwrap();
+        let (_, rec) = TrialJournal::open(&path, 4).unwrap();
+        assert!(rec.recreated);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_journals_are_typed_errors_not_clobbered() {
+        let dir = temp_dir("journal_foreign");
+        let path = dir.join("trials.wal");
+        TrialJournal::create(&path, 111).unwrap();
+        // Wrong context: refuse, and leave the file intact.
+        assert!(matches!(
+            TrialJournal::open(&path, 222),
+            Err(PersistError::ContextMismatch {
+                expected: 222,
+                got: 111
+            })
+        ));
+        let (_, rec) = TrialJournal::open(&path, 111).unwrap();
+        assert!(!rec.repaired(), "refused open must not modify the file");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_atomic_replaces_whole_files() {
+        let dir = temp_dir("atomic");
+        let path = dir.join("x.bin");
+        super::write_atomic(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        super::write_atomic(&path, b"second-longer-content").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second-longer-content");
+        // No temp files left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

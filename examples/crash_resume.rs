@@ -1,0 +1,95 @@
+//! Resume-after-crash quickstart: a durable tune is killed mid-search by
+//! an injected crash (with a torn tail-write, like a real `kill -9`
+//! during `write(2)`), then resumed from its write-ahead journal — and
+//! the resumed result is **byte-identical** to an uninterrupted run,
+//! with every journaled trial answered from the replayed cache instead
+//! of re-executed.
+//!
+//! ```text
+//! cargo run --release --example crash_resume
+//! PRESCALER_FAULT_SEED=2 cargo run --release --example crash_resume
+//! ```
+
+use prescaler_core::recovery::{tune_durable, tune_durable_with_crash};
+use prescaler_core::{PreScaler, SystemInspector};
+use prescaler_faults::CrashPoint;
+use prescaler_polybench::{BenchKind, PolyApp};
+use prescaler_sim::SystemModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed: u64 = std::env::var("PRESCALER_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+
+    let system = SystemModel::system1();
+    let db = SystemInspector::inspect(&system);
+    let tuner = PreScaler::new(&system, &db, 0.9);
+    let app = PolyApp::tiny(BenchKind::Gemm);
+
+    let dir = std::env::temp_dir().join(format!(
+        "prescaler_crash_resume_demo_{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir)?;
+
+    // 1. Uninterrupted reference: tune to completion, snapshot the result.
+    let ref_journal = dir.join("reference.wal");
+    let reference = tune_durable(&tuner, &app, &ref_journal)?;
+    let executions = reference.stats.executions as u64;
+    let ref_snap = dir.join("reference.tuned");
+    reference.tuned.save(&ref_snap)?;
+    println!(
+        "reference tune: {} trials, {} executions, speedup {:.2}x @ quality {:.4}",
+        reference.tuned.trials,
+        executions,
+        reference.tuned.speedup(),
+        reference.tuned.eval.quality
+    );
+
+    // 2. Arm a seeded crash point: the process "dies" at a seeded trial
+    //    boundary, possibly tearing the record it was writing.
+    let crash = CrashPoint::seeded(seed, executions);
+    let boundary = crash.boundary();
+    let journal = dir.join("interrupted.wal");
+    let killed = tune_durable_with_crash(&tuner, &app, &journal, Some(crash))?;
+    assert!(killed.is_none(), "the armed crash fires mid-tune");
+    println!(
+        "crash injected at trial boundary {boundary}/{executions} (seed {seed}, tear {:?}); journal left on disk",
+        CrashPoint::seeded(seed, executions).tear()
+    );
+
+    // 3. Resume: reopen the same journal path. Recovery scans it, drops
+    //    any torn tail, replays the surviving records into the trial
+    //    cache, and the search replays deterministically on top.
+    let resumed = tune_durable(&tuner, &app, &journal)?;
+    println!(
+        "resumed: replayed {} journaled trials, re-executed {} ({} saved){}",
+        resumed.replayed,
+        resumed.stats.executions,
+        executions - resumed.stats.executions as u64,
+        if resumed.recovery.repaired() {
+            " — torn tail repaired"
+        } else {
+            ""
+        }
+    );
+
+    // 4. The guarantee: the resumed snapshot is byte-identical to the
+    //    uninterrupted one.
+    let resumed_snap = dir.join("resumed.tuned");
+    resumed.tuned.save(&resumed_snap)?;
+    let a = std::fs::read(&ref_snap)?;
+    let b = std::fs::read(&resumed_snap)?;
+    assert_eq!(
+        a, b,
+        "resumed Tuned must be byte-identical to the reference"
+    );
+    println!(
+        "resumed Tuned snapshot is byte-identical to the reference ({} bytes)",
+        a.len()
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -2,25 +2,35 @@
 //! of the paper's artifact, where inspection takes hours and its result
 //! database is shipped with the evaluation systems.
 //!
+//! The database now lives under an atomic, checksummed snapshot container
+//! (temp file + fsync + rename), so a crash mid-save can never leave a
+//! half-written file — and a damaged file is *detected* at load as a
+//! typed error instead of being silently trusted. The second half of
+//! this example injects exactly that damage and shows the detection.
+//!
 //! ```text
 //! cargo run --release --example inspect_and_persist
 //! ```
 
 use prescaler_core::{InspectorDb, SystemInspector};
 use prescaler_ir::Precision;
+use prescaler_persist::PersistError;
 use prescaler_sim::{Direction, SystemModel};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir)?;
 
+    let mut demo_path = None;
     for (tag, system) in [
         ("system1", SystemModel::system1()),
         ("system2", SystemModel::system2()),
         ("system3", SystemModel::system3()),
     ] {
         let path = dir.join(format!("inspector_{tag}.json"));
-        // Inspect once; afterwards always load from disk.
+        // Inspect once; afterwards always load from disk. Databases saved
+        // by older builds (bare JSON, no container) still load through
+        // the legacy fallback.
         let db = if path.exists() {
             println!("loading cached inspection from {}", path.display());
             InspectorDb::load(&path)?
@@ -37,6 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
             db
         };
+        demo_path.get_or_insert(path);
 
         // Ask the database the question Algorithm 2 asks: the best way to
         // ship 4M doubles to the device as halves.
@@ -56,5 +67,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             t
         );
     }
+
+    // --- Corruption drill: damaged databases are detected, not trusted. ---
+    // Re-save one database into a scratch snapshot container and damage
+    // that copy; the cached inspections above stay intact.
+    let source = demo_path.expect("at least one system inspected");
+    let db = InspectorDb::load(&source)?;
+    let scratch = std::env::temp_dir().join("prescaler_inspect_corruption_demo.snap");
+    db.save(&scratch)?;
+    let bytes = std::fs::read(&scratch)?;
+
+    // A truncated file (torn write, partial copy) fails with a typed error.
+    std::fs::write(&scratch, &bytes[..bytes.len() * 2 / 3])?;
+    match InspectorDb::load(&scratch) {
+        Err(e @ PersistError::Truncated { .. }) => {
+            println!("truncated copy rejected as expected: {e}");
+        }
+        other => panic!("truncation must be detected, got {other:?}"),
+    }
+
+    // A single flipped byte (bit rot) fails the payload checksum.
+    let mut flipped = bytes.clone();
+    let at = flipped.len() - 50;
+    flipped[at] ^= 0x10;
+    std::fs::write(&scratch, &flipped)?;
+    match InspectorDb::load(&scratch) {
+        Err(e @ PersistError::ChecksumMismatch { .. }) => {
+            println!("bit-flipped copy rejected as expected: {e}");
+        }
+        other => panic!("bit rot must be detected, got {other:?}"),
+    }
+    std::fs::remove_file(&scratch).ok();
+    println!("corruption drill passed: damaged databases never load silently");
     Ok(())
 }

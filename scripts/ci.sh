@@ -10,13 +10,26 @@ cargo test -q --workspace --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo fmt --all --check
 
-# Seeded fault matrix: the guard and pipeline property suites replayed
-# under fixed seeds, so every CI run explores the same three fault
-# universes deterministically (guard_properties mixes the seed into its
-# generated fault plans via PRESCALER_FAULT_SEED).
+# Seeded fault matrix: the guard, pipeline, and crash-resume property
+# suites replayed under fixed seeds, so every CI run explores the same
+# three fault universes deterministically (the suites mix the seed into
+# their generated fault plans via PRESCALER_FAULT_SEED). The crash-resume
+# suite kills a durable tune at every trial boundary — under clean,
+# torn-tail, and garbage-tail shutdowns — and requires the resumed
+# result to be bit-identical with zero journaled trials re-executed.
 for seed in 1 2 3; do
     PRESCALER_FAULT_SEED=$seed \
-        cargo test -q --offline --test guard_properties --test pipeline_properties
+        cargo test -q --offline \
+        --test guard_properties --test pipeline_properties \
+        --test crash_resume_properties
+done
+
+# Crash-resume smoke: kill one tune at a seeded boundary with a seeded
+# tear, resume it, and byte-compare the resumed Tuned snapshot against
+# the uninterrupted reference.
+for seed in 1 2 3; do
+    PRESCALER_FAULT_SEED=$seed \
+        cargo run --release --offline --example crash_resume
 done
 
 # The guarded-serving example doubles as an end-to-end smoke test: it
