@@ -1,0 +1,308 @@
+//! System-drift resilience: revalidate a tuned spec against the system
+//! it is *currently* serving on, and warm-start a re-tune when the
+//! system has changed underneath it.
+//!
+//! PreScaler's decisions are system-aware by construction — the paper's
+//! speedup crossovers move between systems — so a [`Tuned`] spec is only
+//! meaningful together with the hardware fingerprint it was decided
+//! against. Serving deployments drift: GPUs thermally throttle, PCIe
+//! links retrain at lower widths, devices fall off the bus. This module
+//! closes the loop the guard opens when its sentinels fire:
+//!
+//! * [`revalidate`] replays the tuner's acceptance oracle (TOQ floor and
+//!   never-worse-than-baseline) for a previous spec on the current
+//!   system, with a typed verdict instead of a silent mis-serve. A spec
+//!   tuned on *different hardware* short-circuits to
+//!   [`DriftVerdict::ForeignSystem`] without running anything.
+//! * [`retune_warm`] re-tunes on the drifted system without starting
+//!   from scratch: it binds the trial journal to the drifted context
+//!   (PR 6's write-ahead machinery), replays every already-journaled
+//!   trial into the memo cache uncharged, and seeds the decision-tree
+//!   search with the previous spec — so a re-tune after drift charges
+//!   strictly fewer executions than a cold tune while arriving at a
+//!   bit-identical accepted spec.
+
+use crate::engine::{TrialEngine, TrialStats};
+use crate::profiler::profile_app;
+use crate::recovery::TuneError;
+use crate::search::{Evaluation, PreScaler, Tuned};
+use prescaler_ocl::{HostApp, ScalingSpec};
+use prescaler_persist::{Recovery, TrialJournal};
+use std::path::Path;
+
+/// How a previously tuned spec fares on the current system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriftVerdict {
+    /// The spec still satisfies the acceptance oracle here: quality at
+    /// or above TOQ, no slower than the baseline, and runnable on the
+    /// (possibly drifting) system. Keep serving it.
+    Valid,
+    /// The spec was tuned on different hardware — the fingerprints do
+    /// not match, so the oracle was not even consulted. Re-tune from
+    /// scratch (a warm journal will not attach either).
+    ForeignSystem,
+    /// Output quality fell below the tuned TOQ floor.
+    QualityBelowToq,
+    /// The spec no longer beats the full-precision baseline.
+    SlowerThanBaseline,
+    /// The spec could not complete a run on the current system (e.g. a
+    /// lost device).
+    Unrunnable,
+}
+
+/// The outcome of replaying the acceptance oracle on the current system.
+#[derive(Clone, Debug)]
+pub struct Revalidation {
+    /// The verdict; anything but [`DriftVerdict::Valid`] means the spec
+    /// must not keep serving un-revalidated.
+    pub verdict: DriftVerdict,
+    /// The oracle evaluation on the clean twin of the current system
+    /// (the same namespace as the tuner's final acceptance run). `None`
+    /// when the oracle could not run or was skipped (foreign system).
+    pub oracle: Option<Evaluation>,
+    /// The evaluation on the current system *with* its drift condition
+    /// (throttle, degraded link, device loss) — the availability check.
+    /// `None` when the spec could not complete a run there.
+    pub observed: Option<Evaluation>,
+}
+
+/// The outcome of a warm-start re-tune on a (possibly drifted) system.
+#[derive(Debug)]
+pub struct DriftReport {
+    /// The re-tuned result — bit-identical to what a cold tune on the
+    /// same system would accept.
+    pub tuned: Tuned,
+    /// How the previous spec fared when it was evaluated as the warm
+    /// seed, before the search ran.
+    pub previous: Revalidation,
+    /// Journal records replayed into the memo cache uncharged (0 when
+    /// the journal was fresh).
+    pub replayed: usize,
+    /// Engine counters for the whole warm run (seeding + search);
+    /// `stats.executions` is the work the journal had not already paid.
+    pub stats: TrialStats,
+    /// What journal recovery found on open.
+    pub recovery: Recovery,
+}
+
+/// Replays the tuner's TOQ/speedup acceptance oracle for `previous` on
+/// the tuner's current system, and checks the spec can still complete a
+/// run under the system's drift condition.
+///
+/// `tuned_fingerprint` is the hardware fingerprint the spec was tuned on
+/// (see [`Tuned::system_fingerprint`]); when it is not the current
+/// system's, the verdict is [`DriftVerdict::ForeignSystem`] and nothing
+/// is executed.
+///
+/// # Errors
+///
+/// [`TuneError::Ocl`] when baseline profiling fails on the current
+/// system — without a baseline there is no oracle to replay.
+pub fn revalidate(
+    tuner: &PreScaler<'_>,
+    app: &dyn HostApp,
+    previous: &ScalingSpec,
+    tuned_fingerprint: u64,
+) -> Result<Revalidation, TuneError> {
+    if tuned_fingerprint != tuner.system().fingerprint() {
+        return Ok(Revalidation {
+            verdict: DriftVerdict::ForeignSystem,
+            oracle: None,
+            observed: None,
+        });
+    }
+    let profile = profile_app(app, tuner.system())?;
+    let engine = TrialEngine::new(app, tuner.system(), &profile);
+    Ok(revalidate_in(&engine, tuner, previous))
+}
+
+/// [`revalidate`] through a caller-supplied engine: the oracle runs are
+/// charged to (and journaled by) that engine, so a follow-up
+/// [`PreScaler::tune_with_engine`] on the same engine gets them for
+/// free. The fingerprint gate must already have passed.
+fn revalidate_in(
+    engine: &TrialEngine<'_>,
+    tuner: &PreScaler<'_>,
+    previous: &ScalingSpec,
+) -> Revalidation {
+    let baseline_time = engine.profile().baseline_time;
+    // The oracle: the tuner's own final-acceptance namespace (clean twin).
+    let oracle = engine.trial_clean(previous).0;
+    // Availability: the same spec under the system's live drift condition.
+    let observed = engine.trial(previous).0;
+    let verdict = match (&oracle, &observed) {
+        (Some(o), Some(_)) if o.quality >= tuner.toq() && o.time <= baseline_time => {
+            DriftVerdict::Valid
+        }
+        (Some(o), _) if o.quality < tuner.toq() => DriftVerdict::QualityBelowToq,
+        (Some(_), Some(_)) => DriftVerdict::SlowerThanBaseline,
+        _ => DriftVerdict::Unrunnable,
+    };
+    Revalidation {
+        verdict,
+        oracle,
+        observed,
+    }
+}
+
+/// Re-tunes `app` on the tuner's (possibly drifted) system, warm-started
+/// from `previous` and from the trial journal at `journal_path`.
+///
+/// The journal is bound to the `(app, system-hardware)` context: every
+/// record it already holds — from an interrupted earlier re-tune, or
+/// from a completed cold tune on the same drifted system — is replayed
+/// into the memo cache uncharged. The previous spec is then evaluated as
+/// the warm seed (oracle + drifted namespaces, journaled like any other
+/// trial) before the normal decision-tree search runs. The search is
+/// deterministic and evaluation is pure per spec, so the accepted
+/// configuration is bit-identical to a cold tune's; the warm start only
+/// changes *who pays*: re-asked trials are answered from the replayed
+/// cache instead of being executed again.
+///
+/// # Errors
+///
+/// [`TuneError::Ocl`] when baseline profiling fails;
+/// [`TuneError::Persist`] when the journal belongs to a different
+/// `(app, system)` context or a newer format version — a journal from
+/// foreign hardware never warms a tune for this one.
+pub fn retune_warm(
+    tuner: &PreScaler<'_>,
+    app: &dyn HostApp,
+    previous: &ScalingSpec,
+    journal_path: &Path,
+) -> Result<DriftReport, TuneError> {
+    let profile = profile_app(app, tuner.system())?;
+    let mut engine = TrialEngine::new(app, tuner.system(), &profile);
+    let (journal, recovery) = TrialJournal::open(journal_path, engine.context_fingerprint())?;
+    let replayed = engine.attach_journal(journal, &recovery.records);
+    let seeded = revalidate_in(&engine, tuner, previous);
+    let tuned = tuner.tune_with_engine(&engine);
+    let stats = engine.stats();
+    Ok(DriftReport {
+        tuned,
+        previous: seeded,
+        replayed,
+        stats,
+        recovery,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inspector::SystemInspector;
+    use crate::recovery::tune_durable;
+    use prescaler_faults::FaultPlan;
+    use prescaler_polybench::{BenchKind, PolyApp};
+    use prescaler_sim::SystemModel;
+    use std::path::PathBuf;
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("prescaler_drift_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}.wal"))
+    }
+
+    #[test]
+    fn valid_spec_revalidates_on_its_own_system() {
+        let system = SystemModel::system1();
+        let db = SystemInspector::inspect(&system);
+        let tuner = PreScaler::new(&system, &db, 0.9);
+        let app = PolyApp::tiny(BenchKind::Gemm);
+        let tuned = tuner.tune(&app).unwrap();
+        let r = revalidate(&tuner, &app, &tuned.config, tuned.system_fingerprint).unwrap();
+        assert_eq!(r.verdict, DriftVerdict::Valid, "{r:?}");
+        let oracle = r.oracle.unwrap();
+        assert!(oracle.quality >= 0.9);
+    }
+
+    #[test]
+    fn foreign_hardware_short_circuits_without_running() {
+        let system2 = SystemModel::system2();
+        let db2 = SystemInspector::inspect(&system2);
+        let tuner2 = PreScaler::new(&system2, &db2, 0.9);
+        let app = PolyApp::tiny(BenchKind::Gemm);
+        let r = revalidate(
+            &tuner2,
+            &app,
+            &ScalingSpec::baseline(),
+            SystemModel::system1().fingerprint(),
+        )
+        .unwrap();
+        assert_eq!(r.verdict, DriftVerdict::ForeignSystem);
+        assert!(r.oracle.is_none() && r.observed.is_none());
+    }
+
+    #[test]
+    fn lost_device_makes_a_spec_unrunnable() {
+        let system = SystemModel::system1();
+        let db = SystemInspector::inspect(&system);
+        let tuner = PreScaler::new(&system, &db, 0.9);
+        let app = PolyApp::tiny(BenchKind::Gemm);
+        let tuned = tuner.tune(&app).unwrap();
+        // The device disappears: every on-system run dies, while the
+        // oracle (clean-twin) namespace still scores quality.
+        let gone = system
+            .clone()
+            .with_faults(FaultPlan::seeded(7).with_device_loss(1.0));
+        let db_gone = SystemInspector::inspect(&system);
+        let tuner_gone = PreScaler::new(&gone, &db_gone, 0.9);
+        let r = revalidate(&tuner_gone, &app, &tuned.config, tuned.system_fingerprint).unwrap();
+        assert_eq!(r.verdict, DriftVerdict::Unrunnable, "{r:?}");
+        assert!(r.observed.is_none());
+    }
+
+    #[test]
+    fn warm_retune_matches_cold_and_charges_strictly_less() {
+        let clean = SystemModel::system1();
+        let db = SystemInspector::inspect(&clean);
+        let app = PolyApp::tiny(BenchKind::Gemm);
+        let previous = PreScaler::new(&clean, &db, 0.9).tune(&app).unwrap();
+
+        // The system drifts: the GPU starts throttling mid-serve.
+        let drifted = clean
+            .clone()
+            .with_faults(FaultPlan::seeded(11).with_throttle(0.4, 0.5));
+        let tuner = PreScaler::new(&drifted, &db, 0.9);
+
+        let path = temp_journal("warm_vs_cold");
+        std::fs::remove_file(&path).ok();
+        let cold = tune_durable(&tuner, &app, &path).unwrap();
+        assert!(cold.stats.executions > 2);
+
+        let warm = retune_warm(&tuner, &app, &previous.config, &path).unwrap();
+        assert!(warm.replayed > 0, "the cold tune's journal must replay");
+        assert_eq!(warm.tuned.config, cold.tuned.config, "bit-identical spec");
+        assert_eq!(warm.tuned.eval.time, cold.tuned.eval.time);
+        assert_eq!(
+            warm.tuned.eval.quality.to_bits(),
+            cold.tuned.eval.quality.to_bits()
+        );
+        assert!(
+            warm.stats.executions < cold.stats.executions,
+            "warm {} !< cold {}",
+            warm.stats.executions,
+            cold.stats.executions
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_journal_never_warms_a_tune() {
+        let system = SystemModel::system1();
+        let db = SystemInspector::inspect(&system);
+        let tuner = PreScaler::new(&system, &db, 0.9);
+        let app = PolyApp::tiny(BenchKind::Gemm);
+        let path = temp_journal("foreign_warm");
+        TrialJournal::create(&path, 0xF0E1).unwrap();
+        let err = retune_warm(&tuner, &app, &ScalingSpec::baseline(), &path).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TuneError::Persist(prescaler_persist::PersistError::ContextMismatch { .. })
+            ),
+            "{err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

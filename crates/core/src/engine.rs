@@ -117,6 +117,9 @@ impl<'a> TrialEngine<'a> {
         let mut base = Fnv::new();
         base.bytes(app.name().as_bytes());
         base.bytes(system.name.as_bytes());
+        // Hardware identity, not just the label: a journal recorded on
+        // one machine must never replay into a tune for different metal.
+        base.u64(system.fingerprint());
         let engine = TrialEngine {
             app,
             system,

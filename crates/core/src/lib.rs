@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod drift;
 pub mod engine;
 pub mod inspector;
 pub mod profiler;
@@ -48,6 +49,7 @@ pub mod report;
 pub mod search;
 pub mod search_space;
 
+pub use drift::{retune_warm, revalidate, DriftReport, DriftVerdict, Revalidation};
 pub use engine::{TrialEngine, TrialStats};
 pub use inspector::{DbError, InspectorDb, SystemInspector};
 pub use profiler::{profile_app, AppProfile};

@@ -78,11 +78,14 @@ pub fn profile_app(app: &dyn HostApp, system: &SystemModel) -> Result<AppProfile
             })
             .map(|(_, l)| l)
             .collect();
+        // total_cmp: a fault-corrupted (NaN) total must still produce a
+        // deterministic median pick, never a panic or an order that
+        // depends on the sort algorithm's treatment of incomparables.
         samples.sort_by(|a, b| {
             a.timeline
                 .total()
-                .partial_cmp(&b.timeline.total())
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .as_secs()
+                .total_cmp(&b.timeline.total().as_secs())
         });
         let n = samples.len();
         (n > 0).then(|| samples.swap_remove(n / 2))

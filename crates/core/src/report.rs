@@ -366,6 +366,10 @@ pub struct TunedSnapshot {
     pub cache_hits: usize,
     /// The target output quality the run was tuned against.
     pub toq: f64,
+    /// Hardware fingerprint of the system the spec was tuned on —
+    /// checked on load so a snapshot can never silently serve decisions
+    /// made for different hardware.
+    pub system_fingerprint: u64,
 }
 
 impl Tuned {
@@ -381,6 +385,7 @@ impl Tuned {
             trials: self.trials,
             cache_hits: self.cache_hits,
             toq: self.toq,
+            system_fingerprint: self.system_fingerprint,
         }
     }
 
@@ -397,13 +402,40 @@ impl Tuned {
     }
 
     /// Loads a previously saved result snapshot, verifying the container
-    /// (magic, version, kind, CRCs) before decoding.
+    /// (magic, version, kind, CRCs) *and* that the snapshot was tuned on
+    /// `system`'s hardware before decoding is trusted — a spec tuned on
+    /// another system must be a typed error, never a silently mis-served
+    /// configuration.
     ///
     /// # Errors
     ///
     /// The container's taxonomy (truncation, checksum, kind, version
-    /// mismatches) plus [`PersistError::Decode`] for malformed payloads.
-    pub fn load(path: &Path) -> Result<TunedSnapshot, PersistError> {
+    /// mismatches), [`PersistError::Decode`] for malformed payloads, and
+    /// [`PersistError::ContextMismatch`] when the snapshot's system
+    /// fingerprint is not `system`'s.
+    pub fn load(
+        path: &Path,
+        system: &prescaler_sim::SystemModel,
+    ) -> Result<TunedSnapshot, PersistError> {
+        let snap = Tuned::load_unchecked(path)?;
+        let expected = system.fingerprint();
+        if snap.system_fingerprint != expected {
+            return Err(PersistError::ContextMismatch {
+                expected,
+                got: snap.system_fingerprint,
+            });
+        }
+        Ok(snap)
+    }
+
+    /// [`Tuned::load`] without the system-fingerprint check — for
+    /// cross-system reporting tools that inspect foreign snapshots on
+    /// purpose. Serving paths should always use the checked load.
+    ///
+    /// # Errors
+    ///
+    /// The container's taxonomy plus [`PersistError::Decode`].
+    pub fn load_unchecked(path: &Path) -> Result<TunedSnapshot, PersistError> {
         let payload = snapshot::load(path, snapshot::KIND_TUNED)?;
         serde_json::from_slice(&payload).map_err(|e| PersistError::Decode(e.to_string()))
     }
@@ -496,7 +528,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("gemm.snap");
         tuned.save(&path).unwrap();
-        let loaded = Tuned::load(&path).unwrap();
+        let loaded = Tuned::load(&path, &system).unwrap();
         assert_eq!(loaded, tuned.snapshot());
         assert_eq!(loaded.config.to_spec(), tuned.config);
         assert_eq!(
@@ -513,6 +545,38 @@ mod tests {
             crate::inspector::InspectorDb::load(&path),
             Err(PersistError::WrongKind { .. })
         ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tuned_snapshot_refuses_a_foreign_system() {
+        use crate::inspector::SystemInspector;
+        use crate::search::PreScaler;
+        let system1 = SystemModel::system1();
+        let db = SystemInspector::inspect(&system1);
+        let tuned = PreScaler::new(&system1, &db, 0.9)
+            .tune(&PolyApp::tiny(BenchKind::Gemm))
+            .unwrap();
+        let dir = std::env::temp_dir().join("prescaler_tuned_foreign");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gemm.snap");
+        tuned.save(&path).unwrap();
+        // A spec tuned on System 1 must not load for System 2's hardware…
+        let system2 = SystemModel::system2();
+        let err = Tuned::load(&path, &system2).unwrap_err();
+        match err {
+            PersistError::ContextMismatch { expected, got } => {
+                assert_eq!(expected, system2.fingerprint());
+                assert_eq!(got, system1.fingerprint());
+            }
+            other => panic!("expected ContextMismatch, got {other}"),
+        }
+        // …but a relabeled or drifting copy of System 1 is the same metal.
+        let mut relabeled = SystemModel::system1();
+        relabeled.name = "System 1 (relabeled)".into();
+        assert!(Tuned::load(&path, &relabeled).is_ok());
+        // The unchecked load stays available for cross-system reporting.
+        assert!(Tuned::load_unchecked(&path).is_ok());
         std::fs::remove_file(&path).ok();
     }
 

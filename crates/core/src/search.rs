@@ -59,6 +59,11 @@ pub struct Tuned {
     /// carried with the config so guarded serving can enforce the same
     /// floor without re-deriving it.
     pub toq: f64,
+    /// Hardware fingerprint of the system this configuration was tuned
+    /// on ([`SystemModel::fingerprint`]) — the paper's crossovers move
+    /// between systems, so a spec is only meaningful together with the
+    /// system it was decided against.
+    pub system_fingerprint: u64,
 }
 
 impl Tuned {
@@ -197,6 +202,7 @@ impl<'a> PreScaler<'a> {
             cache_hits: after.cache_hits - before.cache_hits,
             profile: profile.clone(),
             toq: self.toq,
+            system_fingerprint: self.system.fingerprint(),
         }
     }
 

@@ -44,16 +44,28 @@ pub enum FaultKind {
     /// A production run's inputs drift away from the tuning distribution
     /// (modeled as a multiplicative gain on the generated input data).
     InputDrift,
+    /// The GPU thermally throttles: a kernel launch executes at a reduced
+    /// effective clock (system drift, not measurement noise).
+    Throttle,
+    /// The PCIe link degrades: a transfer moves at a reduced effective
+    /// bandwidth (link retraining, lane drop, contention).
+    BandwidthDrop,
+    /// The device falls off the bus mid-operation — a *fatal*, non-
+    /// retryable loss, unlike the transient transfer/launch bounces.
+    DeviceLost,
 }
 
 impl FaultKind {
-    const ALL: [FaultKind; 6] = [
+    const ALL: [FaultKind; 9] = [
         FaultKind::Transfer,
         FaultKind::KernelLaunch,
         FaultKind::BufferCorruption,
         FaultKind::DbGridCorruption,
         FaultKind::ClockNoise,
         FaultKind::InputDrift,
+        FaultKind::Throttle,
+        FaultKind::BandwidthDrop,
+        FaultKind::DeviceLost,
     ];
 
     fn index(self) -> usize {
@@ -64,6 +76,9 @@ impl FaultKind {
             FaultKind::DbGridCorruption => 3,
             FaultKind::ClockNoise => 4,
             FaultKind::InputDrift => 5,
+            FaultKind::Throttle => 6,
+            FaultKind::BandwidthDrop => 7,
+            FaultKind::DeviceLost => 8,
         }
     }
 
@@ -77,6 +92,9 @@ impl FaultKind {
             0xAAAA_AAAA_AAAA_AAAB,
             0x6A09_E667_F3BC_C909,
             0xB7E1_5162_8AED_2A6B,
+            0x3C6E_F372_FE94_F82B,
+            0xA54F_F53A_5F1D_36F1,
+            0x510E_527F_ADE6_82D1,
         ][self.index()]
     }
 }
@@ -134,6 +152,19 @@ pub struct FaultConfig {
     /// scaled by a gain in `[1 + m/2, 1 + m]` (`m = 0` means no drift even
     /// when the rate fires).
     pub input_drift_magnitude: f64,
+    /// Probability a kernel launch executes thermally throttled.
+    pub throttle_rate: f64,
+    /// Depth of the throttle curve: a throttled launch runs at an
+    /// effective clock factor in `[1 - d, 1 - d/2]` (`d = 0` means no
+    /// throttling even when the rate fires).
+    pub throttle_depth: f64,
+    /// Probability a transfer moves over a degraded PCIe link.
+    pub bandwidth_drop_rate: f64,
+    /// Depth of the bandwidth drop: a degraded transfer sees an effective
+    /// bandwidth factor in `[1 - d, 1 - d/2]` (`d = 0` disables the kind).
+    pub bandwidth_drop_depth: f64,
+    /// Probability a device operation finds the device gone (fatal).
+    pub device_loss_rate: f64,
 }
 
 impl Default for FaultConfig {
@@ -147,6 +178,11 @@ impl Default for FaultConfig {
             clock_noise: 0.0,
             input_drift_rate: 0.0,
             input_drift_magnitude: 0.0,
+            throttle_rate: 0.0,
+            throttle_depth: 0.0,
+            bandwidth_drop_rate: 0.0,
+            bandwidth_drop_depth: 0.0,
+            device_loss_rate: 0.0,
         }
     }
 }
@@ -166,6 +202,21 @@ impl FaultConfig {
                     0.0
                 }
             }
+            FaultKind::Throttle => {
+                if self.throttle_depth > 0.0 {
+                    self.throttle_rate
+                } else {
+                    0.0
+                }
+            }
+            FaultKind::BandwidthDrop => {
+                if self.bandwidth_drop_depth > 0.0 {
+                    self.bandwidth_drop_rate
+                } else {
+                    0.0
+                }
+            }
+            FaultKind::DeviceLost => self.device_loss_rate,
         }
     }
 
@@ -187,7 +238,7 @@ pub struct FaultPlan {
 }
 
 #[derive(Debug, Default)]
-struct Counters([AtomicU64; 6]);
+struct Counters([AtomicU64; 9]);
 
 impl PartialEq for FaultPlan {
     fn eq(&self, other: &FaultPlan) -> bool {
@@ -272,6 +323,33 @@ impl FaultPlan {
     pub fn with_input_drift(mut self, rate: f64, magnitude: f64) -> FaultPlan {
         self.config.input_drift_rate = rate;
         self.config.input_drift_magnitude = magnitude;
+        self
+    }
+
+    /// Sets the thermal-throttle rate and curve depth. A throttled kernel
+    /// launch executes at an effective clock factor in `[1 - depth,
+    /// 1 - depth/2]`.
+    #[must_use]
+    pub fn with_throttle(mut self, rate: f64, depth: f64) -> FaultPlan {
+        self.config.throttle_rate = rate;
+        self.config.throttle_depth = depth;
+        self
+    }
+
+    /// Sets the PCIe bandwidth-drop rate and depth. A degraded transfer
+    /// moves at an effective bandwidth factor in `[1 - depth,
+    /// 1 - depth/2]`.
+    #[must_use]
+    pub fn with_bandwidth_drop(mut self, rate: f64, depth: f64) -> FaultPlan {
+        self.config.bandwidth_drop_rate = rate;
+        self.config.bandwidth_drop_depth = depth;
+        self
+    }
+
+    /// Sets the device-loss rate (fatal, non-retryable).
+    #[must_use]
+    pub fn with_device_loss(mut self, rate: f64) -> FaultPlan {
+        self.config.device_loss_rate = rate;
         self
     }
 
@@ -400,6 +478,45 @@ impl FaultPlan {
         let m = self.config.input_drift_magnitude;
         let u = unit(self.draw(FaultKind::InputDrift));
         1.0 + m * (0.5 + 0.5 * u)
+    }
+
+    /// Effective GPU clock factor for the next kernel launch.
+    ///
+    /// Exactly `1.0` when throttling is disabled or the launch is not
+    /// selected; otherwise uniform in `[1 - d, 1 - d/2]` for depth `d`,
+    /// clamped to stay positive — the seeded equivalent of a thermal
+    /// throttle curve biting on this launch.
+    #[must_use]
+    pub fn throttle_factor(&self) -> f64 {
+        if !self.fires(FaultKind::Throttle) {
+            return 1.0;
+        }
+        let d = self.config.throttle_depth;
+        let u = unit(self.draw(FaultKind::Throttle));
+        (1.0 - d * (0.5 + 0.5 * u)).max(0.05)
+    }
+
+    /// Effective PCIe bandwidth factor for the next transfer.
+    ///
+    /// Exactly `1.0` when the kind is disabled or the transfer is not
+    /// selected; otherwise uniform in `[1 - d, 1 - d/2]` for depth `d`,
+    /// clamped to stay positive.
+    #[must_use]
+    pub fn bandwidth_factor(&self) -> f64 {
+        if !self.fires(FaultKind::BandwidthDrop) {
+            return 1.0;
+        }
+        let d = self.config.bandwidth_drop_depth;
+        let u = unit(self.draw(FaultKind::BandwidthDrop));
+        (1.0 - d * (0.5 + 0.5 * u)).max(0.05)
+    }
+
+    /// Is the device gone for the next operation? Unlike the transient
+    /// transfer/launch bounces this is fatal: the runtime surfaces it as a
+    /// non-retryable error instead of riding it out.
+    #[must_use]
+    pub fn device_lost(&self) -> bool {
+        self.fires(FaultKind::DeviceLost)
     }
 }
 
@@ -533,7 +650,8 @@ impl fmt::Display for FaultPlan {
         }
         write!(
             f,
-            "faults: seed={} transfer={} launch={} corrupt={} db={} noise={} drift={}x{}",
+            "faults: seed={} transfer={} launch={} corrupt={} db={} noise={} drift={}x{} \
+             throttle={}x{} bwdrop={}x{} devloss={}",
             c.seed,
             c.transfer_failure_rate,
             c.launch_failure_rate,
@@ -541,7 +659,12 @@ impl fmt::Display for FaultPlan {
             c.db_corruption_rate,
             c.clock_noise,
             c.input_drift_rate,
-            c.input_drift_magnitude
+            c.input_drift_magnitude,
+            c.throttle_rate,
+            c.throttle_depth,
+            c.bandwidth_drop_rate,
+            c.bandwidth_drop_depth,
+            c.device_loss_rate
         )
     }
 }
@@ -568,6 +691,16 @@ impl serde::Serialize for FaultPlan {
         serde::Serialize::serialize(&c.input_drift_rate, out);
         out.push_str(",\"input_drift_magnitude\":");
         serde::Serialize::serialize(&c.input_drift_magnitude, out);
+        out.push_str(",\"throttle_rate\":");
+        serde::Serialize::serialize(&c.throttle_rate, out);
+        out.push_str(",\"throttle_depth\":");
+        serde::Serialize::serialize(&c.throttle_depth, out);
+        out.push_str(",\"bandwidth_drop_rate\":");
+        serde::Serialize::serialize(&c.bandwidth_drop_rate, out);
+        out.push_str(",\"bandwidth_drop_depth\":");
+        serde::Serialize::serialize(&c.bandwidth_drop_depth, out);
+        out.push_str(",\"device_loss_rate\":");
+        serde::Serialize::serialize(&c.device_loss_rate, out);
         out.push('}');
     }
 }
@@ -597,6 +730,12 @@ impl serde::Deserialize for FaultPlan {
             // Absent in pre-drift snapshots: defaults keep them inert.
             input_drift_rate: f("input_drift_rate")?,
             input_drift_magnitude: f("input_drift_magnitude")?,
+            // Absent in pre-system-drift snapshots: same inert defaults.
+            throttle_rate: f("throttle_rate")?,
+            throttle_depth: f("throttle_depth")?,
+            bandwidth_drop_rate: f("bandwidth_drop_rate")?,
+            bandwidth_drop_depth: f("bandwidth_drop_depth")?,
+            device_loss_rate: f("device_loss_rate")?,
         }))
     }
 
@@ -734,6 +873,58 @@ mod tests {
         assert!((50..150).contains(&drifted), "drifted {drifted}/200");
         let c = FaultPlan::seeded(22).with_input_drift(0.5, 2.0);
         assert_ne!(replay, collect(&c), "different seed, different stream");
+    }
+
+    #[test]
+    fn inert_system_drift_is_exactly_identity() {
+        let plan = FaultPlan::none();
+        for _ in 0..100 {
+            assert!(plan.throttle_factor() == 1.0);
+            assert!(plan.bandwidth_factor() == 1.0);
+            assert!(!plan.device_lost());
+        }
+        // Depth zero keeps the curve kinds inert even with positive rates.
+        let rate_only = FaultPlan::seeded(5)
+            .with_throttle(1.0, 0.0)
+            .with_bandwidth_drop(1.0, 0.0);
+        assert!(rate_only.is_inert());
+        assert!(rate_only.throttle_factor() == 1.0);
+        assert!(rate_only.bandwidth_factor() == 1.0);
+    }
+
+    #[test]
+    fn drift_kinds_are_seeded_and_bounded() {
+        let collect = |plan: &FaultPlan| -> (Vec<f64>, Vec<f64>, Vec<bool>) {
+            (
+                (0..200).map(|_| plan.throttle_factor()).collect(),
+                (0..200).map(|_| plan.bandwidth_factor()).collect(),
+                (0..200).map(|_| plan.device_lost()).collect(),
+            )
+        };
+        let build = |seed: u64| {
+            FaultPlan::seeded(seed)
+                .with_throttle(0.5, 0.4)
+                .with_bandwidth_drop(0.5, 0.6)
+                .with_device_loss(0.3)
+        };
+        let (ta, ba, la) = collect(&build(21));
+        let (tb, bb, lb) = collect(&build(21));
+        assert_eq!(ta, tb, "same seed, same throttle stream");
+        assert_eq!(ba, bb, "same seed, same bandwidth stream");
+        assert_eq!(la, lb, "same seed, same loss stream");
+        for t in ta.iter().filter(|t| **t != 1.0) {
+            assert!((0.6..=0.8).contains(t), "throttle {t} outside [1-d, 1-d/2]");
+        }
+        for b in ba.iter().filter(|b| **b != 1.0) {
+            assert!(
+                (0.4..=0.7).contains(b),
+                "bandwidth {b} outside [1-d, 1-d/2]"
+            );
+        }
+        let lost = la.iter().filter(|l| **l).count();
+        assert!((30..100).contains(&lost), "lost {lost}/200");
+        let (tc, bc, lc) = collect(&build(22));
+        assert!(ta != tc || ba != bc || la != lc, "seeds must decorrelate");
     }
 
     #[test]

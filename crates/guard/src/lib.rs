@@ -26,6 +26,16 @@
 //!   run fails outright), the guard falls back to the full-precision
 //!   baseline spec — sticky — so guarded serving quality never ends below
 //!   the TOQ the configuration was tuned for.
+//! * **Performance sentinel**: per-kernel latency envelopes learned from
+//!   the same clean full-precision reference run. A tuned configuration
+//!   was accepted because it *beat the baseline on this system*; when the
+//!   system itself drifts (thermal throttling, a dying link), kernel
+//!   launches blow past their envelopes run after run. Sustained
+//!   breaches — or a fatal [`OclError::DeviceLost`] — engage the sticky
+//!   fallback and raise [`Guard::revalidation_due`], telling the serving
+//!   harness to replay the acceptance oracle
+//!   ([`prescaler_core::revalidate`]) and, if the spec no longer holds,
+//!   warm-start a re-tune ([`prescaler_core::retune_warm`]).
 //!
 //! # Determinism
 //!
@@ -63,6 +73,14 @@ pub struct GuardPolicy {
     pub cooldown_runs: u32,
     /// Total demotions after which the global breaker trips.
     pub max_demotions: u64,
+    /// Latency envelope = `latency_factor` × the slowest clean-reference
+    /// launch of each kernel; scaled kernels are never slower than the
+    /// full-precision reference on a healthy system, so any launch beyond
+    /// it is evidence the *system* changed, not the workload.
+    pub latency_factor: f64,
+    /// Consecutive runs with latency-envelope breaches before the guard
+    /// fails over to the baseline and demands revalidation.
+    pub latency_violation_threshold: u32,
 }
 
 impl Default for GuardPolicy {
@@ -74,6 +92,8 @@ impl Default for GuardPolicy {
             canary_every: 4,
             cooldown_runs: 3,
             max_demotions: 8,
+            latency_factor: 3.0,
+            latency_violation_threshold: 3,
         }
     }
 }
@@ -135,6 +155,23 @@ pub enum GuardAction {
     /// The global breaker tripped: the guard now serves the full-precision
     /// baseline configuration (sticky).
     FallbackEngaged,
+    /// The performance sentinel concluded the *system* drifted out from
+    /// under the tuned configuration; the serving harness should replay
+    /// the acceptance oracle and re-tune if it fails.
+    RevalidationRequested {
+        /// What tripped the sentinel.
+        reason: RevalidationReason,
+    },
+}
+
+/// Why the performance sentinel demanded revalidation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RevalidationReason {
+    /// Kernel launches breached their latency envelopes for
+    /// [`GuardPolicy::latency_violation_threshold`] consecutive runs.
+    SustainedLatency,
+    /// A production run died with a fatal [`OclError::DeviceLost`].
+    DeviceLost,
 }
 
 /// One action with the production run it happened on (1-based).
@@ -157,6 +194,8 @@ pub struct RunVerdict {
     pub nonfinite: usize,
     /// Finite output elements outside the magnitude envelope.
     pub envelope_breaches: usize,
+    /// Kernel launches that exceeded their learned latency envelope.
+    pub latency_breaches: usize,
     /// Quality of this run against its full-precision canary, when one
     /// was scored.
     pub canary_quality: Option<f64>,
@@ -189,6 +228,10 @@ pub struct GuardReport {
     pub degraded_time: SimTime,
     /// Whether the global breaker tripped.
     pub fallback: bool,
+    /// Kernel launches beyond their latency envelope, session-total.
+    pub latency_breaches: u64,
+    /// Times the performance sentinel demanded revalidation.
+    pub revalidations_requested: u64,
     /// Quality of the most recent canary-scored run.
     pub last_canary_quality: Option<f64>,
     /// Accumulated production timeline; canary cost lands exclusively in
@@ -262,6 +305,9 @@ pub struct Guard {
     tuned: ScalingSpec,
     active: ScalingSpec,
     envelope: Vec<(String, f64)>,
+    latency_envelope: Vec<(String, f64)>,
+    latency_strikes: u32,
+    revalidation_due: bool,
     breakers: Vec<ObjectBreaker>,
     fallback: bool,
     report: GuardReport,
@@ -301,6 +347,23 @@ impl Guard {
             })
             .collect();
 
+        // Per-kernel latency envelopes from the same reference run. The
+        // reference is full precision on the clean twin, and precision
+        // scaling only ever *shrinks* kernel time in the cost model, so
+        // `latency_factor` × the slowest reference launch bounds every
+        // healthy launch of that kernel from above.
+        let mut latency_envelope: Vec<(String, f64)> = Vec::new();
+        for event in &log.events {
+            let prescaler_ocl::Event::KernelLaunch { kernel, time, .. } = event else {
+                continue;
+            };
+            let bound = policy.latency_factor * time.as_secs();
+            match latency_envelope.iter_mut().find(|(k, _)| k == kernel) {
+                Some((_, e)) => *e = e.max(bound),
+                None => latency_envelope.push((kernel.clone(), bound)),
+            }
+        }
+
         // Breakers in descending effective-time order: when a violation
         // cannot be pinned on an output object, the costliest scaled
         // object is the deterministic first suspect.
@@ -331,6 +394,9 @@ impl Guard {
             active: tuned.clone(),
             tuned,
             envelope,
+            latency_envelope,
+            latency_strikes: 0,
+            revalidation_due: false,
             breakers,
             fallback: false,
             report: GuardReport::default(),
@@ -347,6 +413,25 @@ impl Guard {
     #[must_use]
     pub fn fallback_active(&self) -> bool {
         self.fallback
+    }
+
+    /// Whether the performance sentinel has demanded revalidation of the
+    /// tuned configuration against the (possibly drifted) system. The
+    /// serving harness should answer with [`prescaler_core::revalidate`]
+    /// and, on failure, [`prescaler_core::retune_warm`], then acknowledge
+    /// via [`Guard::acknowledge_revalidation`].
+    #[must_use]
+    pub fn revalidation_due(&self) -> bool {
+        self.revalidation_due
+    }
+
+    /// Clears the revalidation flag and the consecutive-breach counter
+    /// after the harness has revalidated (or re-tuned). The sticky
+    /// fallback is *not* released — a re-tuned spec starts a fresh
+    /// [`Guard`].
+    pub fn acknowledge_revalidation(&mut self) {
+        self.revalidation_due = false;
+        self.latency_strikes = 0;
     }
 
     /// The cumulative report so far.
@@ -404,9 +489,13 @@ impl Guard {
         let mut quality = 0.0;
         for _ in 0..max_rounds {
             let verdict = self.run_once(&app, gain, true)?;
-            quality = verdict
-                .canary_quality
-                .expect("forced canary always scores the run");
+            // A forced canary always scores the run; if that invariant
+            // ever broke, keep serving (and retrying) instead of
+            // panicking mid-session.
+            let Some(q) = verdict.canary_quality else {
+                continue;
+            };
+            quality = q;
             if quality >= self.policy.toq || self.fallback {
                 return Ok(quality);
             }
@@ -425,6 +514,15 @@ impl Guard {
 
         let (outputs, log) = match run_app(app, &self.system, &self.active) {
             Ok(ok) => ok,
+            Err(e @ OclError::DeviceLost { .. }) => {
+                // The device vanished mid-serve. No precision rollback can
+                // buy that back and a retry would talk to the same missing
+                // metal: fail over, demand revalidation, and surface the
+                // fatal error to the serving harness.
+                self.engage_fallback(run, &mut actions);
+                self.request_revalidation(run, RevalidationReason::DeviceLost, &mut actions);
+                return Err(e);
+            }
             Err(_) if !self.fallback && !self.active.is_baseline() => {
                 // A scaled production run died (exhausted retries, spec
                 // bug…): degrade to the baseline and serve from there.
@@ -453,6 +551,36 @@ impl Guard {
                     breaches += 1;
                 }
             }
+        }
+
+        // Performance sentinel: compare every launch against its learned
+        // envelope. A breach is a symptom of the *system* (throttling, a
+        // starved link), not the workload, so it never demotes precision —
+        // sustained breaches fail over and demand revalidation instead.
+        let mut latency_breaches = 0usize;
+        for event in &log.events {
+            let prescaler_ocl::Event::KernelLaunch { kernel, time, .. } = event else {
+                continue;
+            };
+            let breached = self
+                .latency_envelope
+                .iter()
+                .any(|(k, e)| k == kernel && time.as_secs() > *e);
+            if breached {
+                latency_breaches += 1;
+            }
+        }
+        self.report.latency_breaches += latency_breaches as u64;
+        if latency_breaches > 0 {
+            self.latency_strikes += 1;
+            if self.latency_strikes >= self.policy.latency_violation_threshold
+                && !self.revalidation_due
+            {
+                self.engage_fallback(run, &mut actions);
+                self.request_revalidation(run, RevalidationReason::SustainedLatency, &mut actions);
+            }
+        } else {
+            self.latency_strikes = 0;
         }
 
         let probing = self
@@ -498,6 +626,7 @@ impl Guard {
             gain,
             nonfinite,
             envelope_breaches: breaches,
+            latency_breaches,
             canary_quality,
             actions,
             degraded,
@@ -664,6 +793,23 @@ impl Guard {
         }
     }
 
+    /// Raises the revalidation flag at most once per serving session
+    /// (until acknowledged), so the harness gets one actionable signal,
+    /// not one per breached run.
+    fn request_revalidation(
+        &mut self,
+        run: u64,
+        reason: RevalidationReason,
+        actions: &mut Vec<GuardAction>,
+    ) {
+        if self.revalidation_due {
+            return;
+        }
+        self.revalidation_due = true;
+        self.report.revalidations_requested += 1;
+        self.push_action(run, GuardAction::RevalidationRequested { reason }, actions);
+    }
+
     fn engage_fallback(&mut self, run: u64, actions: &mut Vec<GuardAction>) {
         if self.fallback {
             return;
@@ -723,10 +869,13 @@ mod tests {
             assert_eq!(v.timeline, log.timeline, "per-run timelines must match");
             assert!(!v.degraded);
             assert!(v.actions.is_empty());
+            assert_eq!(v.latency_breaches, 0, "healthy launches stay in envelope");
         }
         assert_eq!(guard.report().runs, 6);
         assert_eq!(guard.report().demotions, 0);
+        assert_eq!(guard.report().latency_breaches, 0);
         assert!(!guard.fallback_active());
+        assert!(!guard.revalidation_due());
     }
 
     #[test]
@@ -792,6 +941,90 @@ mod tests {
                 "clean runs must probe the breaker back toward the tuned spec"
             );
         }
+    }
+
+    #[test]
+    fn thermal_throttle_trips_the_performance_sentinel() {
+        // Every launch runs at <= 0.5x clock: the compute-bound GEMM
+        // kernel blows past its latency envelope run after run, and after
+        // two consecutive breached runs the guard fails over to the
+        // baseline and demands revalidation — without ever touching the
+        // precision breakers (slowness is not a quality problem).
+        let throttled = FaultPlan::seeded(5).with_throttle(1.0, 1.0);
+        let system = SystemModel::system1().with_faults(throttled);
+        let app = PolyApp::new(BenchKind::Gemm, Dims::square(64), InputSet::Random, 7);
+        let policy = GuardPolicy {
+            latency_factor: 1.5,
+            latency_violation_threshold: 2,
+            ..GuardPolicy::default()
+        };
+        let mut guard = Guard::new(&app, &system, half_spec(), policy).unwrap();
+
+        let first = guard
+            .run_production(|gain| {
+                PolyApp::new(BenchKind::Gemm, Dims::square(64), InputSet::Random, 7)
+                    .with_input_gain(gain)
+            })
+            .unwrap();
+        assert!(first.latency_breaches > 0, "throttled launch must breach");
+        assert!(!guard.revalidation_due(), "one breach is not sustained");
+
+        let second = guard
+            .run_production(|gain| {
+                PolyApp::new(BenchKind::Gemm, Dims::square(64), InputSet::Random, 7)
+                    .with_input_gain(gain)
+            })
+            .unwrap();
+        assert!(second.latency_breaches > 0);
+        assert!(guard.revalidation_due(), "two consecutive breaches are");
+        assert!(guard.fallback_active(), "failover precedes re-tuning");
+        assert!(second.actions.iter().any(|a| matches!(
+            a,
+            GuardAction::RevalidationRequested {
+                reason: RevalidationReason::SustainedLatency
+            }
+        )));
+        assert_eq!(guard.report().demotions, 0, "no precision was demoted");
+        assert_eq!(guard.report().revalidations_requested, 1);
+
+        // The signal is raised once, not per breached run…
+        guard
+            .run_production(|gain| {
+                PolyApp::new(BenchKind::Gemm, Dims::square(64), InputSet::Random, 7)
+                    .with_input_gain(gain)
+            })
+            .unwrap();
+        assert_eq!(guard.report().revalidations_requested, 1);
+        // …and acknowledging clears the flag and the strike counter.
+        guard.acknowledge_revalidation();
+        assert!(!guard.revalidation_due());
+        assert!(guard.fallback_active(), "the fallback stays sticky");
+    }
+
+    #[test]
+    fn lost_device_fails_over_and_demands_revalidation() {
+        let dying = FaultPlan::seeded(3).with_device_loss(1.0);
+        let system = SystemModel::system1().with_faults(dying);
+        let app = gemm_app();
+        // Guard::new succeeds: the reference runs on the clean twin.
+        let mut guard = Guard::new(&app, &system, half_spec(), GuardPolicy::default()).unwrap();
+
+        let err = guard
+            .run_production(|gain| gemm_app().with_input_gain(gain))
+            .unwrap_err();
+        assert!(matches!(err, OclError::DeviceLost { .. }), "got {err}");
+        assert!(guard.fallback_active(), "a lost device trips the breaker");
+        assert!(guard.revalidation_due());
+        assert!(guard.report().history.iter().any(|e| e.action
+            == GuardAction::RevalidationRequested {
+                reason: RevalidationReason::DeviceLost
+            }));
+
+        // Repeated failures do not re-raise the (unacknowledged) signal.
+        guard
+            .run_production(|gain| gemm_app().with_input_gain(gain))
+            .unwrap_err();
+        assert_eq!(guard.report().revalidations_requested, 1);
     }
 
     #[test]

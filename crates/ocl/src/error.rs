@@ -80,6 +80,14 @@ pub enum OclError {
         /// The budget that was exceeded.
         budget: SimTime,
     },
+    /// The device fell off the bus mid-operation. Fatal: unlike the
+    /// transient transfer/launch bounces there is nothing to retry
+    /// against — the caller must fail over and revalidate its tuning
+    /// decisions once a device is back.
+    DeviceLost {
+        /// Description of the operation that found the device gone.
+        what: String,
+    },
 }
 
 impl OclError {
@@ -132,6 +140,9 @@ impl fmt::Display for OclError {
             }
             OclError::Timeout { what, budget } => {
                 write!(f, "{what} timed out (budget {budget})")
+            }
+            OclError::DeviceLost { what } => {
+                write!(f, "device lost during {what}")
             }
         }
     }
@@ -209,6 +220,9 @@ mod tests {
             OclError::Timeout {
                 what: "launch gemm".into(),
                 budget: SimTime::from_micros(50.0),
+            },
+            OclError::DeviceLost {
+                what: "launch gemm".into(),
             },
             OclError::UnknownKernel("ghost".into()),
             OclError::InvalidBuffer(3),

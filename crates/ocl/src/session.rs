@@ -311,6 +311,11 @@ impl Session {
             buf.device_precision,
         );
         let label = buf.label.clone();
+        if self.system.faults.device_lost() {
+            return Err(OclError::DeviceLost {
+                what: format!("write `{label}`"),
+            });
+        }
         self.ride_out(
             &format!("write `{label}`"),
             FaultPlan::transfer_fails,
@@ -320,7 +325,11 @@ impl Session {
             },
         )?;
         let noise = self.system.faults.time_noise_factor();
-        let cost = plan.time(&self.system, host.len()).scaled(noise);
+        let bandwidth = self.system.faults.bandwidth_factor();
+        let cost = plan
+            .time(&self.system, host.len())
+            .at_bandwidth(bandwidth)
+            .scaled(noise);
         let mut data = plan.apply(host);
         self.maybe_corrupt(&mut data);
         let wire_bytes = host.len() * plan.intermediate.size_bytes();
@@ -347,6 +356,11 @@ impl Session {
             buf.declared,
         );
         let label = buf.label.clone();
+        if self.system.faults.device_lost() {
+            return Err(OclError::DeviceLost {
+                what: format!("read `{label}`"),
+            });
+        }
         self.ride_out(
             &format!("read `{label}`"),
             FaultPlan::transfer_fails,
@@ -357,7 +371,11 @@ impl Session {
         )?;
         let buf = self.buffer(id)?;
         let noise = self.system.faults.time_noise_factor();
-        let cost = plan.time(&self.system, buf.data.len()).scaled(noise);
+        let bandwidth = self.system.faults.bandwidth_factor();
+        let cost = plan
+            .time(&self.system, buf.data.len())
+            .at_bandwidth(bandwidth)
+            .scaled(noise);
         let mut out = plan.apply(&buf.data);
         self.maybe_corrupt(&mut out);
         let wire_bytes = buf.data.len() * plan.intermediate.size_bytes();
@@ -418,6 +436,11 @@ impl Session {
             .ok_or_else(|| OclError::UnknownKernel(name.to_owned()))?
             .clone();
 
+        if self.system.faults.device_lost() {
+            return Err(OclError::DeviceLost {
+                what: format!("launch `{name}`"),
+            });
+        }
         self.ride_out(
             &format!("launch `{name}`"),
             FaultPlan::launch_fails,
@@ -525,7 +548,16 @@ impl Session {
         }
         let counts = result?;
 
-        let time = self.system.gpu.kernel_time(&counts) * self.system.faults.time_noise_factor();
+        // System drift (thermal throttle, an *actual* slower clock) and
+        // measurement noise compose: the throttled device recomputes the
+        // roofline at the reduced clock, then noise perturbs the reading.
+        let throttle = self.system.faults.throttle_factor();
+        let gpu_time = if throttle == 1.0 {
+            self.system.gpu.kernel_time(&counts)
+        } else {
+            self.system.gpu.throttled(throttle).kernel_time(&counts)
+        };
+        let time = gpu_time * self.system.faults.time_noise_factor();
         let arg_map: Vec<(String, String)> = buffer_args
             .iter()
             .map(|(pname, id)| (pname.clone(), self.buffers[id.0].label.clone()))
@@ -580,6 +612,69 @@ mod tests {
         .unwrap();
         let out = s.enqueue_read(y).unwrap();
         (out, s.timeline())
+    }
+
+    fn run_on(system: SystemModel) -> Result<(FloatVec, Timeline), OclError> {
+        run_on_sized(system, 1024)
+    }
+
+    fn run_on_sized(system: SystemModel, n: usize) -> Result<(FloatVec, Timeline), OclError> {
+        let mut s = Session::new(system, vec_scale_program(), ScalingSpec::baseline());
+        let x = s.create_buffer("X", n, Precision::Double)?;
+        let y = s.create_buffer("Y", n, Precision::Double)?;
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        s.enqueue_write(x, &FloatVec::from_f64_slice(&xs, Precision::Double))?;
+        s.launch_kernel(
+            "vscale",
+            [n, 1],
+            &[
+                ("x", KernelArg::Buffer(x)),
+                ("y", KernelArg::Buffer(y)),
+                ("a", KernelArg::Float(3.0)),
+                ("n", KernelArg::Int(n as i64)),
+            ],
+        )?;
+        let out = s.enqueue_read(y)?;
+        Ok((out, s.timeline()))
+    }
+
+    #[test]
+    fn throttle_slows_kernels_but_not_results() {
+        // Big enough that per-element cost beats the fixed launch
+        // latency, and throttled deep enough that the reduced-clock
+        // compute side overtakes the (unthrottled) memory side of the
+        // roofline.
+        let n = 1 << 18;
+        let (clean_out, clean) = run_on_sized(SystemModel::system1(), n).unwrap();
+        let hot = SystemModel::system1().with_faults(FaultPlan::seeded(3).with_throttle(1.0, 1.0));
+        let (out, tl) = run_on_sized(hot, n).unwrap();
+        assert!(
+            tl.kernel > clean.kernel,
+            "{} !> {}",
+            tl.kernel,
+            clean.kernel
+        );
+        assert_eq!(tl.htod, clean.htod, "throttle must not touch transfers");
+        assert_eq!(out.get(10), clean_out.get(10), "drift is timing-only");
+    }
+
+    #[test]
+    fn bandwidth_drop_slows_transfers_but_not_kernels() {
+        let (_, clean) = run_on(SystemModel::system1()).unwrap();
+        let degraded =
+            SystemModel::system1().with_faults(FaultPlan::seeded(3).with_bandwidth_drop(1.0, 0.5));
+        let (_, tl) = run_on(degraded).unwrap();
+        assert!(tl.htod > clean.htod, "{} !> {}", tl.htod, clean.htod);
+        assert!(tl.dtoh > clean.dtoh);
+        assert_eq!(tl.kernel, clean.kernel, "link drop must not touch kernels");
+    }
+
+    #[test]
+    fn device_loss_is_a_fatal_typed_error() {
+        let gone = SystemModel::system1().with_faults(FaultPlan::seeded(3).with_device_loss(1.0));
+        let err = run_on(gone).unwrap_err();
+        assert!(matches!(err, OclError::DeviceLost { .. }), "{err}");
+        assert!(!err.is_retryable(), "device loss must not be ridden out");
     }
 
     #[test]

@@ -126,6 +126,22 @@ impl TransferCost {
             device_convert: self.device_convert * factor,
         }
     }
+
+    /// Only the wire component stretched for a transfer moving at
+    /// `bandwidth_factor` of nominal PCIe bandwidth — a degraded link
+    /// slows the bytes on the bus, not the host/device conversion work.
+    /// A factor of exactly `1.0` is an identity.
+    #[must_use]
+    pub fn at_bandwidth(&self, bandwidth_factor: f64) -> TransferCost {
+        if bandwidth_factor == 1.0 {
+            return *self;
+        }
+        TransferCost {
+            host_convert: self.host_convert,
+            transfer: self.transfer * (1.0 / bandwidth_factor.clamp(0.05, 1.0)),
+            device_convert: self.device_convert,
+        }
+    }
 }
 
 impl TransferPlan {

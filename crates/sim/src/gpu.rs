@@ -180,6 +180,21 @@ impl GpuModel {
         ThroughputTable::for_capability(self.compute_capability)
     }
 
+    /// A copy of this device running thermally throttled at
+    /// `clock_factor` of its nominal core clock (`1.0` is an identity).
+    ///
+    /// Throttling bites on the compute side of the roofline — arithmetic,
+    /// conversion, and integer throughput all scale with the core clock —
+    /// while DRAM bandwidth and launch latency are unaffected, so
+    /// memory-bound kernels feel it less than compute-bound ones, exactly
+    /// as on real silicon.
+    #[must_use]
+    pub fn throttled(&self, clock_factor: f64) -> GpuModel {
+        let mut gpu = self.clone();
+        gpu.clock_ghz *= clock_factor.clamp(0.05, 1.0);
+        gpu
+    }
+
     /// Arithmetic throughput for a precision, in results per second
     /// across the whole device.
     #[must_use]

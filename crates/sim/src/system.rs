@@ -154,6 +154,65 @@ impl SystemModel {
         clean.faults = FaultPlan::none();
         clean
     }
+
+    /// A stable fingerprint of the *hardware* this model describes.
+    ///
+    /// Tuning decisions are only valid on the system they were made for
+    /// (the paper's crossovers move between systems), so persisted specs
+    /// carry this fingerprint and refuse to load against foreign
+    /// hardware. The hash covers every timing-relevant hardware field —
+    /// CPU, GPU, interconnect, enqueue latency — and deliberately
+    /// excludes the display `name` (a relabel is not a hardware change)
+    /// and the injected [`FaultPlan`] (drift is a *condition* of the same
+    /// hardware, handled by revalidation, not a different system).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.bytes(self.cpu.name.as_bytes());
+        h.u64(u64::from(self.cpu.cores));
+        h.u64(u64::from(self.cpu.threads));
+        h.u64(self.cpu.clock_ghz.to_bits());
+        h.u64(self.cpu.simd as u64);
+        h.u64(self.cpu.thread_spawn_base.as_secs().to_bits());
+        h.u64(self.cpu.thread_spawn_per_thread.as_secs().to_bits());
+        h.bytes(self.gpu.name.as_bytes());
+        h.bytes(self.gpu.compute_capability.version().as_bytes());
+        h.u64(u64::from(self.gpu.sms));
+        h.u64(self.gpu.clock_ghz.to_bits());
+        h.u64(self.gpu.mem_bandwidth_gbps.to_bits());
+        h.u64(self.gpu.global_mem_bytes);
+        h.u64(self.gpu.launch_latency.as_secs().to_bits());
+        h.u64(self.gpu.load_miss_rate.to_bits());
+        h.u64(u64::from(self.pcie.generation));
+        h.u64(u64::from(self.pcie.lanes));
+        h.u64(self.pcie.latency.as_secs().to_bits());
+        h.u64(self.enqueue_latency.as_secs().to_bits());
+        h.finish()
+    }
+}
+
+/// FNV-1a, matching the trial engine's spec-fingerprint discipline.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01B3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 #[cfg(test)]
@@ -204,6 +263,26 @@ mod tests {
         let s = SystemModel::system1().with_pcie_lanes(8);
         assert_eq!(s.pcie.lanes, 8);
         assert!(s.name.contains("x8"));
+    }
+
+    #[test]
+    fn fingerprint_tracks_hardware_not_labels_or_faults() {
+        let s1 = SystemModel::system1();
+        assert_eq!(s1.fingerprint(), SystemModel::system1().fingerprint());
+        assert_ne!(s1.fingerprint(), SystemModel::system2().fingerprint());
+        assert_ne!(s1.fingerprint(), SystemModel::system3().fingerprint());
+        // A lane change is a hardware change...
+        assert_ne!(
+            s1.fingerprint(),
+            SystemModel::system1().with_pcie_lanes(8).fingerprint()
+        );
+        // ...but a relabel or an injected fault plan is not.
+        let mut renamed = SystemModel::system1();
+        renamed.name = "same metal, new sticker".into();
+        assert_eq!(s1.fingerprint(), renamed.fingerprint());
+        let drifting =
+            SystemModel::system1().with_faults(FaultPlan::seeded(9).with_throttle(0.5, 0.3));
+        assert_eq!(s1.fingerprint(), drifting.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! System-drift failover quickstart: the serving system changes out from
+//! under a tuned configuration and the stack walks the full recovery
+//! loop — **Serving → Suspect → Fallback → Retuning → Serving** — without
+//! ever serving below TOQ:
+//!
+//! 1. a spec tuned on the healthy system serves guarded production runs;
+//! 2. the GPU falls off the bus mid-serve: the run dies with a *typed*
+//!    `DeviceLost`, the guard engages its sticky full-precision fallback
+//!    and raises the revalidation flag;
+//! 3. `revalidate` replays the tuner's acceptance oracle and pronounces
+//!    the old spec `Unrunnable` on the dead system;
+//! 4. the device re-seats but comes back thermally throttled — a changed
+//!    system, same hardware fingerprint — and `retune_warm` re-tunes for
+//!    it, journaling every trial; a second warm pass replays that journal
+//!    and charges strictly fewer executions for a bit-identical spec;
+//! 5. a fresh guard serves the re-tuned spec on the throttled system and
+//!    certifies TOQ (or is on the baseline fallback).
+//!
+//! ```text
+//! cargo run --release --example drift_failover
+//! PRESCALER_FAULT_SEED=2 cargo run --release --example drift_failover
+//! ```
+
+use prescaler_core::{retune_warm, revalidate, DriftVerdict, PreScaler, SystemInspector};
+use prescaler_guard::{Guard, GuardPolicy};
+use prescaler_ocl::OclError;
+use prescaler_polybench::{BenchKind, PolyApp};
+use prescaler_sim::{FaultPlan, SystemModel};
+
+fn corr(gain: f64) -> PolyApp {
+    PolyApp::tiny(BenchKind::Corr).with_input_gain(gain)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed: u64 = std::env::var("PRESCALER_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+
+    // --- Serving: tune on the healthy system, serve guarded runs. -------
+    let healthy = SystemModel::system1();
+    let db = SystemInspector::inspect(&healthy);
+    let tuned = PreScaler::new(&healthy, &db, 0.9).tune(&corr(1.0))?;
+    println!(
+        "tuned on healthy system: speedup {:.2}x @ quality {:.4} (fingerprint {:016x})",
+        tuned.speedup(),
+        tuned.eval.quality,
+        tuned.system_fingerprint
+    );
+
+    let mut guard = Guard::new(
+        &corr(1.0),
+        &healthy,
+        tuned.config.clone(),
+        GuardPolicy::for_tuned(&tuned),
+    )?;
+    for _ in 0..4 {
+        let v = guard.run_production(corr)?;
+        assert!(!v.degraded, "healthy serving stays on the tuned spec");
+    }
+    println!("served {} healthy production runs", guard.report().runs);
+
+    // --- Suspect → Fallback: the GPU falls off the bus mid-serve. -------
+    let dead = healthy
+        .clone()
+        .with_faults(FaultPlan::seeded(seed).with_device_loss(1.0));
+    assert_eq!(
+        dead.fingerprint(),
+        healthy.fingerprint(),
+        "drift is a condition of the same hardware, not a hardware change"
+    );
+    let mut guard = Guard::new(
+        &corr(1.0),
+        &dead,
+        tuned.config.clone(),
+        GuardPolicy::for_tuned(&tuned),
+    )?;
+    let err = guard
+        .run_production(corr)
+        .expect_err("a lost device cannot serve");
+    assert!(matches!(err, OclError::DeviceLost { .. }));
+    assert!(guard.fallback_active(), "failover engages before recovery");
+    assert!(
+        guard.revalidation_due(),
+        "the sentinel demands revalidation"
+    );
+    println!("device lost mid-serve: {err} -> fallback engaged, revalidation due");
+
+    let tuner_dead = PreScaler::new(&dead, &db, 0.9);
+    let reval = revalidate(
+        &tuner_dead,
+        &corr(1.0),
+        &tuned.config,
+        tuned.system_fingerprint,
+    )?;
+    assert_eq!(reval.verdict, DriftVerdict::Unrunnable);
+    println!(
+        "revalidation verdict on the dead system: {:?}",
+        reval.verdict
+    );
+    guard.acknowledge_revalidation();
+
+    // --- Retuning: the device re-seats, but comes back throttled. -------
+    let throttled = healthy
+        .clone()
+        .with_faults(FaultPlan::seeded(seed ^ 0xD1F7).with_throttle(0.6, 0.5));
+    let tuner = PreScaler::new(&throttled, &db, 0.9);
+    let dir = std::env::temp_dir().join(format!("prescaler_drift_failover_{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let journal = dir.join("retune.wal");
+    std::fs::remove_file(&journal).ok();
+
+    let first = retune_warm(&tuner, &corr(1.0), &tuned.config, &journal)?;
+    println!(
+        "re-tuned for the throttled system: {} executions journaled, previous spec was {:?}, new speedup {:.2}x",
+        first.stats.executions,
+        first.previous.verdict,
+        first.tuned.speedup()
+    );
+
+    // A later warm pass (say, after another interruption) replays the
+    // journal: bit-identical answer, strictly fewer executions charged.
+    let second = retune_warm(&tuner, &corr(1.0), &tuned.config, &journal)?;
+    assert!(second.replayed > 0, "the journal must replay");
+    assert_eq!(second.tuned.config, first.tuned.config, "bit-identical");
+    assert!(
+        second.stats.executions < first.stats.executions,
+        "warm {} !< cold {}",
+        second.stats.executions,
+        first.stats.executions
+    );
+    println!(
+        "second warm pass: replayed {} trials, charged {} executions ({} saved)",
+        second.replayed,
+        second.stats.executions,
+        first.stats.executions - second.stats.executions
+    );
+
+    // --- Serving again: guard the re-tuned spec on the new system. ------
+    let retuned = second.tuned;
+    assert!(retuned.speedup() >= 1.0, "never worse than baseline");
+    let mut guard = Guard::new(
+        &corr(1.0),
+        &throttled,
+        retuned.config.clone(),
+        GuardPolicy::for_tuned(&retuned),
+    )?;
+    for _ in 0..4 {
+        guard.run_production(corr)?;
+    }
+    let quality = guard.verify(corr)?;
+    assert!(
+        quality >= 0.9 || guard.fallback_active(),
+        "guarded serving never certifies below TOQ without the fallback"
+    );
+    println!(
+        "serving resumed on the throttled system: certified quality {quality:.4}{}",
+        if guard.fallback_active() {
+            " (baseline fallback)"
+        } else {
+            ""
+        }
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!("\nall failover guarantees held");
+    Ok(())
+}

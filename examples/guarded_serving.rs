@@ -57,6 +57,9 @@ fn main() -> Result<(), prescaler_ocl::OclError> {
                 GuardAction::FallbackEngaged => {
                     println!("     # global breaker: full-precision fallback engaged");
                 }
+                GuardAction::RevalidationRequested { reason } => {
+                    println!("     ? system drift suspected ({reason:?}): revalidation due");
+                }
             }
         }
     }

@@ -12,7 +12,14 @@ cd "$(dirname "$0")/.."
 
 cargo bench --offline -p prescaler-bench --bench decision_search
 cargo bench --offline -p prescaler-bench --bench kernel_execution
-cargo run --release --offline -p prescaler-bench --bin bench_search "${1:-5}"
+
+# A min-of-N needs a real sample: never record fewer than 3 runs.
+iters="${1:-5}"
+if [ "$iters" -lt 3 ]; then
+    echo "bench.sh: clamping iterations ${iters} -> 3 (min-of-N needs a sample)" >&2
+    iters=3
+fi
+cargo run --release --offline -p prescaler-bench --bin bench_search "$iters"
 
 echo
 echo "=== BENCH_search.json ==="

@@ -10,26 +10,35 @@ cargo test -q --workspace --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo fmt --all --check
 
-# Seeded fault matrix: the guard, pipeline, and crash-resume property
-# suites replayed under fixed seeds, so every CI run explores the same
-# three fault universes deterministically (the suites mix the seed into
-# their generated fault plans via PRESCALER_FAULT_SEED). The crash-resume
-# suite kills a durable tune at every trial boundary — under clean,
-# torn-tail, and garbage-tail shutdowns — and requires the resumed
-# result to be bit-identical with zero journaled trials re-executed.
+# Seeded fault matrix: the guard, pipeline, crash-resume, and
+# system-drift property suites replayed under fixed seeds, so every CI
+# run explores the same three fault universes deterministically (the
+# suites mix the seed into their generated fault plans via
+# PRESCALER_FAULT_SEED). The crash-resume suite kills a durable tune at
+# every trial boundary — under clean, torn-tail, and garbage-tail
+# shutdowns — and requires the resumed result to be bit-identical with
+# zero journaled trials re-executed. The drift suite throttles, starves,
+# and unplugs the serving system and requires TOQ-or-fallback serving,
+# typed device-loss errors, fingerprint-bound snapshots, and warm
+# re-tunes that are bit-identical to cold ones at strictly fewer
+# executions.
 for seed in 1 2 3; do
     PRESCALER_FAULT_SEED=$seed \
         cargo test -q --offline \
         --test guard_properties --test pipeline_properties \
-        --test crash_resume_properties
+        --test crash_resume_properties --test drift_properties
 done
 
 # Crash-resume smoke: kill one tune at a seeded boundary with a seeded
 # tear, resume it, and byte-compare the resumed Tuned snapshot against
-# the uninterrupted reference.
+# the uninterrupted reference. Drift-failover smoke: lose the device
+# mid-serve, fail over, revalidate, warm re-tune for the throttled
+# system, and serve again — every guarantee self-asserted.
 for seed in 1 2 3; do
     PRESCALER_FAULT_SEED=$seed \
         cargo run --release --offline --example crash_resume
+    PRESCALER_FAULT_SEED=$seed \
+        cargo run --release --offline --example drift_failover
 done
 
 # The guarded-serving example doubles as an end-to-end smoke test: it
@@ -37,7 +46,9 @@ done
 cargo run --release --offline --example guarded_serving
 
 # Benchmarks must keep compiling, and the search benchmark binary doubles
-# as a perf smoke test (one tune, trial/cache accounting asserted
-# deterministic). Full timed runs live in scripts/bench.sh.
+# as a perf smoke test (trial/cache accounting asserted deterministic).
+# Three iterations so the recorded BENCH_search.json min is taken over a
+# real sample, not a single (possibly unlucky) run; full timed runs live
+# in scripts/bench.sh.
 cargo bench --offline --no-run -p prescaler-bench
-cargo run --release --offline -p prescaler-bench --bin bench_search 1
+cargo run --release --offline -p prescaler-bench --bin bench_search 3

@@ -1,0 +1,291 @@
+//! System-drift property suite: the system changes underneath a tuned
+//! configuration — thermal throttling, PCIe bandwidth collapse, a lost
+//! device — and the stack must (1) never lie about quality while serving,
+//! (2) re-tune warm to the *same* answer a cold tune reaches while
+//! charging strictly fewer executions, and (3) refuse to load a spec onto
+//! foreign hardware with a typed error instead of silently mis-serving.
+//!
+//! The CI fault matrix re-runs this suite under several values of
+//! `PRESCALER_FAULT_SEED`, so the guarantees are pinned per fault
+//! universe, not just on one drift trajectory.
+
+use prescaler_core::recovery::{tune_durable, TuneError};
+use prescaler_core::{retune_warm, revalidate, DriftVerdict, PreScaler, SystemInspector, Tuned};
+use prescaler_guard::{Guard, GuardPolicy};
+use prescaler_ocl::OclError;
+use prescaler_persist::PersistError;
+use prescaler_polybench::{BenchKind, PolyApp};
+use prescaler_sim::{FaultPlan, SystemModel};
+use std::path::PathBuf;
+
+/// Matrix seed from the environment, mixed into every plan seed so the
+/// CI fault matrix explores distinct universes per row.
+fn matrix_seed() -> u64 {
+    std::env::var("PRESCALER_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn mixed(seed: u64) -> u64 {
+    seed ^ matrix_seed().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "prescaler_drift_props_{}_{}",
+        std::process::id(),
+        matrix_seed()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(tag)
+}
+
+/// The fast app matrix: small enough to tune in milliseconds, diverse
+/// enough to exercise transfer-heavy (Atax), compute-heavy (Gemm) and
+/// multi-kernel (Corr) shapes.
+const APPS: [BenchKind; 3] = [BenchKind::Gemm, BenchKind::Atax, BenchKind::Corr];
+
+/// One mid-life system drift, as a fault plan for the *same* hardware.
+#[derive(Clone, Copy, Debug)]
+enum Drift {
+    Throttle,
+    BandwidthDrop,
+    DeviceLost,
+}
+
+const DRIFTS: [Drift; 3] = [Drift::Throttle, Drift::BandwidthDrop, Drift::DeviceLost];
+
+impl Drift {
+    /// A moderate instance of the drift: trials still (mostly) complete,
+    /// so tuning on the drifted system is meaningful.
+    fn plan(self, seed: u64) -> FaultPlan {
+        match self {
+            Drift::Throttle => FaultPlan::seeded(seed).with_throttle(0.7, 0.6),
+            Drift::BandwidthDrop => FaultPlan::seeded(seed).with_bandwidth_drop(0.7, 0.6),
+            Drift::DeviceLost => FaultPlan::seeded(seed).with_device_loss(0.25),
+        }
+    }
+}
+
+/// Serving under a drifting system never lies about quality: every
+/// certified session ends at or above TOQ, or with the full-precision
+/// fallback engaged — and never panics.
+#[test]
+fn serving_under_drift_certifies_toq_or_fallback() {
+    for kind in APPS {
+        for s in 0..3u64 {
+            for drift in [Drift::Throttle, Drift::BandwidthDrop] {
+                let clean = SystemModel::system1();
+                let db = SystemInspector::inspect(&clean);
+                let tuner = PreScaler::new(&clean, &db, 0.9);
+                let app = PolyApp::tiny(kind);
+                let tuned = tuner.tune(&app).expect("clean tune");
+
+                let drifted = clean.clone().with_faults(drift.plan(mixed(100 + s)));
+                let mut guard = Guard::new(
+                    &app,
+                    &drifted,
+                    tuned.config.clone(),
+                    GuardPolicy::for_tuned(&tuned),
+                )
+                .expect("guard setup");
+                for _ in 0..6 {
+                    let v = guard
+                        .run_production(|gain| PolyApp::tiny(kind).with_input_gain(gain))
+                        .unwrap_or_else(|e| {
+                            panic!("{kind:?}/{drift:?}/seed{s}: serving died: {e}")
+                        });
+                    if let Some(q) = v.canary_quality {
+                        assert!(
+                            q >= 0.9 || v.degraded,
+                            "{kind:?}/{drift:?}/seed{s}: scored {q} undegraded"
+                        );
+                    }
+                }
+                let q = guard
+                    .verify(|gain| PolyApp::tiny(kind).with_input_gain(gain))
+                    .expect("verify");
+                assert!(
+                    q >= 0.9 || guard.fallback_active(),
+                    "{kind:?}/{drift:?}/seed{s}: certified {q} without fallback"
+                );
+            }
+        }
+    }
+}
+
+/// A hot device loss is a *typed, fatal* error — the guard fails over and
+/// demands revalidation instead of panicking or retrying forever.
+#[test]
+fn lost_device_mid_serve_is_typed_and_flags_revalidation() {
+    for kind in APPS {
+        for s in 0..3u64 {
+            let clean = SystemModel::system1();
+            let db = SystemInspector::inspect(&clean);
+            let tuner = PreScaler::new(&clean, &db, 0.9);
+            let app = PolyApp::tiny(kind);
+            let tuned = tuner.tune(&app).expect("clean tune");
+
+            let gone = clean
+                .clone()
+                .with_faults(FaultPlan::seeded(mixed(200 + s)).with_device_loss(1.0));
+            let mut guard = Guard::new(
+                &app,
+                &gone,
+                tuned.config.clone(),
+                GuardPolicy::for_tuned(&tuned),
+            )
+            .expect("guard setup runs on the clean twin");
+            let err = guard
+                .run_production(|gain| PolyApp::tiny(kind).with_input_gain(gain))
+                .expect_err("a lost device cannot serve");
+            assert!(
+                matches!(err, OclError::DeviceLost { .. }),
+                "{kind:?}/seed{s}: wrong error {err}"
+            );
+            assert!(guard.fallback_active(), "{kind:?}/seed{s}");
+            assert!(guard.revalidation_due(), "{kind:?}/seed{s}");
+
+            // …and revalidation agrees the spec is unrunnable there.
+            let tuner_gone = PreScaler::new(&gone, &db, 0.9);
+            let r = revalidate(&tuner_gone, &app, &tuned.config, tuned.system_fingerprint)
+                .expect("oracle replays on the clean twin");
+            assert_eq!(r.verdict, DriftVerdict::Unrunnable, "{kind:?}/seed{s}");
+        }
+    }
+}
+
+/// Warm re-tuning after drift reaches the accepted configuration a cold
+/// tune on the same drifted system reaches — bit-identical, never slower
+/// than the baseline — while charging strictly fewer executions.
+#[test]
+fn warm_retune_is_bit_identical_and_strictly_cheaper() {
+    for kind in APPS {
+        for s in 0..3u64 {
+            for drift in DRIFTS {
+                let clean = SystemModel::system1();
+                let db = SystemInspector::inspect(&clean);
+                let app = PolyApp::tiny(kind);
+                let previous = PreScaler::new(&clean, &db, 0.9)
+                    .tune(&app)
+                    .expect("clean tune");
+
+                let drifted = clean.clone().with_faults(drift.plan(mixed(300 + s)));
+                let tuner = PreScaler::new(&drifted, &db, 0.9);
+                let tag = format!("{kind:?}_{drift:?}_{s}");
+
+                let path = temp_path(&format!("{tag}.wal"));
+                std::fs::remove_file(&path).ok();
+                let cold = tune_durable(&tuner, &app, &path).expect("cold tune");
+                let warm =
+                    retune_warm(&tuner, &app, &previous.config, &path).expect("warm re-tune");
+
+                assert!(warm.replayed > 0, "{tag}: journal must replay");
+                assert_eq!(warm.tuned.config, cold.tuned.config, "{tag}: spec diverged");
+                assert_eq!(
+                    warm.tuned.eval.time.as_secs().to_bits(),
+                    cold.tuned.eval.time.as_secs().to_bits(),
+                    "{tag}: eval time diverged"
+                );
+                assert_eq!(
+                    warm.tuned.eval.quality.to_bits(),
+                    cold.tuned.eval.quality.to_bits(),
+                    "{tag}: quality diverged"
+                );
+                assert!(
+                    warm.stats.executions < cold.stats.executions,
+                    "{tag}: warm {} !< cold {}",
+                    warm.stats.executions,
+                    cold.stats.executions
+                );
+                assert!(
+                    warm.tuned.speedup() >= 1.0,
+                    "{tag}: accepted spec slower than baseline ({}x)",
+                    warm.tuned.speedup()
+                );
+                std::fs::remove_file(&path).ok();
+            }
+        }
+    }
+}
+
+/// A persisted spec is bound to the hardware it was decided on: loading
+/// it against different metal is a typed `ContextMismatch`, while a
+/// relabeled or merely *drifting* copy of the same metal loads fine.
+#[test]
+fn snapshots_refuse_foreign_hardware_but_tolerate_drift() {
+    let system1 = SystemModel::system1();
+    let db = SystemInspector::inspect(&system1);
+    let tuner = PreScaler::new(&system1, &db, 0.9);
+    let app = PolyApp::tiny(BenchKind::Gemm);
+    let tuned = tuner.tune(&app).expect("tune");
+
+    let path = temp_path("foreign.tuned.json");
+    tuned.save(&path).expect("save");
+
+    let system2 = SystemModel::system2();
+    let err = Tuned::load(&path, &system2).expect_err("foreign metal must be refused");
+    match err {
+        PersistError::ContextMismatch { expected, got } => {
+            assert_eq!(expected, system2.fingerprint());
+            assert_eq!(got, system1.fingerprint());
+        }
+        other => panic!("wrong error: {other}"),
+    }
+
+    // Drift is a condition of the same hardware, not a hardware change:
+    // the snapshot still loads, and revalidation (not a load error) is
+    // the mechanism that decides whether it may keep serving.
+    for drift in DRIFTS {
+        let drifting = system1.clone().with_faults(drift.plan(mixed(400)));
+        let snap = Tuned::load(&path, &drifting)
+            .unwrap_or_else(|e| panic!("{drift:?}: same-metal load refused: {e}"));
+        assert_eq!(snap.system_fingerprint, system1.fingerprint());
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// A spec from foreign hardware short-circuits revalidation — nothing is
+/// executed — and a foreign journal never warms a re-tune.
+#[test]
+fn foreign_fingerprints_short_circuit_revalidation_and_warm_start() {
+    let system2 = SystemModel::system2();
+    let db2 = SystemInspector::inspect(&system2);
+    let tuner2 = PreScaler::new(&system2, &db2, 0.9);
+    let app = PolyApp::tiny(BenchKind::Gemm);
+
+    let r = revalidate(
+        &tuner2,
+        &app,
+        &prescaler_ocl::ScalingSpec::baseline(),
+        SystemModel::system1().fingerprint(),
+    )
+    .expect("short-circuit is not an error");
+    assert_eq!(r.verdict, DriftVerdict::ForeignSystem);
+    assert!(r.oracle.is_none() && r.observed.is_none());
+
+    // A journal written under system1's context refuses to open for a
+    // system2 tune: the mismatch is typed, not a silent cold start.
+    let system1 = SystemModel::system1();
+    let db1 = SystemInspector::inspect(&system1);
+    let tuner1 = PreScaler::new(&system1, &db1, 0.9);
+    let path = temp_path("foreign_journal.wal");
+    std::fs::remove_file(&path).ok();
+    tune_durable(&tuner1, &app, &path).expect("journal written on system1");
+    let err = retune_warm(
+        &tuner2,
+        &app,
+        &prescaler_ocl::ScalingSpec::baseline(),
+        &path,
+    )
+    .expect_err("foreign journal must not warm a tune");
+    assert!(
+        matches!(
+            err,
+            TuneError::Persist(PersistError::ContextMismatch { .. })
+        ),
+        "wrong error: {err}"
+    );
+    std::fs::remove_file(&path).ok();
+}
