@@ -55,7 +55,7 @@ pub use inspector::{DbError, InspectorDb, SystemInspector};
 pub use profiler::{profile_app, AppProfile};
 pub use recovery::{tune_durable, tune_durable_with_crash, DurableReport, TuneError};
 pub use report::{
-    conversion_distribution, type_distribution, GuardSummary, ResultRow, SpecSnapshot,
-    TunedSnapshot,
+    conversion_distribution, type_distribution, GuardSummary, ResultRow, ServeReport, ServeSummary,
+    SpecSnapshot, TunedSnapshot,
 };
 pub use search::{Evaluation, PreScaler, Tuned};

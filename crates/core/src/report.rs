@@ -191,6 +191,78 @@ pub struct GuardSummary {
     pub final_quality: Option<f64>,
 }
 
+/// Aggregate counters of one `prescaler-serve` serving session: how many
+/// requests arrived, how many were served, and exactly why every other
+/// one was shed. Every arrival is accounted for by exactly one counter —
+/// overload may reject work, but never silently drops it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServeSummary {
+    /// Requests that arrived, including overload-burst extras.
+    pub arrivals: u64,
+    /// Requests admitted and served to completion with a quality verdict.
+    pub served: u64,
+    /// Requests rejected at admission because the bounded queue was full.
+    pub shed_queue_full: u64,
+    /// Requests shed before launch because their deadline budget could
+    /// not be met.
+    pub shed_deadline: u64,
+    /// Requests rejected after the session began shutting down.
+    pub shed_shutdown: u64,
+    /// Requests that failed because the device was lost mid-service.
+    pub failed_device_lost: u64,
+    /// Served requests that ran while the guard was degraded (at least
+    /// one object demoted, or the sticky baseline fallback engaged).
+    pub degraded_served: u64,
+    /// High-water mark of the admission queue (never exceeds the bound).
+    pub peak_queue_depth: u64,
+    /// Virtual seconds the device spent serving admitted requests.
+    pub busy_secs: f64,
+    /// Virtual completion time of the last served request.
+    pub makespan_secs: f64,
+    /// Whether sustained overload raised the guard's revalidation flag
+    /// (shed work, never quality: overload asks for a re-tune instead of
+    /// demoting precision).
+    pub overload_revalidation: bool,
+}
+
+impl ServeSummary {
+    /// Requests shed with a typed rejection (admission or deadline or
+    /// shutdown), excluding device-loss failures.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shed_queue_full + self.shed_deadline + self.shed_shutdown
+    }
+
+    /// Total requests accounted for across all outcome counters. Equal to
+    /// [`ServeSummary::arrivals`] in any correct session.
+    #[must_use]
+    pub fn accounted(&self) -> u64 {
+        self.served + self.shed() + self.failed_device_lost
+    }
+}
+
+/// Full report of a serving session: the aggregate counters, the guard's
+/// own summary after the run, and a canonical FNV-1a digest of the
+/// per-request outcome stream. Equal digests mean bit-identical
+/// per-request outcomes — the cross-worker-count determinism check diffs
+/// exactly this value. Lives here, next to [`GuardSummary`], so persisted
+/// experiment reports can embed it without depending on the serve crate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Aggregate outcome counters.
+    pub summary: ServeSummary,
+    /// The guard's cumulative summary at the end of the session.
+    pub guard: GuardSummary,
+    /// Canonical digest of the per-request outcome stream (spec served,
+    /// quality verdict, typed rejection — in arrival order).
+    pub outcome_digest: u64,
+    /// Physical worker threads the session ran with. Informational only:
+    /// outcomes and digest are invariant to it.
+    pub workers: u64,
+    /// Seed of the arrival trace the session replayed.
+    pub seed: u64,
+}
+
 /// A complete per-benchmark result row (one bar group in Fig. 9/10).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ResultRow {

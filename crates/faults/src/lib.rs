@@ -53,10 +53,13 @@ pub enum FaultKind {
     /// The device falls off the bus mid-operation — a *fatal*, non-
     /// retryable loss, unlike the transient transfer/launch bounces.
     DeviceLost,
+    /// An arrival spike hits a serving front-end: extra requests land at
+    /// the same virtual instant, pressuring the admission queue.
+    OverloadBurst,
 }
 
 impl FaultKind {
-    const ALL: [FaultKind; 9] = [
+    const ALL: [FaultKind; 10] = [
         FaultKind::Transfer,
         FaultKind::KernelLaunch,
         FaultKind::BufferCorruption,
@@ -66,6 +69,7 @@ impl FaultKind {
         FaultKind::Throttle,
         FaultKind::BandwidthDrop,
         FaultKind::DeviceLost,
+        FaultKind::OverloadBurst,
     ];
 
     fn index(self) -> usize {
@@ -79,6 +83,7 @@ impl FaultKind {
             FaultKind::Throttle => 6,
             FaultKind::BandwidthDrop => 7,
             FaultKind::DeviceLost => 8,
+            FaultKind::OverloadBurst => 9,
         }
     }
 
@@ -95,6 +100,7 @@ impl FaultKind {
             0x3C6E_F372_FE94_F82B,
             0xA54F_F53A_5F1D_36F1,
             0x510E_527F_ADE6_82D1,
+            0x9B05_688C_2B3E_6C1F,
         ][self.index()]
     }
 }
@@ -165,6 +171,11 @@ pub struct FaultConfig {
     pub bandwidth_drop_depth: f64,
     /// Probability a device operation finds the device gone (fatal).
     pub device_loss_rate: f64,
+    /// Probability a serving arrival slot turns into an overload burst.
+    pub overload_burst_rate: f64,
+    /// Size of a burst: a bursting slot injects between 1 and this many
+    /// extra arrivals (`0` means no burst even when the rate fires).
+    pub overload_burst_size: u64,
 }
 
 impl Default for FaultConfig {
@@ -183,6 +194,8 @@ impl Default for FaultConfig {
             bandwidth_drop_rate: 0.0,
             bandwidth_drop_depth: 0.0,
             device_loss_rate: 0.0,
+            overload_burst_rate: 0.0,
+            overload_burst_size: 0,
         }
     }
 }
@@ -217,6 +230,13 @@ impl FaultConfig {
                 }
             }
             FaultKind::DeviceLost => self.device_loss_rate,
+            FaultKind::OverloadBurst => {
+                if self.overload_burst_size > 0 {
+                    self.overload_burst_rate
+                } else {
+                    0.0
+                }
+            }
         }
     }
 
@@ -238,7 +258,7 @@ pub struct FaultPlan {
 }
 
 #[derive(Debug, Default)]
-struct Counters([AtomicU64; 9]);
+struct Counters([AtomicU64; 10]);
 
 impl PartialEq for FaultPlan {
     fn eq(&self, other: &FaultPlan) -> bool {
@@ -350,6 +370,16 @@ impl FaultPlan {
     #[must_use]
     pub fn with_device_loss(mut self, rate: f64) -> FaultPlan {
         self.config.device_loss_rate = rate;
+        self
+    }
+
+    /// Sets the overload-burst rate and maximum burst size. A bursting
+    /// arrival slot injects between 1 and `size` extra requests at the
+    /// same virtual instant.
+    #[must_use]
+    pub fn with_overload_burst(mut self, rate: f64, size: u64) -> FaultPlan {
+        self.config.overload_burst_rate = rate;
+        self.config.overload_burst_size = size;
         self
     }
 
@@ -518,6 +548,20 @@ impl FaultPlan {
     pub fn device_lost(&self) -> bool {
         self.fires(FaultKind::DeviceLost)
     }
+
+    /// Extra arrivals injected at the next serving arrival slot.
+    ///
+    /// Exactly `0` when the kind is disabled or the slot is not selected;
+    /// otherwise uniform in `[1, size]` — the seeded equivalent of a
+    /// traffic spike hammering the admission queue at one instant.
+    #[must_use]
+    pub fn overload_burst(&self) -> u64 {
+        if !self.fires(FaultKind::OverloadBurst) {
+            return 0;
+        }
+        let size = self.config.overload_burst_size;
+        1 + self.draw(FaultKind::OverloadBurst) % size
+    }
 }
 
 /// What happens to the write-ahead journal's in-flight record when a
@@ -651,7 +695,7 @@ impl fmt::Display for FaultPlan {
         write!(
             f,
             "faults: seed={} transfer={} launch={} corrupt={} db={} noise={} drift={}x{} \
-             throttle={}x{} bwdrop={}x{} devloss={}",
+             throttle={}x{} bwdrop={}x{} devloss={} burst={}x{}",
             c.seed,
             c.transfer_failure_rate,
             c.launch_failure_rate,
@@ -664,7 +708,9 @@ impl fmt::Display for FaultPlan {
             c.throttle_depth,
             c.bandwidth_drop_rate,
             c.bandwidth_drop_depth,
-            c.device_loss_rate
+            c.device_loss_rate,
+            c.overload_burst_rate,
+            c.overload_burst_size
         )
     }
 }
@@ -701,6 +747,10 @@ impl serde::Serialize for FaultPlan {
         serde::Serialize::serialize(&c.bandwidth_drop_depth, out);
         out.push_str(",\"device_loss_rate\":");
         serde::Serialize::serialize(&c.device_loss_rate, out);
+        out.push_str(",\"overload_burst_rate\":");
+        serde::Serialize::serialize(&c.overload_burst_rate, out);
+        out.push_str(",\"overload_burst_size\":");
+        serde::Serialize::serialize(&c.overload_burst_size, out);
         out.push('}');
     }
 }
@@ -736,6 +786,12 @@ impl serde::Deserialize for FaultPlan {
             bandwidth_drop_rate: f("bandwidth_drop_rate")?,
             bandwidth_drop_depth: f("bandwidth_drop_depth")?,
             device_loss_rate: f("device_loss_rate")?,
+            // Absent in pre-serving snapshots: absent means no bursts.
+            overload_burst_rate: f("overload_burst_rate")?,
+            overload_burst_size: match serde::json::get(entries, "overload_burst_size") {
+                Some(v) => serde::Deserialize::deserialize(v)?,
+                None => 0,
+            },
         }))
     }
 
@@ -925,6 +981,39 @@ mod tests {
         assert!((30..100).contains(&lost), "lost {lost}/200");
         let (tc, bc, lc) = collect(&build(22));
         assert!(ta != tc || ba != bc || la != lc, "seeds must decorrelate");
+    }
+
+    #[test]
+    fn inert_overload_never_bursts() {
+        let plan = FaultPlan::none();
+        for _ in 0..100 {
+            assert_eq!(plan.overload_burst(), 0);
+        }
+        // Size zero keeps the kind inert even with a positive rate.
+        let rate_only = FaultPlan::seeded(5).with_overload_burst(1.0, 0);
+        assert!(rate_only.is_inert());
+        assert_eq!(rate_only.overload_burst(), 0);
+    }
+
+    #[test]
+    fn overload_bursts_are_seeded_and_bounded() {
+        let collect =
+            |plan: &FaultPlan| -> Vec<u64> { (0..200).map(|_| plan.overload_burst()).collect() };
+        let a = FaultPlan::seeded(17).with_overload_burst(0.4, 6);
+        let b = FaultPlan::seeded(17).with_overload_burst(0.4, 6);
+        let stream = collect(&a);
+        assert_eq!(stream, collect(&b), "same seed, same burst stream");
+        let mut bursts = 0;
+        for extra in &stream {
+            if *extra == 0 {
+                continue;
+            }
+            bursts += 1;
+            assert!((1..=6).contains(extra), "burst {extra} outside [1, size]");
+        }
+        assert!((40..120).contains(&bursts), "burst slots {bursts}/200");
+        let c = FaultPlan::seeded(18).with_overload_burst(0.4, 6);
+        assert_ne!(stream, collect(&c), "seeds must decorrelate");
     }
 
     #[test]

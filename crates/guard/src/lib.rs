@@ -51,9 +51,12 @@
 use prescaler_core::report::GuardSummary;
 use prescaler_core::Tuned;
 use prescaler_ir::Precision;
-use prescaler_ocl::{run_app, HostApp, OclError, Outputs, PlanChoice, ScalingSpec, Timeline};
+use prescaler_ocl::{
+    run_app, HostApp, OclError, Outputs, PlanChoice, ProfileLog, ScalingSpec, Timeline,
+};
 use prescaler_polybench::{array_quality, output_quality};
 use prescaler_sim::{SimTime, SystemModel};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Tunables of the sentinel. The defaults match the paper's TOQ of 0.9.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -172,6 +175,10 @@ pub enum RevalidationReason {
     SustainedLatency,
     /// A production run died with a fatal [`OclError::DeviceLost`].
     DeviceLost,
+    /// A serving front-end shed admissions under sustained overload. The
+    /// guard never buys throughput back by demoting precision — overload
+    /// asks for a system-aware re-tune instead.
+    SustainedOverload,
 }
 
 /// One action with the production run it happened on (1-based).
@@ -183,8 +190,24 @@ pub struct GuardEvent {
     pub action: GuardAction,
 }
 
-/// The verdict of one guarded production run.
+/// A speculatively executed production run: the forked-stream execution
+/// a worker thread computed in parallel, handed to the guard's sequential
+/// replay. The replay validates that the guard's active configuration
+/// still matches [`PreparedRun::spec`]; if breaker activity changed it in
+/// the meantime, the prepared result is discarded and the run re-executes
+/// inline — so reusing a speculation can never change an outcome.
 #[derive(Clone, Debug)]
+pub struct PreparedRun {
+    /// The configuration the speculative execution ran under.
+    pub spec: ScalingSpec,
+    /// The input drift gain drawn from the forked fault stream.
+    pub gain: f64,
+    /// The raw execution result.
+    pub result: Result<(Outputs, ProfileLog), OclError>,
+}
+
+/// The verdict of one guarded production run.
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunVerdict {
     /// Production-run index (1-based).
     pub run: u64,
@@ -434,6 +457,17 @@ impl Guard {
         self.latency_strikes = 0;
     }
 
+    /// A serving front-end reports sustained overload: admissions are
+    /// being shed faster than the configured tolerance. The guard sheds
+    /// *work*, never *quality* — overload does not demote precision; it
+    /// raises the revalidation flag (once, until acknowledged) so the
+    /// harness re-tunes for the system that can't keep up.
+    pub fn report_overload(&mut self) {
+        let run = self.report.runs;
+        let mut actions = Vec::new();
+        self.request_revalidation(run, RevalidationReason::SustainedOverload, &mut actions);
+    }
+
     /// The cumulative report so far.
     #[must_use]
     pub fn report(&self) -> &GuardReport {
@@ -465,7 +499,37 @@ impl Guard {
     ) -> Result<RunVerdict, OclError> {
         let gain = self.system.faults.input_drift_gain();
         let app = app_at(gain);
-        self.run_once(&app, gain, false)
+        let system = self.system.clone();
+        self.run_once_at(&system, &app, gain, false, None)
+    }
+
+    /// Serves one production run from a *forked* fault stream: the drift
+    /// gain and every injected fault of the run depend only on the
+    /// session seed and `salt`, never on how far the session stream has
+    /// advanced. That makes the run a pure function of `(guard state,
+    /// salt)` — the property concurrent serving relies on to execute
+    /// requests speculatively on worker threads ([`speculate`]) and
+    /// replay them sequentially here for bit-identical accounting.
+    ///
+    /// `prepared` is an optional speculation for the same `salt`; it is
+    /// reused only if its spec still matches the active configuration
+    /// (and its gain the replayed draw), otherwise the run re-executes
+    /// inline with identical results.
+    ///
+    /// # Errors
+    ///
+    /// As [`Guard::run_production`].
+    pub fn run_forked<A: HostApp>(
+        &mut self,
+        salt: u64,
+        app_at: impl Fn(f64) -> A,
+        prepared: Option<PreparedRun>,
+    ) -> Result<RunVerdict, OclError> {
+        let forked = self.system.faults.fork(salt);
+        let gain = forked.input_drift_gain();
+        let app = app_at(gain);
+        let system = self.system.clone().with_faults(forked);
+        self.run_once_at(&system, &app, gain, false, prepared)
     }
 
     /// Runs production until the session's quality is certified: the run
@@ -488,7 +552,8 @@ impl Guard {
             (self.breakers.len() as u64 * 2 + 2) * u64::from(self.policy.violation_threshold) + 2;
         let mut quality = 0.0;
         for _ in 0..max_rounds {
-            let verdict = self.run_once(&app, gain, true)?;
+            let system = self.system.clone();
+            let verdict = self.run_once_at(&system, &app, gain, true, None)?;
             // A forced canary always scores the run; if that invariant
             // ever broke, keep serving (and retrying) instead of
             // panicking mid-session.
@@ -503,16 +568,26 @@ impl Guard {
         Ok(quality)
     }
 
-    fn run_once(
+    fn run_once_at(
         &mut self,
+        system: &SystemModel,
         app: &dyn HostApp,
         gain: f64,
         force_canary: bool,
+        prepared: Option<PreparedRun>,
     ) -> Result<RunVerdict, OclError> {
         let run = self.report.runs + 1;
         let mut actions = Vec::new();
 
-        let (outputs, log) = match run_app(app, &self.system, &self.active) {
+        // A speculation is only as good as its assumptions: reuse it iff
+        // it ran under the currently active configuration with the gain
+        // this replay drew. Otherwise fall through to inline execution —
+        // same pure function, same result, just computed now.
+        let executed = match prepared {
+            Some(p) if p.spec == self.active && p.gain.to_bits() == gain.to_bits() => p.result,
+            _ => run_app(app, system, &self.active),
+        };
+        let (outputs, log) = match executed {
             Ok(ok) => ok,
             Err(e @ OclError::DeviceLost { .. }) => {
                 // The device vanished mid-serve. No precision rollback can
@@ -527,7 +602,7 @@ impl Guard {
                 // A scaled production run died (exhausted retries, spec
                 // bug…): degrade to the baseline and serve from there.
                 self.engage_fallback(run, &mut actions);
-                run_app(app, &self.system, &self.active)?
+                run_app(app, system, &self.active)?
             }
             Err(e2) => return Err(e2),
         };
@@ -834,6 +909,95 @@ impl Guard {
     pub fn tuned_spec(&self) -> &ScalingSpec {
         &self.tuned
     }
+
+    /// The system the guard serves on.
+    #[must_use]
+    pub fn system(&self) -> &SystemModel {
+        &self.system
+    }
+}
+
+/// The pure speculative half of [`Guard::run_forked`]: fork the system's
+/// fault stream by `salt`, draw the run's drift gain from the fork, and
+/// execute the app under `spec` — touching no guard state. A worker
+/// thread can run this for any future request in parallel; feeding the
+/// result back through [`Guard::run_forked`] replays it with bit-identical
+/// accounting (or discards it if the active spec moved on).
+#[must_use]
+pub fn speculate<A: HostApp>(
+    system: &SystemModel,
+    spec: &ScalingSpec,
+    salt: u64,
+    app_at: impl Fn(f64) -> A,
+) -> PreparedRun {
+    let forked = system.faults.fork(salt);
+    let gain = forked.input_drift_gain();
+    let app = app_at(gain);
+    let forked_system = system.clone().with_faults(forked);
+    PreparedRun {
+        spec: spec.clone(),
+        gain,
+        result: run_app(&app, &forked_system, spec),
+    }
+}
+
+/// A `Send + Sync` handle to a [`Guard`] shared by a pool of serving
+/// workers: the guard's policy/state core behind a poison-tolerant lock.
+///
+/// Lock acquisition never propagates poisoning — a worker that panics
+/// mid-serve must not take the whole pool down with it. The guard's state
+/// transitions are each applied atomically under the lock (breaker moves,
+/// fallback, report rows), so the state a panicking worker leaves behind
+/// is always a consistent one and the remaining workers keep serving.
+#[derive(Clone, Debug)]
+pub struct SharedGuard {
+    inner: Arc<Mutex<Guard>>,
+}
+
+impl SharedGuard {
+    /// Wraps a guard for shared serving.
+    #[must_use]
+    pub fn new(guard: Guard) -> SharedGuard {
+        SharedGuard {
+            inner: Arc::new(Mutex::new(guard)),
+        }
+    }
+
+    /// Acquires the guard, recovering it from a poisoned lock if a
+    /// previous holder panicked.
+    pub fn lock(&self) -> MutexGuard<'_, Guard> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Runs `f` with the locked guard.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Guard) -> R) -> R {
+        f(&mut self.lock())
+    }
+
+    /// Snapshot of the configuration production runs currently execute
+    /// under — what speculative workers execute against.
+    #[must_use]
+    pub fn active_spec(&self) -> ScalingSpec {
+        self.lock().active_spec().clone()
+    }
+
+    /// Whether the global breaker has tripped.
+    #[must_use]
+    pub fn fallback_active(&self) -> bool {
+        self.lock().fallback_active()
+    }
+
+    /// Whether the guard has demanded revalidation.
+    #[must_use]
+    pub fn revalidation_due(&self) -> bool {
+        self.lock().revalidation_due()
+    }
+
+    /// The serializable summary of the session so far.
+    #[must_use]
+    pub fn summary(&self) -> GuardSummary {
+        self.lock().report().summary()
+    }
 }
 
 #[cfg(test)]
@@ -1025,6 +1189,102 @@ mod tests {
             .run_production(|gain| gemm_app().with_input_gain(gain))
             .unwrap_err();
         assert_eq!(guard.report().revalidations_requested, 1);
+    }
+
+    #[test]
+    fn forked_runs_are_pure_and_replay_speculations_bit_identically() {
+        // Drift + transient faults on: the forked stream must make every
+        // request a pure function of (state, salt).
+        let plan = FaultPlan::seeded(23)
+            .with_input_drift(0.5, 4.0)
+            .with_transfer_failures(0.2);
+        let system = SystemModel::system1().with_faults(plan);
+        let app = gemm_app();
+        let mut a = Guard::new(&app, &system, half_spec(), GuardPolicy::default()).unwrap();
+        let mut b = a.clone();
+
+        for salt in 0..6u64 {
+            // Guard `a` replays a worker's speculation; guard `b` executes
+            // inline. Both must agree bit-for-bit.
+            let prep = speculate(a.system(), a.active_spec(), salt, |gain| {
+                gemm_app().with_input_gain(gain)
+            });
+            let va = a.run_forked(salt, |gain| gemm_app().with_input_gain(gain), Some(prep));
+            let vb = b.run_forked(salt, |gain| gemm_app().with_input_gain(gain), None);
+            match (va, vb) {
+                (Ok(va), Ok(vb)) => assert_eq!(va, vb, "salt {salt}"),
+                (Err(ea), Err(eb)) => assert_eq!(ea, eb, "salt {salt}"),
+                (va, vb) => panic!("diverged at salt {salt}: {va:?} vs {vb:?}"),
+            }
+        }
+        assert_eq!(a.report().runs, b.report().runs);
+        assert_eq!(a.report().timeline, b.report().timeline);
+    }
+
+    #[test]
+    fn stale_speculation_is_discarded_not_served() {
+        let system = SystemModel::system1();
+        let app = gemm_app();
+        let mut guard = Guard::new(&app, &system, half_spec(), GuardPolicy::default()).unwrap();
+        // Speculate against a spec that is *not* the active one: the
+        // replay must ignore it and re-execute under the active spec.
+        let stale = speculate(guard.system(), &ScalingSpec::baseline(), 0, |gain| {
+            gemm_app().with_input_gain(gain)
+        });
+        let v = guard
+            .run_forked(0, |gain| gemm_app().with_input_gain(gain), Some(stale))
+            .unwrap();
+        let fresh = speculate(guard.system(), guard.active_spec(), 0, |gain| {
+            gemm_app().with_input_gain(gain)
+        });
+        let (outputs, _) = fresh.result.unwrap();
+        assert_eq!(v.outputs, outputs, "must serve the active spec's outputs");
+    }
+
+    #[test]
+    fn overload_report_requests_revalidation_without_touching_precision() {
+        let system = SystemModel::system1();
+        let app = gemm_app();
+        let mut guard = Guard::new(&app, &system, half_spec(), GuardPolicy::default()).unwrap();
+        guard.report_overload();
+        assert!(guard.revalidation_due());
+        assert!(!guard.fallback_active(), "overload sheds work, not quality");
+        assert_eq!(guard.report().demotions, 0);
+        assert_eq!(guard.report().revalidations_requested, 1);
+        // Raised once until acknowledged.
+        guard.report_overload();
+        assert_eq!(guard.report().revalidations_requested, 1);
+        assert!(guard.report().history.iter().any(|e| e.action
+            == GuardAction::RevalidationRequested {
+                reason: RevalidationReason::SustainedOverload
+            }));
+        guard.acknowledge_revalidation();
+        assert!(!guard.revalidation_due());
+    }
+
+    #[test]
+    fn poisoned_shared_guard_keeps_serving() {
+        let system = SystemModel::system1();
+        let app = gemm_app();
+        let guard = Guard::new(&app, &system, half_spec(), GuardPolicy::default()).unwrap();
+        let shared = SharedGuard::new(guard);
+
+        // One worker panics while holding the lock…
+        let crashing = shared.clone();
+        let worker = std::thread::spawn(move || {
+            crashing.with(|_g| panic!("injected worker panic"));
+        });
+        assert!(worker.join().is_err(), "the panic must reach the join");
+
+        // …and the pool keeps serving through the poisoned mutex.
+        let v = shared
+            .with(|g| g.run_production(|gain| gemm_app().with_input_gain(gain)))
+            .unwrap();
+        assert!(!v.degraded);
+        assert_eq!(shared.summary().runs, 1);
+        assert!(!shared.fallback_active());
+        let (unguarded, _) = run_app(&app, &system, &half_spec()).unwrap();
+        assert_eq!(v.outputs, unguarded, "post-poison runs stay bit-identical");
     }
 
     #[test]

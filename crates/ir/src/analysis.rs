@@ -19,7 +19,7 @@
 //! mixed-precision `select` always converts its narrower arm, in both
 //! engines, so it needs no approximation.)
 
-use crate::ast::{Expr, Kernel, Param, Stmt};
+use crate::ast::{Expr, Kernel, Param, Stmt, TypeRef};
 use crate::counts::OpCounts;
 use crate::interp::{ArgValue, Launch};
 use crate::types::{Precision, ScalarType};
@@ -34,6 +34,13 @@ pub enum AnalysisError {
     MissingArg(String),
     /// A loop bound could not be resolved to an integer (data-dependent).
     DataDependentBound(String),
+    /// An identifier was used before any binding introduced it. The type
+    /// checker rejects such kernels; a malformed kernel that skipped it
+    /// must surface a typed error here, never a panic.
+    UnboundVar(String),
+    /// A load/store target or `ElemOf` reference does not name a buffer
+    /// parameter.
+    NotABuffer(String),
 }
 
 impl fmt::Display for AnalysisError {
@@ -43,7 +50,21 @@ impl fmt::Display for AnalysisError {
             AnalysisError::DataDependentBound(k) => {
                 write!(f, "kernel `{k}` has a data-dependent loop bound")
             }
+            AnalysisError::UnboundVar(n) => write!(f, "`{n}` is used before being bound"),
+            AnalysisError::NotABuffer(n) => write!(f, "`{n}` does not name a buffer parameter"),
         }
+    }
+}
+
+/// Resolves a [`TypeRef`] without panicking: a dangling `ElemOf` is a
+/// typed error, not a crash.
+fn resolve_ty(kernel: &Kernel, ty: &TypeRef) -> Result<ScalarType, AnalysisError> {
+    match ty {
+        TypeRef::Concrete(t) => Ok(*t),
+        TypeRef::ElemOf(buf) => kernel
+            .buffer_elem(buf)
+            .map(ScalarType::Float)
+            .ok_or_else(|| AnalysisError::NotABuffer(buf.clone())),
     }
 }
 
@@ -86,7 +107,7 @@ pub fn count_launch(kernel: &Kernel, launch: &Launch) -> Result<OpCounts, Analys
                 .find(|(n, _)| n == name)
                 .map(|(_, v)| *v)
                 .ok_or_else(|| AnalysisError::MissingArg(name.clone()))?;
-            let v = match (kernel.resolve(ty), arg) {
+            let v = match (resolve_ty(kernel, ty)?, arg) {
                 (ScalarType::Int, ArgValue::Int(v)) => AbsVal::Int(v),
                 (ScalarType::Float(p), _) => AbsVal::Float(p),
                 (ScalarType::Int, ArgValue::Float(_)) => {
@@ -279,16 +300,27 @@ impl<'k> Absint<'k> {
         AnalysisError::DataDependentBound(self.kernel.name.clone())
     }
 
-    fn lookup(&self, name: &str) -> AbsVal {
+    fn lookup(&self, name: &str) -> Result<AbsVal, AnalysisError> {
         for scope in self.scopes.iter().rev() {
             if let Some(v) = scope.get(name) {
-                return *v;
+                return Ok(*v);
             }
         }
-        *self
-            .scalars
+        self.scalars
             .get(name)
-            .expect("checked: variables are bound before use")
+            .copied()
+            .ok_or_else(|| AnalysisError::UnboundVar(name.to_owned()))
+    }
+
+    /// The innermost scope. The stack is never empty while a body is
+    /// analyzed ([`Absint::item`] seeds it), but a typed fallback beats a
+    /// panic in a serving worker.
+    fn top_scope(&mut self) -> &mut HashMap<&'k str, AbsVal> {
+        if self.scopes.is_empty() {
+            self.scopes.push(HashMap::new());
+        }
+        let top = self.scopes.len() - 1;
+        &mut self.scopes[top]
     }
 
     fn block(&mut self, stmts: &'k [Stmt], counts: &mut OpCounts) -> Result<(), AnalysisError> {
@@ -301,22 +333,23 @@ impl<'k> Absint<'k> {
     fn stmt(&mut self, stmt: &'k Stmt, counts: &mut OpCounts) -> Result<(), AnalysisError> {
         match stmt {
             Stmt::Let { name, ty, value } => {
-                let hint = ty.as_ref().and_then(|t| match self.kernel.resolve(t) {
+                let declared = match ty {
+                    Some(t) => Some(resolve_ty(self.kernel, t)?),
+                    None => None,
+                };
+                let hint = declared.and_then(|t| match t {
                     ScalarType::Float(p) => Some(p),
                     _ => None,
                 });
                 let mut v = self.eval(value, hint, counts)?;
-                if let Some(t) = ty {
-                    v = self.coerce(v, self.kernel.resolve(t), counts);
+                if let Some(t) = declared {
+                    v = self.coerce(v, t, counts);
                 }
-                self.scopes
-                    .last_mut()
-                    .expect("scope stack is never empty")
-                    .insert(name.as_str(), v);
+                self.top_scope().insert(name.as_str(), v);
                 Ok(())
             }
             Stmt::Assign { name, value } => {
-                let current = self.lookup(name);
+                let current = self.lookup(name)?;
                 let hint = current.precision();
                 let v = self.eval(value, hint, counts)?;
                 let target = match current {
@@ -331,13 +364,15 @@ impl<'k> Absint<'k> {
                         return Ok(());
                     }
                 }
-                unreachable!("checked: `{name}` is a declared local");
+                // Bound in `scalars` only: assignment to a parameter, which
+                // the type checker rejects — surface it as typed, not fatal.
+                Err(AnalysisError::UnboundVar(name.clone()))
             }
             Stmt::Store { buf, index, value } => {
                 let elem = self
                     .kernel
                     .buffer_elem(buf)
-                    .expect("checked: store target is a buffer");
+                    .ok_or_else(|| AnalysisError::NotABuffer(buf.clone()))?;
                 let _ = self.eval(index, None, counts)?;
                 let v = self.eval(value, Some(elem), counts)?;
                 if v.precision() != Some(elem) {
@@ -369,20 +404,14 @@ impl<'k> Absint<'k> {
                 self.scopes.push(HashMap::new());
                 let result = (|| {
                     if uniform {
-                        self.scopes
-                            .last_mut()
-                            .expect("scope stack is never empty")
-                            .insert(var.as_str(), AbsVal::Int(s));
+                        self.top_scope().insert(var.as_str(), AbsVal::Int(s));
                         let mut one = OpCounts::new();
                         self.block(body, &mut one)?;
                         *counts += one.scaled(trips);
                         Ok(())
                     } else {
                         for i in s..e {
-                            self.scopes
-                                .last_mut()
-                                .expect("scope stack is never empty")
-                                .insert(var.as_str(), AbsVal::Int(i));
+                            self.top_scope().insert(var.as_str(), AbsVal::Int(i));
                             self.block(body, counts)?;
                         }
                         Ok(())
@@ -463,13 +492,13 @@ impl<'k> Absint<'k> {
             Expr::FloatConst(_) => Ok(AbsVal::Float(hint.unwrap_or(Precision::Double))),
             Expr::IntConst(v) => Ok(AbsVal::Int(*v)),
             Expr::GlobalId(d) => Ok(AbsVal::Int(if *d < 2 { self.gid[*d] } else { 0 })),
-            Expr::Var(name) => Ok(self.lookup(name)),
+            Expr::Var(name) => self.lookup(name),
             Expr::Load { buf, index } => {
                 let _ = self.eval(index, None, counts)?;
                 let elem = self
                     .kernel
                     .buffer_elem(buf)
-                    .expect("checked: load source is a buffer");
+                    .ok_or_else(|| AnalysisError::NotABuffer(buf.clone()))?;
                 counts.at_mut(elem).loads += 1;
                 Ok(AbsVal::Float(elem))
             }
@@ -531,7 +560,8 @@ impl<'k> Absint<'k> {
             }
             Expr::Cast { to, arg } => {
                 let v = self.eval(arg, None, counts)?;
-                Ok(self.coerce(v, self.kernel.resolve(to), counts))
+                let to = resolve_ty(self.kernel, to)?;
+                Ok(self.coerce(v, to, counts))
             }
             Expr::Select { cond, then, els } => {
                 let c = self.eval(cond, None, counts)?;
@@ -801,6 +831,52 @@ mod tests {
         let k = kernel("k").int_param("n").body(vec![]);
         let err = count_launch(&k, &Launch::one_d(1)).unwrap_err();
         assert!(matches!(err, AnalysisError::MissingArg(_)));
+    }
+
+    #[test]
+    fn unbound_var_is_a_typed_error_not_a_panic() {
+        // Malformed kernel that skips the type checker: a serving worker
+        // must get a typed error back, never a panic.
+        let k = kernel("loose")
+            .buffer("c", Precision::Single, Access::Write)
+            .body(vec![store("c", int(0), var("ghost"))]);
+        let err = count_launch(&k, &Launch::one_d(1)).unwrap_err();
+        assert!(
+            matches!(err, AnalysisError::UnboundVar(ref n) if n == "ghost"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn store_through_non_buffer_is_a_typed_error_not_a_panic() {
+        let k = kernel("loose2")
+            .int_param("n")
+            .body(vec![store("n", int(0), flit(1.0))]);
+        let launch = Launch::one_d(1).arg_int("n", 1);
+        let err = count_launch(&k, &launch).unwrap_err();
+        assert!(
+            matches!(err, AnalysisError::NotABuffer(ref n) if n == "n"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn dangling_elem_of_is_a_typed_error_not_a_panic() {
+        let k = kernel("loose3")
+            .buffer("c", Precision::Single, Access::Write)
+            .body(vec![store(
+                "c",
+                int(0),
+                Expr::Cast {
+                    to: TypeRef::ElemOf("ghost".into()),
+                    arg: Box::new(flit(1.0)),
+                },
+            )]);
+        let err = count_launch(&k, &Launch::one_d(1)).unwrap_err();
+        assert!(
+            matches!(err, AnalysisError::NotABuffer(ref n) if n == "ghost"),
+            "{err}"
+        );
     }
 
     #[test]

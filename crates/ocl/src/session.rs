@@ -29,6 +29,16 @@ pub struct RetryPolicy {
     pub base_backoff: SimTime,
     /// Backoff growth per retry (exponential).
     pub multiplier: f64,
+    /// Relative amplitude of the seeded backoff jitter: each backoff is
+    /// scaled by a deterministic factor in `[1 - j, 1 + j]` drawn from
+    /// `(jitter_seed, attempt)`. `0` disables jitter exactly, restoring
+    /// the pure exponential schedule.
+    pub jitter: f64,
+    /// Seed of the jitter stream. Concurrent workers retrying after the
+    /// same transient fault must carry *different* seeds (see
+    /// [`RetryPolicy::with_jitter_salt`]) so their retries spread out
+    /// instead of storming the device in lockstep.
+    pub jitter_seed: u64,
     /// Per-operation cap on accumulated backoff; exceeding it is a fatal
     /// [`OclError::Timeout`]. `None` = unbounded.
     pub timeout: Option<SimTime>,
@@ -40,9 +50,18 @@ impl Default for RetryPolicy {
             max_attempts: 4,
             base_backoff: SimTime::from_micros(10.0),
             multiplier: 2.0,
+            jitter: 0.25,
+            jitter_seed: 0,
             timeout: Some(SimTime::from_secs(0.01)),
         }
     }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl RetryPolicy {
@@ -55,10 +74,31 @@ impl RetryPolicy {
         }
     }
 
-    /// Backoff charged after the `attempt`-th (1-based) failed attempt.
+    /// A copy whose jitter stream is decorrelated by `salt`: give every
+    /// concurrent worker a distinct salt so a burst of simultaneous
+    /// transient faults fans retries out over time instead of replaying
+    /// the identical backoff schedule on all workers at once.
+    #[must_use]
+    pub fn with_jitter_salt(mut self, salt: u64) -> RetryPolicy {
+        self.jitter_seed = splitmix64(self.jitter_seed ^ salt);
+        self
+    }
+
+    /// Backoff charged after the `attempt`-th (1-based) failed attempt:
+    /// exponential in the attempt, scaled by the seeded jitter factor.
+    /// Deterministic — the same `(policy, attempt)` always waits the same
+    /// virtual time, so replays stay bit-identical.
     #[must_use]
     pub fn backoff_for(&self, attempt: u32) -> SimTime {
-        self.base_backoff * self.multiplier.powi(attempt.saturating_sub(1) as i32)
+        let exponential =
+            self.base_backoff * self.multiplier.powi(attempt.saturating_sub(1) as i32);
+        if self.jitter <= 0.0 {
+            return exponential;
+        }
+        let bits =
+            splitmix64(self.jitter_seed ^ u64::from(attempt).wrapping_mul(0xA076_1D64_78BD_642F));
+        let unit = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        exponential * (1.0 - self.jitter + 2.0 * self.jitter * unit).max(0.05)
     }
 }
 
@@ -872,16 +912,18 @@ mod tests {
 
     #[test]
     fn truncated_final_backoff_charges_exactly_the_budget() {
-        // Power-of-two durations keep every sum exact, so the assertion
-        // below is bit-exact: backoffs 2⁻¹⁷s, 2⁻¹⁶s, then 2⁻¹⁵s which the
-        // 3.5·2⁻¹⁷s budget truncates to 2⁻¹⁸s — overhead must equal the
-        // budget, not the untruncated sum.
+        // With jitter disabled the power-of-two durations keep every sum
+        // exact, so the assertion below is bit-exact: backoffs 2⁻¹⁷s,
+        // 2⁻¹⁶s, then 2⁻¹⁵s which the 3.5·2⁻¹⁷s budget truncates to
+        // 2⁻¹⁸s — overhead must equal the budget, not the untruncated sum.
         let base = SimTime::from_secs(2f64.powi(-17));
         let budget = SimTime::from_secs(3.5 * 2f64.powi(-17));
         let policy = RetryPolicy {
             max_attempts: 16,
             base_backoff: base,
             multiplier: 2.0,
+            jitter: 0.0,
+            jitter_seed: 0,
             timeout: Some(budget),
         };
         let system =
@@ -897,6 +939,43 @@ mod tests {
             budget,
             "overhead must sum exactly to the truncated waits"
         );
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_bounded_and_decorrelated() {
+        let policy = RetryPolicy::default();
+        assert!(policy.jitter > 0.0, "jitter is on by default");
+        for attempt in 1..=8u32 {
+            let exact = policy.base_backoff * policy.multiplier.powi(attempt as i32 - 1);
+            let jittered = policy.backoff_for(attempt);
+            // Deterministic: the same (policy, attempt) always waits the
+            // same virtual time…
+            assert_eq!(jittered, policy.backoff_for(attempt));
+            // …inside the configured band around the exponential schedule.
+            let ratio = jittered.as_secs() / exact.as_secs();
+            assert!(
+                (1.0 - policy.jitter..=1.0 + policy.jitter).contains(&ratio),
+                "attempt {attempt}: ratio {ratio} outside the jitter band"
+            );
+        }
+        // Distinct worker salts must not retry in lockstep.
+        let a = policy.with_jitter_salt(1);
+        let b = policy.with_jitter_salt(2);
+        let schedule =
+            |p: &RetryPolicy| -> Vec<SimTime> { (1..=6).map(|i| p.backoff_for(i)).collect() };
+        assert_ne!(schedule(&a), schedule(&b), "salts must decorrelate");
+        assert_eq!(schedule(&a), schedule(&a), "each stream stays replayable");
+        // Zero jitter restores the pure exponential schedule exactly.
+        let plain = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        for attempt in 1..=8u32 {
+            assert_eq!(
+                plain.backoff_for(attempt),
+                plain.base_backoff * plain.multiplier.powi(attempt as i32 - 1)
+            );
+        }
     }
 
     #[test]

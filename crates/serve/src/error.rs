@@ -1,0 +1,85 @@
+//! The typed rejection taxonomy of the serving front-end. Overload
+//! produces one of these — explicitly, per request — never a silent drop.
+
+use std::fmt;
+
+/// Why a request was not served. Every request the front-end does not
+/// serve to completion carries exactly one of these; callers can always
+/// distinguish "the system chose to shed you" from "the device died".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ServeError {
+    /// The bounded admission queue was at capacity when the request
+    /// arrived. The request was rejected at the door; no state changed.
+    QueueFull,
+    /// Admission control determined the request could not finish inside
+    /// its deadline budget (queue wait plus predicted service time on the
+    /// virtual timeline) and shed it before launch.
+    DeadlineExceeded,
+    /// The session is draining — a prior fatal failure or an explicit
+    /// shutdown — so no new work is admitted.
+    ShuttingDown,
+    /// The device was lost while serving this request. Fatal for the
+    /// session: subsequent requests are rejected [`ServeError::ShuttingDown`].
+    DeviceLost,
+}
+
+impl ServeError {
+    /// True for rejections that are load-shedding policy decisions
+    /// (admission or deadline or drain), as opposed to a device failure.
+    #[must_use]
+    pub fn is_shed(self) -> bool {
+        !matches!(self, ServeError::DeviceLost)
+    }
+
+    /// Stable one-byte tag used by outcome digests.
+    #[must_use]
+    pub fn tag(self) -> u8 {
+        match self {
+            ServeError::QueueFull => 1,
+            ServeError::DeadlineExceeded => 2,
+            ServeError::ShuttingDown => 3,
+            ServeError::DeviceLost => 4,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull => write!(f, "admission queue full"),
+            ServeError::DeadlineExceeded => write!(f, "deadline budget cannot be met"),
+            ServeError::ShuttingDown => write!(f, "session shutting down"),
+            ServeError::DeviceLost => write!(f, "device lost mid-service"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shedding_is_policy_device_loss_is_not() {
+        assert!(ServeError::QueueFull.is_shed());
+        assert!(ServeError::DeadlineExceeded.is_shed());
+        assert!(ServeError::ShuttingDown.is_shed());
+        assert!(!ServeError::DeviceLost.is_shed());
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let tags = [
+            ServeError::QueueFull.tag(),
+            ServeError::DeadlineExceeded.tag(),
+            ServeError::ShuttingDown.tag(),
+            ServeError::DeviceLost.tag(),
+        ];
+        for (i, a) in tags.iter().enumerate() {
+            for b in &tags[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

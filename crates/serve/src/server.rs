@@ -1,0 +1,563 @@
+//! The serving front-end: bounded admission, deadline budgets, load
+//! shedding, and a speculative multi-worker execution pool over a shared
+//! guarded session.
+//!
+//! # Determinism
+//!
+//! The simulated system has **one** device, so admission, queueing and
+//! deadline semantics are computed by a sequential discrete-event sweep
+//! over the arrival trace in virtual time — the single logical service
+//! line. Worker threads are pure *physical* parallelism: they execute
+//! requests speculatively ([`prescaler_guard::speculate`] is a pure
+//! function of the forked fault stream and the active spec) and the
+//! sweep replays each speculation through [`Guard::run_forked`], which
+//! reuses it only if its assumptions still hold. Outcomes therefore
+//! depend only on `(seed, trace, config policy)` — never on the worker
+//! count — which is what the cross-worker-count bit-identity tests pin.
+//!
+//! # Shedding policy
+//!
+//! Overload sheds *work*, never *quality*: a rejected request gets a
+//! typed [`ServeError`]; an admitted request always runs under the full
+//! guard (TOQ-or-fallback). Sustained shedding raises the guard's
+//! revalidation machinery ([`Guard::report_overload`]) instead of
+//! demoting precision to buy throughput.
+
+use crate::error::ServeError;
+use crate::trace::ArrivalTrace;
+use prescaler_core::report::{ServeReport, ServeSummary};
+use prescaler_core::SpecSnapshot;
+use prescaler_guard::{speculate, Guard, PreparedRun, SharedGuard};
+use prescaler_ocl::{HostApp, OclError, Outputs, ScalingSpec};
+use prescaler_sim::SimTime;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Admission and scheduling policy of a serving session.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServeConfig {
+    /// Bound on requests waiting for the device. An arrival that finds
+    /// the waiting room at capacity is rejected
+    /// [`ServeError::QueueFull`] — queue memory is bounded by
+    /// construction, overload can only produce rejections.
+    pub queue_capacity: usize,
+    /// Per-request completion budget, charged against the virtual
+    /// timeline from arrival: queue wait plus on-device service time
+    /// must fit inside it or the request is shed before launch.
+    pub deadline: SimTime,
+    /// Physical worker threads executing requests speculatively. Affects
+    /// wall-clock only; per-request outcomes are invariant to it.
+    pub workers: usize,
+    /// After this many load-shedding rejections (queue-full plus
+    /// deadline), the session reports sustained overload to the guard,
+    /// raising its revalidation request. `0` disables the signal.
+    pub overload_shed_tolerance: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 8,
+            deadline: SimTime::from_secs(1.0),
+            workers: 1,
+            overload_shed_tolerance: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A config with the given worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> ServeConfig {
+        self.workers = workers;
+        self
+    }
+}
+
+/// The record of one request served to completion.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServedRequest {
+    /// The request's trace id.
+    pub id: u64,
+    /// Virtual arrival time.
+    pub arrival: SimTime,
+    /// Virtual time service began (arrival, or when the device freed).
+    pub started: SimTime,
+    /// Virtual completion time.
+    pub completed: SimTime,
+    /// Whether the run served a degraded (demoted or fallback) config.
+    pub degraded: bool,
+    /// Canary-scored quality of the run, when one was taken.
+    pub canary_quality: Option<f64>,
+    /// Canonical digest of the configuration in effect when the run
+    /// completed (the spec served, after any same-run fallback).
+    pub spec_digest: u64,
+    /// Digest of the run's host-visible output bits.
+    pub output_digest: u64,
+}
+
+/// The outcome of one request: served, or rejected with a typed error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestOutcome {
+    /// The request's trace id.
+    pub id: u64,
+    /// Virtual arrival time.
+    pub arrival: SimTime,
+    /// Served record, or the typed rejection.
+    pub result: Result<ServedRequest, ServeError>,
+}
+
+/// Everything a serving session produced: the per-request outcome rows
+/// (arrival order) and the aggregate report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeRun {
+    /// Per-request outcomes in arrival order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Aggregate counters, guard summary, and the outcome digest.
+    pub report: ServeReport,
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv1a_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv1a_u64(h: u64, v: u64) -> u64 {
+    fnv1a_bytes(h, &v.to_le_bytes())
+}
+
+/// Canonical digest of a scaling spec (via its sorted snapshot form, so
+/// equal specs always digest equally).
+#[must_use]
+pub fn spec_digest(spec: &ScalingSpec) -> u64 {
+    let json = serde_json::to_string(&SpecSnapshot::of(spec)).unwrap_or_default();
+    fnv1a_bytes(FNV_OFFSET, json.as_bytes())
+}
+
+/// Digest of an output set's exact bit patterns.
+#[must_use]
+pub fn output_digest(outputs: &Outputs) -> u64 {
+    let mut h = FNV_OFFSET;
+    for (label, data) in outputs {
+        h = fnv1a_bytes(h, label.as_bytes());
+        for i in 0..data.len() {
+            h = fnv1a_u64(h, data.get(i).to_bits());
+        }
+    }
+    h
+}
+
+/// A multi-worker serving front-end over one guarded session.
+pub struct Server {
+    guard: SharedGuard,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Wraps a guard for serving under `config`.
+    #[must_use]
+    pub fn new(guard: Guard, config: ServeConfig) -> Server {
+        Server {
+            guard: SharedGuard::new(guard),
+            config,
+        }
+    }
+
+    /// The shared guard handle (for inspection or revalidation turns).
+    #[must_use]
+    pub fn guard(&self) -> &SharedGuard {
+        &self.guard
+    }
+
+    /// The session's config.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Serves an arrival trace to completion and returns every
+    /// per-request outcome plus the aggregate report.
+    ///
+    /// Phase 1 fans the trace out to `config.workers` threads that
+    /// execute each request speculatively against a snapshot of the
+    /// active configuration. Phase 2 sweeps the trace once in arrival
+    /// order, making every admission/deadline/shedding decision on the
+    /// virtual timeline and replaying the speculations through the
+    /// guard — reusing a speculation only when its assumptions held, so
+    /// a stale or missing (or panicked-away) speculation merely costs a
+    /// recompute, never a different outcome.
+    pub fn serve<A: HostApp>(
+        &self,
+        trace: &ArrivalTrace,
+        app_at: impl Fn(f64) -> A + Sync,
+    ) -> ServeRun {
+        let n = trace.len();
+        let slots = self.speculate_all(trace, &app_at);
+        let mut summary = ServeSummary {
+            arrivals: n as u64,
+            ..ServeSummary::default()
+        };
+        let mut outcomes = Vec::with_capacity(n);
+        let mut digest = FNV_OFFSET;
+        let mut device_free = SimTime::ZERO;
+        // Start times of admitted requests that are still waiting for the
+        // device — the bounded admission queue. Its length never exceeds
+        // `queue_capacity`: that is checked *before* every admission.
+        let mut waiting: VecDeque<SimTime> = VecDeque::new();
+        let mut shutting_down = false;
+
+        for (i, req) in trace.requests.iter().enumerate() {
+            let t = req.arrival;
+            while waiting.front().is_some_and(|&s| s <= t) {
+                waiting.pop_front();
+            }
+
+            let result = if shutting_down {
+                Err(ServeError::ShuttingDown)
+            } else if waiting.len() >= self.config.queue_capacity {
+                Err(ServeError::QueueFull)
+            } else {
+                self.admit(req.id, t, device_free, &slots[i], &app_at)
+            };
+
+            match &result {
+                Ok(served) => {
+                    summary.served += 1;
+                    summary.busy_secs += (served.completed - served.started).as_secs();
+                    summary.makespan_secs = served.completed.as_secs();
+                    if served.degraded {
+                        summary.degraded_served += 1;
+                    }
+                    device_free = served.completed;
+                    if served.started > t {
+                        waiting.push_back(served.started);
+                    }
+                    summary.peak_queue_depth = summary.peak_queue_depth.max(waiting.len() as u64);
+                }
+                Err(ServeError::QueueFull) => summary.shed_queue_full += 1,
+                Err(ServeError::DeadlineExceeded) => summary.shed_deadline += 1,
+                Err(ServeError::ShuttingDown) => summary.shed_shutdown += 1,
+                Err(ServeError::DeviceLost) => {
+                    summary.failed_device_lost += 1;
+                    // Fatal: drain the session. Everything still queued or
+                    // yet to arrive is rejected with a typed error.
+                    shutting_down = true;
+                }
+            }
+
+            // Sustained overload: shed work, never quality — tell the
+            // guard to demand a system-aware re-tune (raised once).
+            let sheds = summary.shed_queue_full + summary.shed_deadline;
+            if self.config.overload_shed_tolerance > 0
+                && sheds >= self.config.overload_shed_tolerance
+                && !summary.overload_revalidation
+            {
+                self.guard.with(Guard::report_overload);
+                summary.overload_revalidation = true;
+            }
+
+            digest = fnv1a_u64(digest, req.id);
+            digest = match &result {
+                Ok(s) => {
+                    let h = fnv1a_u64(digest, 0);
+                    let h = fnv1a_u64(h, s.spec_digest);
+                    let h = fnv1a_u64(h, s.output_digest);
+                    let h = fnv1a_u64(h, s.started.as_secs().to_bits());
+                    let h = fnv1a_u64(h, s.completed.as_secs().to_bits());
+                    let h = fnv1a_u64(h, u64::from(s.degraded));
+                    fnv1a_u64(h, s.canary_quality.map_or(u64::MAX, f64::to_bits))
+                }
+                Err(e) => fnv1a_u64(digest, u64::from(e.tag())),
+            };
+            outcomes.push(RequestOutcome {
+                id: req.id,
+                arrival: t,
+                result,
+            });
+        }
+
+        let report = ServeReport {
+            summary,
+            guard: self.guard.summary(),
+            outcome_digest: digest,
+            workers: self.config.workers.max(1) as u64,
+            seed: trace.seed,
+        };
+        ServeRun { outcomes, report }
+    }
+
+    /// Phase 1: speculative parallel execution of the whole trace
+    /// against a snapshot of the active configuration.
+    fn speculate_all<A: HostApp>(
+        &self,
+        trace: &ArrivalTrace,
+        app_at: &(impl Fn(f64) -> A + Sync),
+    ) -> Vec<Mutex<Option<PreparedRun>>> {
+        let n = trace.len();
+        let snapshot = self.guard.active_spec();
+        let system = self.guard.with(|g| g.system().clone());
+        let slots: Vec<Mutex<Option<PreparedRun>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.config.workers.max(1);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(req) = trace.requests.get(i) else {
+                            break;
+                        };
+                        let prep = speculate(&system, &snapshot, req.id, app_at);
+                        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(prep);
+                    })
+                })
+                .collect();
+            for h in handles {
+                // A panicked worker forfeits its remaining slots; the
+                // replay recomputes them inline and the pool keeps going.
+                let _ = h.join();
+            }
+        });
+        slots
+    }
+
+    /// Deadline admission plus guarded execution of one request.
+    fn admit<A: HostApp>(
+        &self,
+        id: u64,
+        arrival: SimTime,
+        device_free: SimTime,
+        slot: &Mutex<Option<PreparedRun>>,
+        app_at: &impl Fn(f64) -> A,
+    ) -> Result<ServedRequest, ServeError> {
+        // Validate the speculation against the *current* active spec; a
+        // breaker may have moved it since the snapshot was taken.
+        let prep = {
+            let taken = slot.lock().unwrap_or_else(PoisonError::into_inner).take();
+            let active = self.guard.active_spec();
+            match taken {
+                Some(p) if p.spec == active => p,
+                _ => self
+                    .guard
+                    .with(|g| speculate(g.system(), g.active_spec(), id, app_at)),
+            }
+        };
+
+        let started = arrival.max(device_free);
+        // Deadline budget on the virtual timeline: queue wait plus the
+        // predicted production service time must fit. The canary a run
+        // may trigger executes on the clean twin — a different logical
+        // device — so it never occupies the queue's device or counts
+        // against any request's budget. For a run that will fail
+        // (service time unknowable) the wait alone decides.
+        let budget_end = arrival + self.config.deadline;
+        let predicted = prep
+            .result
+            .as_ref()
+            .ok()
+            .map(|(_, log)| log.timeline.total());
+        let misses = match predicted {
+            Some(s) => started + s > budget_end,
+            None => started > budget_end,
+        };
+        if misses {
+            return Err(ServeError::DeadlineExceeded);
+        }
+
+        match self.guard.with(|g| g.run_forked(id, app_at, Some(prep))) {
+            Ok(v) => {
+                let sd = spec_digest(&self.guard.active_spec());
+                Ok(ServedRequest {
+                    id,
+                    arrival,
+                    started,
+                    completed: started + v.timeline.total(),
+                    degraded: v.degraded,
+                    canary_quality: v.canary_quality,
+                    spec_digest: sd,
+                    output_digest: output_digest(&v.outputs),
+                })
+            }
+            // The device died serving this request — or the guard's
+            // last-resort baseline retry died too, which means the
+            // runtime cannot serve at all: either way the session is
+            // over. The triggering request reports the loss; the caller
+            // drains the rest as `ShuttingDown`.
+            Err(OclError::DeviceLost { .. }) | Err(_) => Err(ServeError::DeviceLost),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::ArrivalTrace;
+    use prescaler_faults::FaultPlan;
+    use prescaler_guard::GuardPolicy;
+    use prescaler_ir::Precision;
+    use prescaler_polybench::{BenchKind, Dims, InputSet, PolyApp};
+    use prescaler_sim::SystemModel;
+
+    fn gemm_app() -> PolyApp {
+        PolyApp::new(BenchKind::Gemm, Dims::square(12), InputSet::Random, 7)
+    }
+
+    fn half_spec() -> ScalingSpec {
+        let mut spec = ScalingSpec::baseline();
+        for label in ["A", "B", "C"] {
+            spec = spec.with_target(label, Precision::Half);
+        }
+        spec
+    }
+
+    fn guard_on(system: &SystemModel) -> Guard {
+        Guard::new(&gemm_app(), system, half_spec(), GuardPolicy::default()).unwrap()
+    }
+
+    /// Service time of one clean request on system1's device, measured.
+    fn service_secs(system: &SystemModel) -> f64 {
+        let prep = speculate(system, &half_spec(), 0, |g| gemm_app().with_input_gain(g));
+        prep.result.unwrap().1.timeline.total().as_secs()
+    }
+
+    #[test]
+    fn outcomes_are_invariant_to_worker_count() {
+        let plan = FaultPlan::seeded(41).with_input_drift(0.3, 2.0);
+        let system = SystemModel::system1().with_faults(plan);
+        let s = service_secs(&system);
+        let trace = ArrivalTrace::generate(41, 20, SimTime::from_secs(s * 0.8), &system.faults);
+        let mut runs = Vec::new();
+        for workers in [1usize, 2, 8] {
+            let config = ServeConfig {
+                queue_capacity: 3,
+                deadline: SimTime::from_secs(s * 4.0),
+                workers,
+                overload_shed_tolerance: 0,
+            };
+            let server = Server::new(guard_on(&system), config);
+            runs.push(server.serve(&trace, |g| gemm_app().with_input_gain(g)));
+        }
+        assert_eq!(runs[0].outcomes, runs[1].outcomes, "1 vs 2 workers");
+        assert_eq!(runs[0].outcomes, runs[2].outcomes, "1 vs 8 workers");
+        assert_eq!(runs[0].report.outcome_digest, runs[2].report.outcome_digest);
+        assert_eq!(runs[0].report.summary, runs[2].report.summary);
+    }
+
+    #[test]
+    fn every_arrival_is_accounted_and_queue_stays_bounded() {
+        let system = SystemModel::system1();
+        let s = service_secs(&system);
+        // Arrivals ~5x faster than service: sustained pressure.
+        let trace = ArrivalTrace::generate(3, 30, SimTime::from_secs(s / 5.0), &system.faults);
+        let config = ServeConfig {
+            queue_capacity: 2,
+            deadline: SimTime::from_secs(s * 100.0),
+            workers: 2,
+            overload_shed_tolerance: 0,
+        };
+        let server = Server::new(guard_on(&system), config);
+        let run = server.serve(&trace, |g| gemm_app().with_input_gain(g));
+        let sum = &run.report.summary;
+        assert_eq!(sum.arrivals, 30);
+        assert_eq!(sum.accounted(), sum.arrivals, "no silent drops");
+        assert!(sum.shed_queue_full > 0, "pressure must shed: {sum:?}");
+        assert!(sum.served > 0, "the device still serves at capacity");
+        assert!(
+            sum.peak_queue_depth <= config.queue_capacity as u64,
+            "queue bound violated: {} > {}",
+            sum.peak_queue_depth,
+            config.queue_capacity
+        );
+    }
+
+    #[test]
+    fn hopeless_deadlines_shed_before_launch() {
+        let system = SystemModel::system1();
+        let s = service_secs(&system);
+        let trace = ArrivalTrace::generate(5, 10, SimTime::from_secs(s * 2.0), &system.faults);
+        // Half a service time of budget: nothing can ever finish.
+        let config = ServeConfig {
+            queue_capacity: 4,
+            deadline: SimTime::from_secs(s * 0.5),
+            workers: 2,
+            overload_shed_tolerance: 0,
+        };
+        let server = Server::new(guard_on(&system), config);
+        let run = server.serve(&trace, |g| gemm_app().with_input_gain(g));
+        let sum = &run.report.summary;
+        assert_eq!(sum.served, 0);
+        assert_eq!(sum.shed_deadline, 10, "all shed before launch: {sum:?}");
+        assert_eq!(server.guard().summary().runs, 0, "nothing launched");
+    }
+
+    #[test]
+    fn device_loss_fails_the_request_and_drains_the_session() {
+        let plan = FaultPlan::seeded(2).with_device_loss(1.0);
+        let system = SystemModel::system1().with_faults(plan);
+        let clean = SystemModel::system1();
+        let s = service_secs(&clean);
+        let trace = ArrivalTrace::generate(2, 6, SimTime::from_secs(s), &system.faults);
+        let server = Server::new(
+            guard_on(&system),
+            ServeConfig {
+                deadline: SimTime::from_secs(s * 50.0),
+                ..ServeConfig::default()
+            },
+        );
+        let run = server.serve(&trace, |g| gemm_app().with_input_gain(g));
+        assert_eq!(
+            run.outcomes[0].result,
+            Err(ServeError::DeviceLost),
+            "the first admitted request reports the loss"
+        );
+        for o in &run.outcomes[1..] {
+            assert_eq!(o.result, Err(ServeError::ShuttingDown));
+        }
+        assert!(
+            server.guard().revalidation_due(),
+            "loss demands revalidation"
+        );
+    }
+
+    #[test]
+    fn sustained_shedding_reports_overload_not_demotion() {
+        let burst = FaultPlan::seeded(6).with_overload_burst(1.0, 4);
+        let system = SystemModel::system1().with_faults(burst);
+        let s = service_secs(&SystemModel::system1());
+        let trace = ArrivalTrace::generate(6, 12, SimTime::from_secs(s * 0.5), &system.faults);
+        assert!(trace.burst_extras() > 0, "burst plan must spike the trace");
+        let config = ServeConfig {
+            queue_capacity: 1,
+            deadline: SimTime::from_secs(s * 3.0),
+            workers: 2,
+            overload_shed_tolerance: 3,
+        };
+        let server = Server::new(guard_on(&system), config);
+        let run = server.serve(&trace, |g| gemm_app().with_input_gain(g));
+        let sum = &run.report.summary;
+        assert!(
+            sum.shed() >= 3,
+            "burst against capacity 1 must shed: {sum:?}"
+        );
+        assert!(sum.overload_revalidation);
+        assert!(server.guard().revalidation_due());
+        assert_eq!(
+            run.report.guard.demotions, 0,
+            "overload must never demote precision"
+        );
+        // Every admitted request still got full guard semantics.
+        for o in &run.outcomes {
+            if let Ok(served) = &o.result {
+                if let Some(q) = served.canary_quality {
+                    assert!(q >= 0.9 || run.report.guard.fallback, "TOQ-or-fallback");
+                }
+            }
+        }
+    }
+}

@@ -6,6 +6,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
+# Examples and benches must keep building too — a target that only the
+# default build compiles can rot silently.
+cargo build --release --offline --workspace --all-targets
 cargo test -q --workspace --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo fmt --all --check
@@ -21,12 +24,17 @@ cargo fmt --all --check
 # and unplugs the serving system and requires TOQ-or-fallback serving,
 # typed device-loss errors, fingerprint-bound snapshots, and warm
 # re-tunes that are bit-identical to cold ones at strictly fewer
-# executions.
+# executions. The serving suite overloads a bounded-admission front-end
+# (arrival bursts, tight queues, tight deadlines, device loss) and
+# requires bit-identical per-request outcomes at 1/2/8 workers, a typed
+# rejection for every shed request, and TOQ-or-fallback for every
+# admitted one.
 for seed in 1 2 3; do
     PRESCALER_FAULT_SEED=$seed \
         cargo test -q --offline \
         --test guard_properties --test pipeline_properties \
-        --test crash_resume_properties --test drift_properties
+        --test crash_resume_properties --test drift_properties \
+        --test serve_properties
 done
 
 # Crash-resume smoke: kill one tune at a seeded boundary with a seeded
@@ -44,6 +52,24 @@ done
 # The guarded-serving example doubles as an end-to-end smoke test: it
 # asserts its own breaker-trip / recovery / accounting guarantees.
 cargo run --release --offline --example guarded_serving
+
+# Multi-worker serving stress: run the overloaded serving example as
+# three separate processes at 1, 2, and 8 workers and diff the printed
+# per-request outcome digests — worker count is physical parallelism
+# only and must never change an outcome. (The example also self-asserts
+# bounded-queue, typed-shedding, and TOQ-or-fallback guarantees.)
+serve_digests=""
+for workers in 1 2 8; do
+    digest=$(PRESCALER_SERVE_WORKERS=$workers \
+        cargo run --release --offline --example serve_under_load \
+        | grep '^outcome digest:' | awk '{print $3}')
+    echo "serve_under_load @ ${workers} workers -> digest ${digest}"
+    serve_digests="${serve_digests} ${digest}"
+done
+if [ "$(echo "${serve_digests}" | tr ' ' '\n' | sed '/^$/d' | sort -u | wc -l)" -ne 1 ]; then
+    echo "serving outcomes diverged across worker counts:${serve_digests}" >&2
+    exit 1
+fi
 
 # Benchmarks must keep compiling, and the search benchmark binary doubles
 # as a perf smoke test (trial/cache accounting asserted deterministic).

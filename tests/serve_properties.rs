@@ -1,0 +1,231 @@
+//! Seeded property suite for overload-safe serving (`prescaler-serve`).
+//!
+//! Generated cases sweep apps × seeds × worker counts × overload plans
+//! (arrival bursts, input drift, device loss, tight queues, tight
+//! deadlines) and pin the serving front-end's four contracts:
+//!
+//! * **(a) Worker-count bit-identity**: the same `(seed, trace, policy)`
+//!   yields bit-identical per-request outcomes — and outcome digests —
+//!   at 1, 2, and 8 workers.
+//! * **(b) TOQ-or-fallback for every admitted request**: a canary-scored
+//!   run below TOQ is always answered by guard action (demotion en route
+//!   to recovery, or the sticky baseline fallback); quality is never
+//!   silently shed.
+//! * **(c) Typed rejections**: every arrival is accounted for by exactly
+//!   one outcome — served, or one of the four `ServeError`s — and a
+//!   device loss drains the remainder of the session as `ShuttingDown`.
+//! * **(d) Bounded queue memory**: the admission queue's high-water mark
+//!   never exceeds its configured capacity.
+//!
+//! The CI fault matrix re-runs this suite under several values of
+//! `PRESCALER_FAULT_SEED`; the seed is mixed into every generated fault
+//! plan so each matrix row explores a distinct replayable fault universe.
+
+use prescaler_guard::{speculate, Guard, GuardPolicy};
+use prescaler_ir::Precision;
+use prescaler_ocl::{run_app, ScalingSpec};
+use prescaler_polybench::{BenchKind, Dims, InputSet, PolyApp};
+use prescaler_serve::{ArrivalTrace, ServeConfig, ServeError, ServeRun, Server};
+use prescaler_sim::{FaultPlan, SimTime, SystemModel};
+use proptest::prelude::*;
+
+const TOQ: f64 = 0.9;
+
+fn matrix_seed() -> u64 {
+    std::env::var("PRESCALER_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn mixed(seed: u64) -> u64 {
+    seed ^ matrix_seed().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn app_for(kind: BenchKind, n: usize, seed: u64) -> PolyApp {
+    PolyApp::new(kind, Dims::square(n), InputSet::Random, seed)
+}
+
+/// A tuned-like spec: every memory object of the app scaled to half.
+fn half_spec(app: &PolyApp) -> ScalingSpec {
+    let clean = SystemModel::system1();
+    let (_, log) = run_app(app, &clean, &ScalingSpec::baseline()).unwrap();
+    let mut spec = ScalingSpec::baseline();
+    for obj in &log.objects {
+        spec = spec.with_target(&obj.label, Precision::Half);
+    }
+    spec
+}
+
+fn arb_kind() -> impl Strategy<Value = BenchKind> {
+    prop_oneof![Just(BenchKind::Gemm), Just(BenchKind::Atax)]
+}
+
+/// Serve one generated scenario at the given worker count.
+#[allow(clippy::too_many_arguments)]
+fn serve_case(
+    workers: usize,
+    app_seed: u64,
+    kind: BenchKind,
+    n: usize,
+    plan: &FaultPlan,
+    trace: &ArrivalTrace,
+    capacity: usize,
+    deadline: SimTime,
+) -> ServeRun {
+    let app = app_for(kind, n, app_seed);
+    let tuned = half_spec(&app);
+    let system = SystemModel::system1().with_faults(plan.clone());
+    let guard = Guard::new(&app, &system, tuned, GuardPolicy::with_toq(TOQ)).unwrap();
+    let config = ServeConfig {
+        queue_capacity: capacity,
+        deadline,
+        workers,
+        overload_shed_tolerance: 5,
+    };
+    let server = Server::new(guard, config);
+    let run = server.serve(trace, |gain| {
+        app_for(kind, n, app_seed).with_input_gain(gain)
+    });
+    // Overload-to-revalidation is part of the shed-work-not-quality
+    // contract; check it while the server is still in scope.
+    if run.report.summary.overload_revalidation {
+        assert!(server.guard().revalidation_due());
+    }
+    run
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(25))]
+
+    #[test]
+    fn serving_contracts_hold_under_overload(
+        kind in arb_kind(),
+        n in 4usize..10,
+        app_seed in 0u64..1000,
+        plan_seed in 0u64..1000,
+        burst in prop_oneof![Just((0.0, 0u64)), Just((0.4, 3u64)), Just((1.0, 5u64))],
+        drift in prop_oneof![Just((0.0, 0.0)), Just((0.4, 3.0))],
+        loss_rate in prop_oneof![Just(0.0), Just(0.0), Just(0.08)],
+        capacity in 1usize..4,
+        requests in 6usize..14,
+        pressure in prop_oneof![Just(0.5), Just(1.5)],
+        deadline_factor in prop_oneof![Just(2.5), Just(8.0)],
+    ) {
+        let (burst_rate, burst_size) = burst;
+        let (drift_rate, drift_mag) = drift;
+        let plan = FaultPlan::seeded(mixed(plan_seed))
+            .with_overload_burst(burst_rate, burst_size)
+            .with_input_drift(drift_rate, drift_mag)
+            .with_device_loss(loss_rate);
+
+        // Size arrivals and deadlines against the device's clean service
+        // time so every generated scenario is meaningfully loaded.
+        let app = app_for(kind, n, app_seed);
+        let tuned = half_spec(&app);
+        let clean = SystemModel::system1();
+        let probe = speculate(&clean, &tuned, 0, |g| app_for(kind, n, app_seed).with_input_gain(g));
+        let service = probe.result.unwrap().1.timeline.total();
+        let trace = ArrivalTrace::generate(
+            mixed(plan_seed ^ 0xA5A5),
+            requests,
+            service * pressure,
+            &plan,
+        );
+        let deadline = service * deadline_factor;
+
+        // (a) Bit-identical per-request outcomes at 1, 2, and 8 workers.
+        let runs: Vec<ServeRun> = [1usize, 2, 8]
+            .iter()
+            .map(|&w| serve_case(w, app_seed, kind, n, &plan, &trace, capacity, deadline))
+            .collect();
+        prop_assert_eq!(&runs[0].outcomes, &runs[1].outcomes, "1 vs 2 workers");
+        prop_assert_eq!(&runs[0].outcomes, &runs[2].outcomes, "1 vs 8 workers");
+        prop_assert_eq!(runs[0].report.outcome_digest, runs[1].report.outcome_digest);
+        prop_assert_eq!(runs[0].report.outcome_digest, runs[2].report.outcome_digest);
+        prop_assert_eq!(&runs[0].report.summary, &runs[2].report.summary);
+        prop_assert_eq!(&runs[0].report.guard, &runs[2].report.guard);
+
+        let run = &runs[0];
+        let sum = &run.report.summary;
+
+        // (c) Every arrival has exactly one typed fate; totals reconcile.
+        prop_assert_eq!(sum.arrivals, trace.len() as u64);
+        prop_assert_eq!(sum.accounted(), sum.arrivals, "no silent drops");
+        prop_assert_eq!(run.outcomes.len(), trace.len());
+        let mut seen_loss = false;
+        let mut served_count = 0u64;
+        for outcome in &run.outcomes {
+            match &outcome.result {
+                Ok(served) => {
+                    prop_assert!(!seen_loss, "nothing serves after a device loss");
+                    prop_assert!(served.completed >= served.started);
+                    prop_assert!(served.started >= served.arrival);
+                    prop_assert!(
+                        served.completed <= outcome.arrival + deadline + SimTime::from_secs(1e-12),
+                        "an admitted request finishes inside its budget"
+                    );
+                    served_count += 1;
+                }
+                Err(ServeError::DeviceLost) => seen_loss = true,
+                Err(ServeError::ShuttingDown) => {
+                    prop_assert!(seen_loss, "only a loss drains this session");
+                }
+                Err(ServeError::QueueFull | ServeError::DeadlineExceeded) => {
+                    prop_assert!(!seen_loss);
+                }
+            }
+        }
+        prop_assert_eq!(served_count, sum.served);
+
+        // (d) Bounded queue memory.
+        prop_assert!(
+            sum.peak_queue_depth <= capacity as u64,
+            "queue bound violated: {} > {}",
+            sum.peak_queue_depth,
+            capacity
+        );
+
+        // (b) TOQ-or-fallback for every admitted request: a canary score
+        // below TOQ is always met with guard action, never ignored.
+        for outcome in &run.outcomes {
+            if let Ok(served) = &outcome.result {
+                if let Some(q) = served.canary_quality {
+                    prop_assert!(
+                        q >= TOQ
+                            || run.report.guard.demotions > 0
+                            || run.report.guard.fallback,
+                        "below-TOQ canary ({q}) with no guard response"
+                    );
+                }
+            }
+        }
+        // Quality is never shed for throughput: overload alone (no drift,
+        // no loss) demotes nothing and serves nothing degraded.
+        if drift_rate == 0.0 && loss_rate == 0.0 {
+            prop_assert_eq!(run.report.guard.demotions, 0);
+            prop_assert_eq!(sum.degraded_served, 0);
+        }
+    }
+}
+
+/// The serving front-end is exactly as replayable as the rest of the
+/// stack: the same (seed, trace, policy) twice is the same session,
+/// outcome stream and digest included.
+#[test]
+fn repeat_sessions_are_bit_identical() {
+    let plan = FaultPlan::seeded(mixed(77))
+        .with_overload_burst(0.5, 4)
+        .with_input_drift(0.3, 2.0);
+    let app = app_for(BenchKind::Gemm, 8, 7);
+    let tuned = half_spec(&app);
+    let clean = SystemModel::system1();
+    let probe = speculate(&clean, &tuned, 0, |g| {
+        app_for(BenchKind::Gemm, 8, 7).with_input_gain(g)
+    });
+    let service = probe.result.unwrap().1.timeline.total();
+    let trace = ArrivalTrace::generate(9, 20, service, &plan);
+    let a = serve_case(2, 7, BenchKind::Gemm, 8, &plan, &trace, 2, service * 4.0);
+    let b = serve_case(2, 7, BenchKind::Gemm, 8, &plan, &trace, 2, service * 4.0);
+    assert_eq!(a, b);
+}
