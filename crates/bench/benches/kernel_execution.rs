@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use prescaler_ir::dsl::*;
 use prescaler_ir::interp::{run_kernel, BufferMap, Launch};
-use prescaler_ir::vm::compile_kernel;
+use prescaler_ir::vm::{compile_kernel, VmScratch};
 use prescaler_ir::{Access, FloatVec, Kernel, Precision};
 
 fn gemm_kernel(n: i64) -> (Kernel, BufferMap, Launch) {
@@ -48,12 +48,32 @@ fn bench_engines(c: &mut Criterion) {
     g.sample_size(20);
     g.bench_function(BenchmarkId::new("vm", n), |b| {
         let compiled = compile_kernel(&k).unwrap();
+        let mut scratch = VmScratch::new();
         b.iter_batched(
             || bufs.clone(),
-            |mut m| compiled.run(&mut m, &launch).unwrap(),
+            |mut m| {
+                compiled
+                    .run_with_scratch(&mut m, &launch, &mut scratch)
+                    .unwrap()
+            },
             criterion::BatchSize::LargeInput,
         )
     });
+    for threads in [2usize, 4, 8] {
+        g.bench_function(BenchmarkId::new("vm_parallel", threads), |b| {
+            let compiled = compile_kernel(&k).unwrap();
+            let mut scratch = VmScratch::new();
+            b.iter_batched(
+                || bufs.clone(),
+                |mut m| {
+                    compiled
+                        .run_parallel(&mut m, &launch, &mut scratch, threads)
+                        .unwrap()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
     g.bench_function(BenchmarkId::new("interpreter", n), |b| {
         b.iter_batched(
             || bufs.clone(),

@@ -1,0 +1,116 @@
+//! Kernel-execution micro-benchmark: sequential vs data-parallel VM.
+//!
+//! Times a gemm-class kernel (provably disjoint stores, the shape the
+//! disjoint-write analysis certifies) through `CompiledKernel` at 1
+//! thread and at each parallel budget, asserts bit-identical outputs and
+//! counts, and writes the results to `BENCH_kernel.json` at the repo
+//! root. The speedup column is honest for the machine the benchmark ran
+//! on: `host_cores` records how much hardware parallelism was actually
+//! available, so a 1-core container reporting ~1.0x is expected, not a
+//! regression.
+//!
+//! Usage: `cargo run --release -p prescaler-bench --bin bench_kernel
+//! [iterations]` (default 5; wall-time is the minimum over iterations).
+
+use prescaler_ir::dsl::*;
+use prescaler_ir::interp::{BufferMap, Launch};
+use prescaler_ir::vm::{compile_kernel, ParallelSafety, VmScratch};
+use prescaler_ir::{Access, FloatVec, Kernel, Precision};
+use std::time::Instant;
+
+const N: i64 = 96;
+
+fn gemm_kernel(n: i64) -> (Kernel, BufferMap, Launch) {
+    let k = kernel("gemm")
+        .buffer("a", Precision::Double, Access::Read)
+        .buffer("b", Precision::Double, Access::Read)
+        .buffer("c", Precision::Double, Access::Write)
+        .int_param("n")
+        .body(vec![
+            let_("j", global_id(0)),
+            let_("i", global_id(1)),
+            let_acc("acc", "c", flit(0.0)),
+            for_(
+                "k",
+                int(0),
+                var("n"),
+                vec![add_assign(
+                    "acc",
+                    load("a", var("i") * var("n") + var("k"))
+                        * load("b", var("k") * var("n") + var("j")),
+                )],
+            ),
+            store("c", var("i") * var("n") + var("j"), var("acc")),
+        ]);
+    let nn = n as usize;
+    let mut bufs = BufferMap::new();
+    let xs: Vec<f64> = (0..nn * nn).map(|i| (i as f64 * 0.001).sin()).collect();
+    bufs.insert("a".into(), FloatVec::from_f64_slice(&xs, Precision::Double));
+    bufs.insert("b".into(), FloatVec::from_f64_slice(&xs, Precision::Double));
+    bufs.insert("c".into(), FloatVec::zeros(nn * nn, Precision::Double));
+    let launch = Launch::two_d(nn, nn).arg_int("n", n);
+    (k, bufs, launch)
+}
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+
+    let (k, bufs, launch) = gemm_kernel(N);
+    let compiled = compile_kernel(&k).expect("gemm compiles");
+    assert!(
+        matches!(compiled.parallel_safety(), ParallelSafety::Disjoint(_)),
+        "gemm stores must be provably disjoint"
+    );
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut scratch = VmScratch::new();
+    let time_at = |threads: usize, scratch: &mut VmScratch| -> (f64, BufferMap) {
+        let mut best = f64::INFINITY;
+        let mut out = bufs.clone();
+        for _ in 0..iters {
+            let mut m = bufs.clone();
+            let t0 = Instant::now();
+            if threads <= 1 {
+                compiled.run_with_scratch(&mut m, &launch, scratch).unwrap();
+            } else {
+                compiled
+                    .run_parallel(&mut m, &launch, scratch, threads)
+                    .unwrap();
+            }
+            best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+            out = m;
+        }
+        (best, out)
+    };
+
+    // Warm-up.
+    let _ = time_at(1, &mut scratch);
+
+    let (seq_us, seq_out) = time_at(1, &mut scratch);
+    println!("gemm{N} sequential: {seq_us:.3} us");
+
+    let mut rows = Vec::new();
+    for threads in [2usize, 4, 8] {
+        let (par_us, par_out) = time_at(threads, &mut scratch);
+        assert_eq!(
+            seq_out["c"], par_out["c"],
+            "parallel output must be bit-identical at {threads} threads"
+        );
+        let speedup = seq_us / par_us;
+        println!("gemm{N} parallel x{threads}: {par_us:.3} us ({speedup:.2}x)");
+        rows.push(format!(
+            "    {{ \"threads\": {threads}, \"us\": {par_us:.3}, \"speedup\": {speedup:.3} }}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"kernel/gemm{N}\",\n  \"host_cores\": {host_cores},\n  \"iterations\": {iters},\n  \"sequential_us\": {seq_us:.3},\n  \"parallel\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernel.json");
+    std::fs::write(&path, &json).expect("write BENCH_kernel.json");
+    println!("wrote {}", path.display());
+}

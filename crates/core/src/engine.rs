@@ -46,7 +46,7 @@
 use crate::profiler::AppProfile;
 use crate::search::Evaluation;
 use prescaler_faults::{CrashPoint, SimulatedCrash, TearMode};
-use prescaler_ocl::{run_app, HostApp, PlanChoice, ScalingSpec};
+use prescaler_ocl::{run_app_threaded, HostApp, PlanChoice, ScalingSpec};
 use prescaler_persist::{EvalBits, TrialJournal, TrialRecord};
 use prescaler_polybench::output_quality;
 use prescaler_sim::{HostMethod, SystemModel};
@@ -88,6 +88,11 @@ pub struct TrialEngine<'a> {
     /// Active fault plan on `system`? Decides namespace split + forking.
     faulty: bool,
     speculate: bool,
+    /// Real worker-thread budget shared between speculative trial-level
+    /// parallelism and intra-trial data-parallel execution: `k` concurrent
+    /// prefetch workers each get `max(1, budget / k)` threads, while
+    /// sequential trials get the whole budget.
+    exec_threads: usize,
     base_fp: u64,
     /// Armed crash drill: observed once per journaled execution.
     crash: Option<CrashPoint>,
@@ -127,6 +132,7 @@ impl<'a> TrialEngine<'a> {
             profile,
             faulty,
             speculate,
+            exec_threads: prescaler_ocl::default_exec_threads(),
             base_fp: base.finish(),
             crash: None,
             state: Mutex::new(State {
@@ -277,7 +283,7 @@ impl<'a> TrialEngine<'a> {
                 return (eval, true);
             }
         }
-        let eval = self.execute(spec, ns, fp);
+        let eval = self.execute(spec, ns, fp, self.exec_threads);
         let mut st = self.state();
         st.stats.executions += 1;
         st.stats.charged += 1;
@@ -360,10 +366,13 @@ impl<'a> TrialEngine<'a> {
         if todo.is_empty() {
             return;
         }
+        // Split the execution budget across the speculative workers so
+        // trial-level and intra-trial parallelism never oversubscribe.
+        let per_worker = (self.exec_threads / todo.len()).max(1);
         let results: Vec<Option<Evaluation>> = std::thread::scope(|scope| {
             let handles: Vec<_> = todo
                 .iter()
-                .map(|&(fp, spec)| scope.spawn(move || self.execute(spec, false, fp)))
+                .map(|&(fp, spec)| scope.spawn(move || self.execute(spec, false, fp, per_worker)))
                 .collect();
             handles
                 .into_iter()
@@ -389,7 +398,13 @@ impl<'a> TrialEngine<'a> {
     /// One real execution. Pure in `spec`: on a faulty system the run
     /// draws from a fault stream forked off the spec's fingerprint, so
     /// re-executing the same spec replays the same faults.
-    fn execute(&self, spec: &ScalingSpec, clean: bool, fp: u64) -> Option<Evaluation> {
+    fn execute(
+        &self,
+        spec: &ScalingSpec,
+        clean: bool,
+        fp: u64,
+        threads: usize,
+    ) -> Option<Evaluation> {
         let forked;
         let system = if clean {
             &self.clean
@@ -399,7 +414,7 @@ impl<'a> TrialEngine<'a> {
         } else {
             self.system
         };
-        let (outputs, log) = run_app(self.app, system, spec).ok()?;
+        let (outputs, log) = run_app_threaded(self.app, system, spec, threads).ok()?;
         let raw = output_quality(&self.profile.reference, &outputs);
         Some(Evaluation {
             time: log.timeline.total(),

@@ -143,14 +143,32 @@ impl FloatVec {
     /// conversion) therefore accumulates real rounding error.
     #[must_use]
     pub fn converted(&self, p: Precision) -> FloatVec {
-        if self.precision() == p {
-            return self.clone();
+        // Typed direct loops per (src, dst) pair: same single rounding as
+        // `set(i, get(i))` — each narrowing below rounds exactly once —
+        // but monomorphic, so the compiler vectorizes them.
+        match (self, p) {
+            (FloatVec::F16(_), Precision::Half)
+            | (FloatVec::F32(_), Precision::Single)
+            | (FloatVec::F64(_), Precision::Double) => self.clone(),
+            (FloatVec::F16(v), Precision::Single) => {
+                FloatVec::F32(v.iter().map(|x| x.to_f64() as f32).collect())
+            }
+            (FloatVec::F16(v), Precision::Double) => {
+                FloatVec::F64(v.iter().map(|x| x.to_f64()).collect())
+            }
+            (FloatVec::F32(v), Precision::Half) => {
+                FloatVec::F16(v.iter().map(|&x| F16::from_f64(f64::from(x))).collect())
+            }
+            (FloatVec::F32(v), Precision::Double) => {
+                FloatVec::F64(v.iter().map(|&x| f64::from(x)).collect())
+            }
+            (FloatVec::F64(v), Precision::Half) => {
+                FloatVec::F16(v.iter().map(|&x| F16::from_f64(x)).collect())
+            }
+            (FloatVec::F64(v), Precision::Single) => {
+                FloatVec::F32(v.iter().map(|&x| x as f32).collect())
+            }
         }
-        let mut out = FloatVec::zeros(self.len(), p);
-        for i in 0..self.len() {
-            out.set(i, self.get(i));
-        }
-        out
     }
 
     /// Widens to a plain `f64` vector (exact).

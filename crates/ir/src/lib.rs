@@ -60,6 +60,7 @@ pub mod types;
 pub mod value;
 pub mod vm;
 
+pub use analysis::ParallelSafety;
 pub use array::FloatVec;
 pub use ast::{Access, Expr, Ident, Kernel, Param, Program, Stmt, TypeRef};
 pub use counts::{OpCounts, PrecCounts};

@@ -21,6 +21,8 @@
 //!   per execution, which is exact because within a region every counted
 //!   operation executes unconditionally.
 
+pub use crate::analysis::ParallelSafety;
+use crate::analysis::{self, ChunkPlan};
 use crate::array::FloatVec;
 use crate::ast::{Expr, Kernel, Param, Stmt, TypeRef};
 use crate::counts::OpCounts;
@@ -29,6 +31,7 @@ use crate::types::{Precision, ScalarType};
 use crate::value::{CmpOp, FloatBinOp, UnaryFn};
 use prescaler_fp16::F16;
 use std::collections::HashMap;
+use std::ops::Range;
 
 /// Index of an integer register.
 type IReg = u32;
@@ -197,7 +200,9 @@ struct DotStepArgs {
     c2: IReg,
 }
 
-/// How one kernel parameter binds at launch.
+/// How one kernel parameter binds at launch. Scalar parameters carry the
+/// index of their pre-resolved argument slot (computed once at compile
+/// time), so launches bind arguments without any name scanning.
 #[derive(Clone, Debug, PartialEq)]
 enum ParamBind {
     Buffer {
@@ -207,11 +212,13 @@ enum ParamBind {
     ScalarInt {
         name: String,
         reg: IReg,
+        slot: u32,
     },
     ScalarFloat {
         name: String,
         prec: Precision,
         reg: FReg,
+        slot: u32,
     },
 }
 
@@ -223,19 +230,39 @@ pub struct CompiledKernel {
     counts_table: Vec<OpCounts>,
     dot_table: Vec<DotStepArgs>,
     params: Vec<ParamBind>,
+    /// Launch-argument name → scalar slot, resolved once at compile time.
+    arg_slots: HashMap<String, u32>,
+    n_arg_slots: u32,
     n_iregs: u32,
     n_fregs: u32,
+    /// Disjoint-write verdict, computed once at compile time; decides
+    /// whether [`CompiledKernel::run_parallel`] may chunk the NDRange.
+    safety: ParallelSafety,
 }
 
 /// Reusable execution state for [`CompiledKernel::run_with_scratch`]:
-/// register files and the buffer-binding list. Holding one scratch across
-/// launches avoids three heap allocations per launch; any kernel can run
-/// against any scratch.
+/// register files, counter tallies, argument slots, the buffer-binding
+/// list, and (for parallel runs) per-chunk worker state. Holding one
+/// scratch across launches avoids every per-launch heap allocation; any
+/// kernel can run against any scratch.
 #[derive(Debug, Default)]
 pub struct VmScratch {
     iregs: Vec<i64>,
     fregs: Vec<f64>,
     bufs: Vec<(String, FloatVec)>,
+    hits: Vec<u64>,
+    args: Vec<Option<ArgValue>>,
+    workers: Vec<Worker>,
+}
+
+/// Per-chunk execution state for the parallel executor: a private
+/// register file and counter tally, seeded from the launch-bound
+/// prototype before each run.
+#[derive(Debug, Default)]
+struct Worker {
+    iregs: Vec<i64>,
+    fregs: Vec<f64>,
+    hits: Vec<u64>,
 }
 
 impl VmScratch {
@@ -316,39 +343,52 @@ pub fn compile_kernel(kernel: &Kernel) -> Result<CompiledKernel, ExecError> {
         buf_index: HashMap::new(),
     };
 
+    let mut arg_slots = HashMap::new();
+    let mut n_bufs: u16 = 0;
+    let mut n_slots: u32 = 0;
     for p in &kernel.params {
         match p {
             Param::Buffer { name, elem, .. } => {
-                c.buf_index.insert(name.clone(), c.params.len() as u16);
+                // Buffers index the *buffer* binding list, which skips
+                // scalar parameters.
+                c.buf_index.insert(name.clone(), n_bufs);
+                n_bufs += 1;
                 c.params.push(ParamBind::Buffer {
                     name: name.clone(),
                     elem: *elem,
                 });
             }
-            Param::Scalar { name, ty } => match kernel.resolve(ty) {
-                ScalarType::Int => {
-                    let reg = c.alloc_i();
-                    c.params.push(ParamBind::ScalarInt {
-                        name: name.clone(),
-                        reg,
-                    });
-                    c.scopes[0].insert(name.clone(), (Val::I(reg), CTy::Int));
+            Param::Scalar { name, ty } => {
+                let slot = n_slots;
+                n_slots += 1;
+                arg_slots.insert(name.clone(), slot);
+                match kernel.resolve(ty) {
+                    ScalarType::Int => {
+                        let reg = c.alloc_i();
+                        c.params.push(ParamBind::ScalarInt {
+                            name: name.clone(),
+                            reg,
+                            slot,
+                        });
+                        c.scopes[0].insert(name.clone(), (Val::I(reg), CTy::Int));
+                    }
+                    ScalarType::Float(prec) => {
+                        let reg = c.alloc_f();
+                        c.params.push(ParamBind::ScalarFloat {
+                            name: name.clone(),
+                            prec,
+                            reg,
+                            slot,
+                        });
+                        c.scopes[0].insert(name.clone(), (Val::F(reg), CTy::F(prec)));
+                    }
+                    ScalarType::Bool => {
+                        return Err(ExecError::KindError(format!(
+                            "parameter `{name}` declares a boolean type"
+                        )));
+                    }
                 }
-                ScalarType::Float(prec) => {
-                    let reg = c.alloc_f();
-                    c.params.push(ParamBind::ScalarFloat {
-                        name: name.clone(),
-                        prec,
-                        reg,
-                    });
-                    c.scopes[0].insert(name.clone(), (Val::F(reg), CTy::F(prec)));
-                }
-                ScalarType::Bool => {
-                    return Err(ExecError::KindError(format!(
-                        "parameter `{name}` declares a boolean type"
-                    )));
-                }
-            },
+            }
         }
     }
 
@@ -364,8 +404,11 @@ pub fn compile_kernel(kernel: &Kernel) -> Result<CompiledKernel, ExecError> {
         counts_table: c.counts_table,
         dot_table,
         params: c.params,
+        arg_slots,
+        n_arg_slots: n_slots,
         n_iregs: c.next_i,
         n_fregs: c.next_f,
+        safety: analysis::parallel_safety(kernel),
     })
 }
 
@@ -1465,6 +1508,13 @@ impl CompiledKernel {
         self.ops.len()
     }
 
+    /// The compile-time disjoint-write verdict used to gate
+    /// [`CompiledKernel::run_parallel`].
+    #[must_use]
+    pub fn parallel_safety(&self) -> &ParallelSafety {
+        &self.safety
+    }
+
     /// Executes the compiled kernel over the launch NDRange. Semantics and
     /// error behaviour match [`crate::interp::run_kernel`] exactly.
     ///
@@ -1492,16 +1542,99 @@ impl CompiledKernel {
         launch: &Launch,
         scratch: &mut VmScratch,
     ) -> Result<OpCounts, ExecError> {
-        let VmScratch { iregs, fregs, bufs } = scratch;
+        self.bind(buffers, launch, scratch)?;
+        let result = self.exec_bound_seq(scratch, launch);
+        restore(buffers, &mut scratch.bufs);
+        result
+    }
+
+    /// Like [`CompiledKernel::run_with_scratch`], but splits the NDRange
+    /// into up to `threads` contiguous chunks along the partition axis and
+    /// executes them concurrently with [`std::thread::scope`] — when the
+    /// compile-time disjoint-write analysis *and* the per-launch
+    /// resolution prove every chunk writes a private index interval of
+    /// every stored buffer. Otherwise (or with `threads <= 1`) it falls
+    /// back to sequential execution.
+    ///
+    /// Results are bit-identical to sequential execution in every case:
+    /// outputs because chunk write sets are disjoint and each chunk runs
+    /// its items in the sequential order; [`OpCounts`] because per-chunk
+    /// tallies are exact integer sums merged in fixed chunk order; errors
+    /// because any chunk failure triggers a sequential re-run from a
+    /// pre-execution snapshot of the stored buffers, which reproduces the
+    /// sequential error and partial-write state exactly.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`].
+    pub fn run_parallel(
+        &self,
+        buffers: &mut BufferMap,
+        launch: &Launch,
+        scratch: &mut VmScratch,
+        threads: usize,
+    ) -> Result<OpCounts, ExecError> {
+        /// Below this NDRange size, thread-spawn latency dominates any
+        /// possible win.
+        const MIN_PARALLEL_ITEMS: usize = 64;
+
+        let (nx, ny) = (launch.global[0], launch.global[1]);
+        let plan = if threads <= 1 || nx * ny < MIN_PARALLEL_ITEMS {
+            None
+        } else {
+            match &self.safety {
+                ParallelSafety::Disjoint(summary) => summary.resolve(launch),
+                ParallelSafety::Unproven(_) => None,
+            }
+        };
+        let Some(plan) = plan else {
+            return self.run_with_scratch(buffers, launch, scratch);
+        };
+        let axis_len = if plan.along_rows() { ny } else { nx };
+        let chunks = threads.min(axis_len);
+        if chunks < 2 {
+            return self.run_with_scratch(buffers, launch, scratch);
+        }
+
+        self.bind(buffers, launch, scratch)?;
+        let result = self.exec_bound_parallel(scratch, launch, &plan, chunks);
+        restore(buffers, &mut scratch.bufs);
+        result
+    }
+
+    /// Binds buffers and scalar arguments into `scratch`, leaving the
+    /// caller's map restored on any error. Buffers move map entry →
+    /// scratch (`remove_entry` keeps the owned key, so the hot path never
+    /// clones a name); scalar arguments resolve through the compile-time
+    /// slot table in one forward pass (later duplicates overwrite earlier
+    /// ones, preserving the historical last-wins semantics).
+    fn bind(
+        &self,
+        buffers: &mut BufferMap,
+        launch: &Launch,
+        scratch: &mut VmScratch,
+    ) -> Result<(), ExecError> {
+        let VmScratch {
+            iregs,
+            fregs,
+            bufs,
+            args,
+            ..
+        } = scratch;
         iregs.clear();
         iregs.resize(self.n_iregs as usize, 0);
         fregs.clear();
         fregs.resize(self.n_fregs as usize, 0.0);
         debug_assert!(bufs.is_empty(), "scratch buffers left bound");
 
-        // Bind parameters. Buffers move map entry → scratch and back
-        // (`remove_entry` keeps the owned key, so the hot path never
-        // clones a name).
+        args.clear();
+        args.resize(self.n_arg_slots as usize, None);
+        for (name, v) in &launch.args {
+            if let Some(&slot) = self.arg_slots.get(name.as_str()) {
+                args[slot as usize] = Some(*v);
+            }
+        }
+
         for p in &self.params {
             match p {
                 ParamBind::Buffer { name, elem } => match buffers.remove_entry(name.as_str()) {
@@ -1521,55 +1654,339 @@ impl CompiledKernel {
                     }
                     Some(entry) => bufs.push(entry),
                 },
-                ParamBind::ScalarInt { name, reg } => {
-                    let arg = find_arg(launch, name);
-                    match arg {
-                        Some(ArgValue::Int(v)) => iregs[*reg as usize] = v,
-                        Some(ArgValue::Float(_)) => {
-                            restore(buffers, bufs);
-                            return Err(ExecError::ArgKindMismatch(name.clone()));
-                        }
-                        None => {
-                            restore(buffers, bufs);
-                            return Err(ExecError::MissingArg(name.clone()));
-                        }
+                ParamBind::ScalarInt { name, reg, slot } => match args[*slot as usize] {
+                    Some(ArgValue::Int(v)) => iregs[*reg as usize] = v,
+                    Some(ArgValue::Float(_)) => {
+                        restore(buffers, bufs);
+                        return Err(ExecError::ArgKindMismatch(name.clone()));
                     }
+                    None => {
+                        restore(buffers, bufs);
+                        return Err(ExecError::MissingArg(name.clone()));
+                    }
+                },
+                ParamBind::ScalarFloat {
+                    name,
+                    prec,
+                    reg,
+                    slot,
+                } => match args[*slot as usize] {
+                    Some(ArgValue::Float(v)) => fregs[*reg as usize] = round_to(*prec, v),
+                    Some(ArgValue::Int(v)) => fregs[*reg as usize] = round_to(*prec, v as f64),
+                    None => {
+                        restore(buffers, bufs);
+                        return Err(ExecError::MissingArg(name.clone()));
+                    }
+                },
+            }
+        }
+        Ok(())
+    }
+
+    /// Sequential execution over the full NDRange of an already-bound
+    /// scratch.
+    fn exec_bound_seq(
+        &self,
+        scratch: &mut VmScratch,
+        launch: &Launch,
+    ) -> Result<OpCounts, ExecError> {
+        let VmScratch {
+            iregs,
+            fregs,
+            bufs,
+            hits,
+            ..
+        } = scratch;
+        hits.clear();
+        hits.resize(self.counts_table.len(), 0);
+        let mut mem = FullMem(bufs);
+        self.exec_range(
+            iregs,
+            fregs,
+            &mut mem,
+            hits,
+            0..launch.global[0],
+            0..launch.global[1],
+        )?;
+        Ok(self.counts_from(hits))
+    }
+
+    /// Chunked parallel execution of an already-bound scratch under a
+    /// resolved disjointness plan. Falls back to sequential execution
+    /// in-place whenever a launch-time precondition (bounds, interval
+    /// monotonicity, overflow) fails, and re-runs sequentially from a
+    /// snapshot when any chunk reports an error.
+    #[allow(clippy::too_many_lines)]
+    fn exec_bound_parallel(
+        &self,
+        scratch: &mut VmScratch,
+        launch: &Launch,
+        plan: &ChunkPlan,
+        chunks: usize,
+    ) -> Result<OpCounts, ExecError> {
+        let (nx, ny) = (launch.global[0], launch.global[1]);
+        let axis_len = if plan.along_rows() { ny } else { nx };
+
+        // Balanced contiguous chunk bounds along the partition axis.
+        let base = axis_len / chunks;
+        let rem = axis_len % chunks;
+        let mut bounds = Vec::with_capacity(chunks);
+        let mut at = 0usize;
+        for k in 0..chunks {
+            let w = base + usize::from(k < rem);
+            bounds.push((at, at + w));
+            at += w;
+        }
+
+        let VmScratch {
+            iregs,
+            fregs,
+            bufs,
+            hits,
+            workers,
+            ..
+        } = scratch;
+
+        // Map each stored buffer to its binding slot and pre-check that
+        // the *whole* launch stays in bounds: the affine store/load sites
+        // then provably never fault, so chunk execution cannot report an
+        // out-of-bounds error for a carved buffer.
+        let mut carved: Vec<(usize, Vec<(usize, usize)>)> =
+            Vec::with_capacity(plan.buffers().len());
+        for rb in plan.buffers() {
+            let Some(slot) = bufs.iter().position(|(n, _)| n == rb.name()) else {
+                return self.exec_bound_seq_split(iregs, fregs, bufs, hits, launch);
+            };
+            let len = bufs[slot].1.len();
+            let Some((full_lo, full_hi)) = rb.interval(0, axis_len) else {
+                return self.exec_bound_seq_split(iregs, fregs, bufs, hits, launch);
+            };
+            if full_lo < 0 || usize::try_from(full_hi).map_or(true, |h| h >= len) {
+                return self.exec_bound_seq_split(iregs, fregs, bufs, hits, launch);
+            }
+            // Per-chunk inclusive intervals → half-open usize ranges.
+            let mut ivs = Vec::with_capacity(chunks);
+            for &(u0, u1) in &bounds {
+                let Some((lo, hi)) = rb.interval(u0, u1) else {
+                    return self.exec_bound_seq_split(iregs, fregs, bufs, hits, launch);
+                };
+                debug_assert!(lo >= full_lo && hi <= full_hi);
+                ivs.push((lo as usize, hi as usize + 1));
+            }
+            // Defense in depth: the intervals must be monotone and
+            // disjoint in carve order (ascending when the axis
+            // coefficient is positive, descending otherwise).
+            let ascending = ivs.windows(2).all(|w| w[0].1 <= w[1].0);
+            let descending = ivs.windows(2).all(|w| w[1].1 <= w[0].0);
+            if !(ascending || descending) {
+                return self.exec_bound_seq_split(iregs, fregs, bufs, hits, launch);
+            }
+            carved.push((slot, ivs));
+        }
+
+        // Snapshot stored buffers: the error path re-runs sequentially
+        // from this pristine state to reproduce the sequential error and
+        // partial-write behaviour exactly.
+        let snapshots: Vec<(usize, FloatVec)> = carved
+            .iter()
+            .map(|&(slot, _)| (slot, bufs[slot].1.clone()))
+            .collect();
+
+        // Seed one worker per chunk from the bound prototype registers.
+        if workers.len() < chunks {
+            workers.resize_with(chunks, Worker::default);
+        }
+        for w in workers.iter_mut().take(chunks) {
+            w.iregs.clone_from(iregs);
+            w.fregs.clone_from(fregs);
+            w.hits.clear();
+            w.hits.resize(self.counts_table.len(), 0);
+        }
+
+        // Carve the stored buffers into per-chunk segments and run.
+        let n_bound = bufs.len();
+        let errored = {
+            // First borrow every binding once, splitting carved buffers
+            // into per-chunk mutable segments and sharing the rest.
+            let mut prepared: Vec<Prepared<'_>> = Vec::with_capacity(n_bound);
+            {
+                let mut carve_for: HashMap<usize, &Vec<(usize, usize)>> = HashMap::new();
+                for (slot, ivs) in &carved {
+                    carve_for.insert(*slot, ivs);
                 }
-                ParamBind::ScalarFloat { name, prec, reg } => {
-                    let arg = find_arg(launch, name);
-                    match arg {
-                        Some(ArgValue::Float(v)) => fregs[*reg as usize] = round_to(*prec, v),
-                        Some(ArgValue::Int(v)) => fregs[*reg as usize] = round_to(*prec, v as f64),
-                        None => {
-                            restore(buffers, bufs);
-                            return Err(ExecError::MissingArg(name.clone()));
+                for (slot, entry) in bufs.iter_mut().enumerate() {
+                    match carve_for.get(&slot) {
+                        None => prepared.push(Prepared::Shared(&*entry)),
+                        Some(ivs) => {
+                            let (name, data) = entry;
+                            let full_len = data.len();
+                            let Some(segs) = carve_segments(data, ivs) else {
+                                // Unreachable given the monotonicity check;
+                                // degrade to a chunk-isolation error that the
+                                // error path turns into a sequential re-run.
+                                prepared.clear();
+                                break;
+                            };
+                            prepared.push(Prepared::Carved {
+                                name,
+                                full_len,
+                                segs,
+                            });
                         }
                     }
                 }
             }
+
+            if prepared.len() == n_bound {
+                // Assemble one ChunkMem per chunk.
+                let mut mems: Vec<ChunkMem<'_>> = (0..chunks)
+                    .map(|_| ChunkMem {
+                        slots: Vec::with_capacity(n_bound),
+                    })
+                    .collect();
+                for p in &mut prepared {
+                    match p {
+                        Prepared::Shared(entry) => {
+                            for m in &mut mems {
+                                m.slots.push(ChunkSlot::Shared(entry));
+                            }
+                        }
+                        Prepared::Carved {
+                            name,
+                            full_len,
+                            segs,
+                        } => {
+                            for (k, m) in mems.iter_mut().enumerate() {
+                                let (lo, seg) = segs[k].take().expect("one segment per chunk");
+                                m.slots.push(ChunkSlot::Carved {
+                                    name,
+                                    lo: lo as i64,
+                                    full_len: *full_len,
+                                    seg,
+                                });
+                            }
+                        }
+                    }
+                }
+                let results: Vec<Result<(), ExecError>> = std::thread::scope(|s| {
+                    let mut handles = Vec::with_capacity(chunks);
+                    for ((k, mem), worker) in mems.into_iter().enumerate().zip(workers.iter_mut()) {
+                        let (u0, u1) = bounds[k];
+                        let (gx_range, gy_range) = if plan.along_rows() {
+                            (0..nx, u0..u1)
+                        } else {
+                            (u0..u1, 0..1)
+                        };
+                        handles.push(s.spawn(move || {
+                            let mut mem = mem;
+                            self.exec_range(
+                                &mut worker.iregs,
+                                &mut worker.fregs,
+                                &mut mem,
+                                &mut worker.hits,
+                                gx_range,
+                                gy_range,
+                            )
+                        }));
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| match h.join() {
+                            Ok(r) => r,
+                            Err(_) => Err(ExecError::KindError(
+                                "parallel chunk worker panicked".to_owned(),
+                            )),
+                        })
+                        .collect()
+                });
+                results.iter().any(Result::is_err)
+            } else {
+                true
+            }
+        };
+
+        if errored {
+            // Restore the pre-execution contents of every stored buffer
+            // and replay sequentially: the replay *is* the sequential
+            // semantics, including the first-faulting-item error and its
+            // partial writes.
+            for (slot, snap) in snapshots {
+                bufs[slot].1 = snap;
+            }
+            return self.exec_bound_seq_split(iregs, fregs, bufs, hits, launch);
         }
 
-        let result = self.exec(iregs, fregs, bufs, launch);
-        restore(buffers, bufs);
-        result
+        // Merge per-chunk tallies in fixed chunk order. Each tally is an
+        // exact integer hit count, so the merged counts are bit-identical
+        // to the sequential tally.
+        hits.clear();
+        hits.resize(self.counts_table.len(), 0);
+        for w in workers.iter().take(chunks) {
+            for (t, h) in hits.iter_mut().zip(&w.hits) {
+                *t += h;
+            }
+        }
+        Ok(self.counts_from(hits))
     }
 
-    #[allow(clippy::too_many_lines)]
-    fn exec(
+    /// [`CompiledKernel::exec_bound_seq`] over already-split scratch
+    /// fields (the parallel path holds them disjointly).
+    fn exec_bound_seq_split(
         &self,
         iregs: &mut [i64],
         fregs: &mut [f64],
         bufs: &mut [(String, FloatVec)],
+        hits: &mut Vec<u64>,
         launch: &Launch,
     ) -> Result<OpCounts, ExecError> {
-        // Count sites fire millions of times in hot loops; adding the full
-        // `OpCounts` struct each time costs ~20 u64 additions per hit.  Tally
-        // hits per table index instead and scale once at the end — repeated
-        // addition of a constant delta is exactly multiplication.
-        let mut hits = vec![0u64; self.counts_table.len()];
+        hits.clear();
+        hits.resize(self.counts_table.len(), 0);
+        let mut mem = FullMem(bufs);
+        self.exec_range(
+            iregs,
+            fregs,
+            &mut mem,
+            hits,
+            0..launch.global[0],
+            0..launch.global[1],
+        )?;
+        Ok(self.counts_from(hits))
+    }
+
+    /// Scales the per-site hit tallies by their count-table deltas.
+    fn counts_from(&self, hits: &[u64]) -> OpCounts {
+        let mut counts = OpCounts::new();
+        for (i, &h) in hits.iter().enumerate() {
+            if h != 0 {
+                counts += self.counts_table[i].scaled(h);
+            }
+        }
+        counts
+    }
+
+    /// The dispatch loop over a rectangular sub-range of the NDRange,
+    /// generic over the buffer-access strategy (whole buffers for
+    /// sequential runs, carved segments + shared read views for parallel
+    /// chunks). Monomorphized per strategy, so the sequential hot path is
+    /// unchanged.
+    ///
+    /// Count sites fire millions of times in hot loops; adding the full
+    /// `OpCounts` struct each time costs ~20 u64 additions per hit. Tally
+    /// hits per table index instead and scale once at the end — repeated
+    /// addition of a constant delta is exactly multiplication.
+    #[allow(clippy::too_many_lines)]
+    fn exec_range<M: BufMem>(
+        &self,
+        iregs: &mut [i64],
+        fregs: &mut [f64],
+        mem: &mut M,
+        hits: &mut [u64],
+        gx_range: Range<usize>,
+        gy_range: Range<usize>,
+    ) -> Result<(), ExecError> {
         let ops = &self.ops[..];
-        for gy in 0..launch.global[1] {
-            for gx in 0..launch.global[0] {
+        for gy in gy_range {
+            for gx in gx_range.clone() {
                 iregs[0] = gx as i64;
                 iregs[1] = gy as i64;
                 let mut pc = 0usize;
@@ -1640,39 +2057,10 @@ impl CompiledKernel {
                             iregs[dst as usize] = fregs[a as usize].trunc() as i64;
                         }
                         Op::Load { buf, idx, dst } => {
-                            let i = iregs[idx as usize];
-                            let (name, data) = &bufs[buf as usize];
-                            let len = data.len();
-                            if i < 0 || i as usize >= len {
-                                return Err(ExecError::OutOfBounds {
-                                    buf: name.clone(),
-                                    index: i,
-                                    len,
-                                });
-                            }
-                            fregs[dst as usize] = match data {
-                                FloatVec::F16(v) => v[i as usize].to_f64(),
-                                FloatVec::F32(v) => f64::from(v[i as usize]),
-                                FloatVec::F64(v) => v[i as usize],
-                            };
+                            fregs[dst as usize] = mem.load(buf, iregs[idx as usize])?;
                         }
                         Op::Store { buf, idx, src } => {
-                            let i = iregs[idx as usize];
-                            let v = fregs[src as usize];
-                            let (name, data) = &mut bufs[buf as usize];
-                            let len = data.len();
-                            if i < 0 || i as usize >= len {
-                                return Err(ExecError::OutOfBounds {
-                                    buf: name.clone(),
-                                    index: i,
-                                    len,
-                                });
-                            }
-                            match data {
-                                FloatVec::F16(vec) => vec[i as usize] = F16::from_f64(v),
-                                FloatVec::F32(vec) => vec[i as usize] = v as f32,
-                                FloatVec::F64(vec) => vec[i as usize] = v,
-                            }
+                            mem.store(buf, iregs[idx as usize], fregs[src as usize])?;
                         }
                         Op::SelectF { cond, dst, a, b } => {
                             fregs[dst as usize] = if iregs[cond as usize] != 0 {
@@ -1717,20 +2105,7 @@ impl CompiledKernel {
                             let i = iregs[a as usize]
                                 .wrapping_mul(iregs[b as usize])
                                 .wrapping_add(iregs[c as usize]);
-                            let (name, data) = &bufs[buf as usize];
-                            let len = data.len();
-                            if i < 0 || i as usize >= len {
-                                return Err(ExecError::OutOfBounds {
-                                    buf: name.clone(),
-                                    index: i,
-                                    len,
-                                });
-                            }
-                            fregs[dst as usize] = match data {
-                                FloatVec::F16(v) => v[i as usize].to_f64(),
-                                FloatVec::F32(v) => f64::from(v[i as usize]),
-                                FloatVec::F64(v) => v[i as usize],
-                            };
+                            fregs[dst as usize] = mem.load(buf, i)?;
                         }
                         Op::FMulAcc {
                             pm,
@@ -1754,37 +2129,11 @@ impl CompiledKernel {
                             let i1 = iregs[d.a1 as usize]
                                 .wrapping_mul(iregs[d.b1 as usize])
                                 .wrapping_add(iregs[d.c1 as usize]);
-                            let (name, data) = &bufs[d.buf1 as usize];
-                            let len = data.len();
-                            if i1 < 0 || i1 as usize >= len {
-                                return Err(ExecError::OutOfBounds {
-                                    buf: name.clone(),
-                                    index: i1,
-                                    len,
-                                });
-                            }
-                            let v1 = match data {
-                                FloatVec::F16(v) => v[i1 as usize].to_f64(),
-                                FloatVec::F32(v) => f64::from(v[i1 as usize]),
-                                FloatVec::F64(v) => v[i1 as usize],
-                            };
+                            let v1 = mem.load(d.buf1, i1)?;
                             let i2 = iregs[d.a2 as usize]
                                 .wrapping_mul(iregs[d.b2 as usize])
                                 .wrapping_add(iregs[d.c2 as usize]);
-                            let (name, data) = &bufs[d.buf2 as usize];
-                            let len = data.len();
-                            if i2 < 0 || i2 as usize >= len {
-                                return Err(ExecError::OutOfBounds {
-                                    buf: name.clone(),
-                                    index: i2,
-                                    len,
-                                });
-                            }
-                            let v2 = match data {
-                                FloatVec::F16(v) => v[i2 as usize].to_f64(),
-                                FloatVec::F32(v) => f64::from(v[i2 as usize]),
-                                FloatVec::F64(v) => v[i2 as usize],
-                            };
+                            let v2 = mem.load(d.buf2, i2)?;
                             let m = apply_fbin(d.pm, FloatBinOp::Mul, v1, v2);
                             fregs[d.dst as usize] =
                                 apply_fbin(d.pa, FloatBinOp::Add, fregs[d.acc as usize], m);
@@ -1806,23 +2155,245 @@ impl CompiledKernel {
                 }
             }
         }
-        let mut counts = OpCounts::new();
-        for (i, &h) in hits.iter().enumerate() {
-            if h != 0 {
-                counts += self.counts_table[i].scaled(h);
-            }
-        }
-        Ok(counts)
+        Ok(())
     }
 }
 
-fn find_arg(launch: &Launch, name: &str) -> Option<ArgValue> {
-    launch
-        .args
-        .iter()
-        .rev()
-        .find(|(n, _)| n == name)
-        .map(|(_, v)| *v)
+/// Buffer-access strategy for [`CompiledKernel::exec_range`]. Sequential
+/// runs see the whole binding list; parallel chunks see carved mutable
+/// segments of stored buffers plus shared views of read-only ones.
+trait BufMem {
+    /// Reads element `i` of buffer slot `buf`, widened to f64.
+    fn load(&self, buf: u16, i: i64) -> Result<f64, ExecError>;
+    /// Writes `v` to element `i` of buffer slot `buf`, rounding to the
+    /// buffer's precision exactly like [`FloatVec::set`].
+    fn store(&mut self, buf: u16, i: i64, v: f64) -> Result<(), ExecError>;
+}
+
+/// Whole-buffer access: the sequential execution strategy.
+struct FullMem<'a>(&'a mut [(String, FloatVec)]);
+
+impl BufMem for FullMem<'_> {
+    #[inline(always)]
+    fn load(&self, buf: u16, i: i64) -> Result<f64, ExecError> {
+        let (name, data) = &self.0[buf as usize];
+        let len = data.len();
+        if i < 0 || i as usize >= len {
+            return Err(ExecError::OutOfBounds {
+                buf: name.clone(),
+                index: i,
+                len,
+            });
+        }
+        Ok(match data {
+            FloatVec::F16(v) => v[i as usize].to_f64(),
+            FloatVec::F32(v) => f64::from(v[i as usize]),
+            FloatVec::F64(v) => v[i as usize],
+        })
+    }
+
+    #[inline(always)]
+    fn store(&mut self, buf: u16, i: i64, v: f64) -> Result<(), ExecError> {
+        let (name, data) = &mut self.0[buf as usize];
+        let len = data.len();
+        if i < 0 || i as usize >= len {
+            return Err(ExecError::OutOfBounds {
+                buf: name.clone(),
+                index: i,
+                len,
+            });
+        }
+        match data {
+            FloatVec::F16(vec) => vec[i as usize] = F16::from_f64(v),
+            FloatVec::F32(vec) => vec[i as usize] = v as f32,
+            FloatVec::F64(vec) => vec[i as usize] = v,
+        }
+        Ok(())
+    }
+}
+
+/// A typed mutable slice of one precision, carved out of a stored buffer.
+enum Seg<'a> {
+    /// Half-precision segment.
+    H(&'a mut [F16]),
+    /// Single-precision segment.
+    S(&'a mut [f32]),
+    /// Double-precision segment.
+    D(&'a mut [f64]),
+}
+
+/// One buffer slot as seen by a parallel chunk.
+enum ChunkSlot<'a> {
+    /// A read-only view of the full buffer (never stored to by the
+    /// kernel — the disjointness analysis guarantees it).
+    Shared(&'a (String, FloatVec)),
+    /// A private mutable window `[lo, lo + seg.len())` of a stored
+    /// buffer. `full_len` is the whole buffer's length so out-of-bounds
+    /// errors carry the same fields as sequential execution.
+    Carved {
+        name: &'a str,
+        lo: i64,
+        full_len: usize,
+        seg: Seg<'a>,
+    },
+}
+
+/// Per-chunk buffer access: shared read views + carved write windows.
+struct ChunkMem<'a> {
+    slots: Vec<ChunkSlot<'a>>,
+}
+
+impl BufMem for ChunkMem<'_> {
+    #[inline(always)]
+    fn load(&self, buf: u16, i: i64) -> Result<f64, ExecError> {
+        match &self.slots[buf as usize] {
+            ChunkSlot::Shared((name, data)) => {
+                let len = data.len();
+                if i < 0 || i as usize >= len {
+                    return Err(ExecError::OutOfBounds {
+                        buf: name.clone(),
+                        index: i,
+                        len,
+                    });
+                }
+                Ok(match data {
+                    FloatVec::F16(v) => v[i as usize].to_f64(),
+                    FloatVec::F32(v) => f64::from(v[i as usize]),
+                    FloatVec::F64(v) => v[i as usize],
+                })
+            }
+            ChunkSlot::Carved {
+                name,
+                lo,
+                full_len,
+                seg,
+            } => {
+                if i < 0 || i as usize >= *full_len {
+                    return Err(ExecError::OutOfBounds {
+                        buf: (*name).to_owned(),
+                        index: i,
+                        len: *full_len,
+                    });
+                }
+                let k = i - lo;
+                let in_seg = |n: usize| k >= 0 && (k as usize) < n;
+                match seg {
+                    Seg::H(v) if in_seg(v.len()) => Ok(v[k as usize].to_f64()),
+                    Seg::S(v) if in_seg(v.len()) => Ok(f64::from(v[k as usize])),
+                    Seg::D(v) if in_seg(v.len()) => Ok(v[k as usize]),
+                    _ => Err(ExecError::KindError(
+                        "parallel chunk accessed a stored buffer outside its proven interval"
+                            .to_owned(),
+                    )),
+                }
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn store(&mut self, buf: u16, i: i64, v: f64) -> Result<(), ExecError> {
+        match &mut self.slots[buf as usize] {
+            ChunkSlot::Shared((name, data)) => {
+                // The analysis only shares buffers the kernel never
+                // stores to; reaching here means the verdict was wrong.
+                let _ = (name, data);
+                Err(ExecError::KindError(
+                    "parallel chunk stored to a shared read-only buffer".to_owned(),
+                ))
+            }
+            ChunkSlot::Carved {
+                name,
+                lo,
+                full_len,
+                seg,
+            } => {
+                if i < 0 || i as usize >= *full_len {
+                    return Err(ExecError::OutOfBounds {
+                        buf: (*name).to_owned(),
+                        index: i,
+                        len: *full_len,
+                    });
+                }
+                let k = i - *lo;
+                let in_seg = |n: usize| k >= 0 && (k as usize) < n;
+                match seg {
+                    Seg::H(vec) if in_seg(vec.len()) => {
+                        vec[k as usize] = F16::from_f64(v);
+                        Ok(())
+                    }
+                    Seg::S(vec) if in_seg(vec.len()) => {
+                        vec[k as usize] = v as f32;
+                        Ok(())
+                    }
+                    Seg::D(vec) if in_seg(vec.len()) => {
+                        vec[k as usize] = v;
+                        Ok(())
+                    }
+                    _ => Err(ExecError::KindError(
+                        "parallel chunk stored outside its proven interval".to_owned(),
+                    )),
+                }
+            }
+        }
+    }
+}
+
+/// A stored buffer mid-carve: its name, full length, and one optional
+/// `(lo, segment)` pair per chunk (taken as each `ChunkMem` is built).
+enum Prepared<'a> {
+    /// Read-only buffer shared by every chunk.
+    Shared(&'a (String, FloatVec)),
+    /// Stored buffer split into per-chunk segments.
+    Carved {
+        name: &'a str,
+        full_len: usize,
+        segs: Vec<Option<(usize, Seg<'a>)>>,
+    },
+}
+
+/// Splits `data` into disjoint mutable segments, one per half-open
+/// interval. Intervals must be monotone (all ascending or all
+/// descending) and pairwise disjoint; returns `None` otherwise.
+fn carve_segments<'a>(
+    data: &'a mut FloatVec,
+    intervals: &[(usize, usize)],
+) -> Option<Vec<Option<(usize, Seg<'a>)>>> {
+    fn split<'a, T, F: Fn(&'a mut [T]) -> Seg<'a>>(
+        mut rest: &'a mut [T],
+        order: &[(usize, (usize, usize))],
+        wrap: F,
+    ) -> Option<Vec<(usize, usize, Seg<'a>)>> {
+        let mut consumed = 0usize;
+        let mut out = Vec::with_capacity(order.len());
+        for &(chunk, (lo, hi)) in order {
+            if lo < consumed || hi > consumed + rest.len() || hi < lo {
+                return None;
+            }
+            let (_, tail) = rest.split_at_mut(lo - consumed);
+            let (seg, tail) = tail.split_at_mut(hi - lo);
+            rest = tail;
+            consumed = hi;
+            out.push((chunk, lo, wrap(seg)));
+        }
+        Some(out)
+    }
+
+    // Carve in ascending-lo order regardless of chunk order (the axis
+    // coefficient may be negative), then map segments back to chunks.
+    let mut order: Vec<(usize, (usize, usize))> = intervals.iter().copied().enumerate().collect();
+    order.sort_by_key(|&(_, (lo, _))| lo);
+
+    let placed = match data {
+        FloatVec::F16(v) => split(v.as_mut_slice(), &order, Seg::H)?,
+        FloatVec::F32(v) => split(v.as_mut_slice(), &order, Seg::S)?,
+        FloatVec::F64(v) => split(v.as_mut_slice(), &order, Seg::D)?,
+    };
+    let mut segs: Vec<Option<(usize, Seg<'a>)>> = Vec::with_capacity(intervals.len());
+    segs.resize_with(intervals.len(), || None);
+    for (chunk, lo, seg) in placed {
+        segs[chunk] = Some((lo, seg));
+    }
+    Some(segs)
 }
 
 #[cfg(test)]
@@ -2142,5 +2713,163 @@ mod tests {
             FloatVec::from_f64_slice(&[1.0, 2.0, 4.0], Precision::Half),
         );
         assert_equiv(&k, bufs, &Launch::one_d(3));
+    }
+
+    /// gemm-shaped kernel: provably disjoint stores `c[i*n+j]`.
+    fn gemm(elem: Precision) -> Kernel {
+        kernel("gemm")
+            .buffer("a", elem, Access::Read)
+            .buffer("b", elem, Access::Read)
+            .buffer("c", elem, Access::ReadWrite)
+            .int_param("n")
+            .body(vec![
+                let_("j", global_id(0)),
+                let_("i", global_id(1)),
+                let_acc("acc", "c", flit(0.0)),
+                for_(
+                    "kk",
+                    int(0),
+                    var("n"),
+                    vec![add_assign(
+                        "acc",
+                        load("a", var("i") * var("n") + var("kk"))
+                            * load("b", var("kk") * var("n") + var("j")),
+                    )],
+                ),
+                store("c", var("i") * var("n") + var("j"), var("acc")),
+            ])
+    }
+
+    fn gemm_buffers(n: usize, elem: Precision) -> BufferMap {
+        let xs: Vec<f64> = (0..n * n)
+            .map(|i| ((i * 7 % 23) as f64) * 0.37 - 3.1)
+            .collect();
+        let ys: Vec<f64> = (0..n * n)
+            .map(|i| ((i * 5 % 19) as f64) * 0.29 - 2.3)
+            .collect();
+        let mut bufs = BufferMap::new();
+        bufs.insert("a".into(), FloatVec::from_f64_slice(&xs, elem));
+        bufs.insert("b".into(), FloatVec::from_f64_slice(&ys, elem));
+        bufs.insert("c".into(), FloatVec::zeros(n * n, elem));
+        bufs
+    }
+
+    #[test]
+    fn parallel_gemm_is_bit_identical_to_sequential() {
+        for elem in Precision::ALL {
+            let k = gemm(elem);
+            let n = 16usize;
+            let compiled = compile_kernel(&k).unwrap();
+            assert!(matches!(
+                compiled.parallel_safety(),
+                ParallelSafety::Disjoint(_)
+            ));
+            let launch = Launch::two_d(n, n).arg_int("n", n as i64);
+            let mut seq = gemm_buffers(n, elem);
+            let counts_seq = compiled.run(&mut seq, &launch).unwrap();
+            for threads in [2usize, 3, 8, 16] {
+                let mut par = gemm_buffers(n, elem);
+                let mut scratch = VmScratch::default();
+                let counts_par = compiled
+                    .run_parallel(&mut par, &launch, &mut scratch, threads)
+                    .unwrap();
+                assert_eq!(
+                    counts_seq, counts_par,
+                    "counts diverged at {threads} threads"
+                );
+                assert_eq!(seq["c"], par["c"], "output diverged at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn unprovable_kernels_fall_back_to_sequential() {
+        // tri stores through two sites with different coefficient shapes;
+        // the analysis must reject it and run_parallel must still give
+        // sequential results.
+        let k = kernel("tri")
+            .buffer("c", Precision::Single, Access::ReadWrite)
+            .int_param("n")
+            .body(vec![
+                let_("j", global_id(0)),
+                let_("i", global_id(1)),
+                if_else(
+                    lt(var("i"), var("j")),
+                    vec![store("c", var("i") * var("n") + var("j"), flit(1.0))],
+                    vec![store("c", var("j") * var("n") + var("i"), flit(-1.0))],
+                ),
+            ]);
+        let n = 12usize;
+        let compiled = compile_kernel(&k).unwrap();
+        let launch = Launch::two_d(n, n).arg_int("n", n as i64);
+        let mut seq = BufferMap::new();
+        seq.insert("c".into(), FloatVec::zeros(n * n, Precision::Single));
+        let mut par = seq.clone();
+        let counts_seq = compiled.run(&mut seq, &launch).unwrap();
+        let mut scratch = VmScratch::default();
+        let counts_par = compiled
+            .run_parallel(&mut par, &launch, &mut scratch, 8)
+            .unwrap();
+        assert_eq!(counts_seq, counts_par);
+        assert_eq!(seq["c"], par["c"]);
+    }
+
+    #[test]
+    fn parallel_error_paths_match_sequential_partial_writes() {
+        // Stores are provably disjoint (y[i]) but a *read-only* buffer is
+        // loaded at 2*i which walks out of bounds mid-range: the parallel
+        // path must reproduce the sequential error AND the sequential
+        // partial-write state via snapshot + re-run.
+        let k = kernel("oobmid")
+            .buffer("x", Precision::Double, Access::Read)
+            .buffer("y", Precision::Double, Access::ReadWrite)
+            .body(vec![
+                let_("i", global_id(0)),
+                store("y", var("i"), load("x", var("i") * int(2))),
+            ]);
+        let n = 128usize;
+        let mut seq = BufferMap::new();
+        seq.insert(
+            "x".into(),
+            FloatVec::from_f64_slice(
+                &(0..n).map(|i| i as f64).collect::<Vec<_>>(),
+                Precision::Double,
+            ),
+        );
+        seq.insert("y".into(), FloatVec::zeros(n, Precision::Double));
+        let mut par = seq.clone();
+        let compiled = compile_kernel(&k).unwrap();
+        let launch = Launch::one_d(n);
+        let err_seq = compiled.run(&mut seq, &launch).unwrap_err();
+        let mut scratch = VmScratch::default();
+        let err_par = compiled
+            .run_parallel(&mut par, &launch, &mut scratch, 8)
+            .unwrap_err();
+        assert_eq!(format!("{err_seq:?}"), format!("{err_par:?}"));
+        assert_eq!(seq["y"], par["y"], "partial writes diverged");
+        assert_eq!(seq["x"], par["x"]);
+    }
+
+    #[test]
+    fn duplicate_launch_args_keep_last_wins_semantics() {
+        // Historical behaviour: the last duplicate of a launch argument
+        // wins. The slot-table binder must preserve that.
+        let k = saxpy(Precision::Double);
+        let compiled = compile_kernel(&k).unwrap();
+        let n = 8usize;
+        let mut bufs = BufferMap::new();
+        bufs.insert("x".into(), FloatVec::zeros(n, Precision::Double));
+        bufs.insert(
+            "y".into(),
+            FloatVec::from_f64_slice(&vec![1.0; n], Precision::Double),
+        );
+        let launch = Launch::one_d(n)
+            .arg_float("a", 99.0)
+            .arg_int("n", 0)
+            .arg_float("a", 2.0)
+            .arg_int("n", n as i64);
+        compiled.run(&mut bufs, &launch).unwrap();
+        // With a=2 and x=0, y must stay 1.0 everywhere and all n items ran.
+        assert_eq!(bufs["y"].get(n - 1), 1.0);
     }
 }

@@ -10,9 +10,10 @@ use prescaler_ir::interp::{run_kernel, BufferMap, Launch};
 use prescaler_ir::parse::parse_kernel;
 use prescaler_ir::print::kernel_to_string;
 use prescaler_ir::typeck::check_kernel;
-use prescaler_ir::vm::compile_kernel;
+use prescaler_ir::vm::{compile_kernel, VmScratch};
 use prescaler_ir::{Access, Expr, FloatVec, Kernel, Precision, Stmt};
 use proptest::prelude::*;
+use std::cell::RefCell;
 
 const BUF_LEN: i64 = 17;
 
@@ -175,9 +176,35 @@ proptest! {
 
         let compiled = compile_kernel(&k).expect("well-typed kernels compile");
         let mut bufs_v = buffers(pa, pb);
-        let counts_v = compiled.run(&mut bufs_v, &launch).expect("vm runs");
+        // One scratch reused across all proptest cases on this thread —
+        // the VM's pooled-allocation contract, exercised under fuzzing.
+        thread_local! {
+            static SCRATCH: RefCell<VmScratch> = RefCell::new(VmScratch::new());
+        }
+        let counts_v = SCRATCH
+            .with(|s| compiled.run_with_scratch(&mut bufs_v, &launch, &mut s.borrow_mut()))
+            .expect("vm runs");
 
         prop_assert_eq!(counts_i, counts_v, "dynamic counts diverge");
+
+        // The parallel entry point must agree bit-for-bit as well, whether
+        // it engages chunked execution or falls back to sequential.
+        let mut bufs_p = buffers(pa, pb);
+        let counts_p = SCRATCH
+            .with(|s| compiled.run_parallel(&mut bufs_p, &launch, &mut s.borrow_mut(), 4))
+            .expect("parallel vm runs");
+        prop_assert_eq!(counts_i, counts_p, "parallel counts diverge");
+        for name in ["a", "b"] {
+            let x = &bufs_v[name];
+            let y = &bufs_p[name];
+            for i in 0..x.len() {
+                let (a, b) = (x.get(i), y.get(i));
+                prop_assert!(
+                    a == b || (a.is_nan() && b.is_nan()),
+                    "parallel buffer {}[{}]: seq {} vs par {}", name, i, a, b
+                );
+            }
+        }
         for name in ["a", "b"] {
             let x = &bufs_i[name];
             let y = &bufs_v[name];

@@ -49,6 +49,26 @@ pub fn run_app(
     Ok((outputs, session.into_log()))
 }
 
+/// [`run_app`] with an explicit real worker-thread budget for the
+/// session's data-parallel execution and conversion paths. Results are
+/// bit-identical to [`run_app`] at any budget; only host wall-clock
+/// changes.
+///
+/// # Errors
+///
+/// Propagates any [`OclError`] from the app's driver.
+pub fn run_app_threaded(
+    app: &dyn HostApp,
+    system: &SystemModel,
+    spec: &ScalingSpec,
+    threads: usize,
+) -> Result<(Outputs, crate::profile::ProfileLog), OclError> {
+    let mut session =
+        Session::new(system.clone(), app.program(), spec.clone()).with_exec_threads(threads);
+    let outputs = app.run(&mut session)?;
+    Ok((outputs, session.into_log()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

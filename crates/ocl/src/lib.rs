@@ -24,8 +24,8 @@ pub mod profile;
 pub mod session;
 pub mod spec;
 
-pub use app::{run_app, HostApp, Outputs};
+pub use app::{run_app, run_app_threaded, HostApp, Outputs};
 pub use error::OclError;
 pub use profile::{Event, ObjectInfo, ProfileLog, Timeline};
-pub use session::{BufferId, KernelArg, RetryPolicy, Session};
+pub use session::{default_exec_threads, BufferId, KernelArg, RetryPolicy, Session};
 pub use spec::{PlanChoice, ScalingSpec};

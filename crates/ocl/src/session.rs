@@ -102,6 +102,22 @@ impl RetryPolicy {
     }
 }
 
+/// The process-wide default execution thread budget: the
+/// `PRESCALER_EXEC_THREADS` environment variable when set to a positive
+/// integer, otherwise [`std::thread::available_parallelism`], otherwise 1.
+/// A budget of 1 reproduces strictly sequential execution.
+#[must_use]
+pub fn default_exec_threads() -> usize {
+    if let Ok(v) = std::env::var("PRESCALER_EXEC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 /// Handle to a device memory object.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct BufferId(usize);
@@ -145,6 +161,9 @@ pub struct Session {
     retry: RetryPolicy,
     /// Register/binding storage reused across kernel launches.
     scratch: VmScratch,
+    /// Real worker-thread budget for data-parallel kernel execution and
+    /// precision conversion (1 = strictly sequential).
+    exec_threads: usize,
 }
 
 impl Session {
@@ -162,6 +181,7 @@ impl Session {
             use_interpreter: false,
             retry: RetryPolicy::default(),
             scratch: VmScratch::new(),
+            exec_threads: default_exec_threads(),
         }
     }
 
@@ -170,6 +190,26 @@ impl Session {
     pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Session {
         self.retry = retry;
         self
+    }
+
+    /// Replaces the real worker-thread budget (clamped to at least 1).
+    /// Execution results are bit-identical at every budget; only host
+    /// wall-clock changes.
+    #[must_use]
+    pub fn with_exec_threads(mut self, threads: usize) -> Session {
+        self.exec_threads = threads.max(1);
+        self
+    }
+
+    /// Sets the real worker-thread budget in place (clamped to at least 1).
+    pub fn set_exec_threads(&mut self, threads: usize) {
+        self.exec_threads = threads.max(1);
+    }
+
+    /// The active real worker-thread budget.
+    #[must_use]
+    pub fn exec_threads(&self) -> usize {
+        self.exec_threads
     }
 
     /// The active retry policy.
@@ -370,7 +410,9 @@ impl Session {
             .time(&self.system, host.len())
             .at_bandwidth(bandwidth)
             .scaled(noise);
-        let mut data = plan.apply(host);
+        // The simulated HostMethod drives the cost model above; the *real*
+        // conversion parallelizes under the session's own thread budget.
+        let mut data = plan.apply_with_threads(host, self.exec_threads);
         self.maybe_corrupt(&mut data);
         let wire_bytes = host.len() * plan.intermediate.size_bytes();
         let elems = host.len();
@@ -416,7 +458,7 @@ impl Session {
             .time(&self.system, buf.data.len())
             .at_bandwidth(bandwidth)
             .scaled(noise);
-        let mut out = plan.apply(&buf.data);
+        let mut out = plan.apply_with_threads(&buf.data, self.exec_threads);
         self.maybe_corrupt(&mut out);
         let wire_bytes = buf.data.len() * plan.intermediate.size_bytes();
         let elems = buf.data.len();
@@ -470,10 +512,14 @@ impl Session {
         global: [usize; 2],
         args: &[(&str, KernelArg)],
     ) -> Result<SimTime, OclError> {
-        let kernel = self
+        // Only the parameter list is needed up front; the kernel body is
+        // re-borrowed lazily below, so launches hitting the compiled-variant
+        // cache never clone the kernel.
+        let params: Vec<Param> = self
             .program
             .kernel(name)
             .ok_or_else(|| OclError::UnknownKernel(name.to_owned()))?
+            .params
             .clone();
 
         if self.system.faults.device_lost() {
@@ -497,7 +543,7 @@ impl Session {
             global,
             args: Vec::new(),
         };
-        for p in &kernel.params {
+        for p in &params {
             let supplied = args
                 .iter()
                 .find(|(n, _)| *n == p.name())
@@ -530,8 +576,7 @@ impl Session {
         // Select (or compile) the precision-scaled kernel variant.
         let variant_key = (
             name.to_owned(),
-            kernel
-                .params
+            params
                 .iter()
                 .filter_map(|p| match p {
                     Param::Buffer { name: pn, .. } => retype.get(pn).copied(),
@@ -546,20 +591,22 @@ impl Session {
             Interp(prescaler_ir::Kernel),
             Compiled(std::sync::Arc<CompiledKernel>),
         }
-        let engine = if self.use_interpreter {
-            let mut scaled = retype_buffers(&kernel, &retype);
-            if let Some(compute) = self.spec.in_kernel.get(name) {
+        let scale_variant = |session: &Session| -> prescaler_ir::Kernel {
+            let kernel = session.program.kernel(name).expect("existence checked");
+            let mut scaled = retype_buffers(kernel, &retype);
+            if let Some(compute) = session.spec.in_kernel.get(name) {
                 scaled = insert_casts(&scaled, compute);
             }
+            scaled
+        };
+        let engine = if self.use_interpreter {
+            let scaled = scale_variant(self);
             check_kernel(&scaled)?;
             Engine::Interp(scaled)
         } else if let Some(c) = self.compiled.get(&variant_key) {
             Engine::Compiled(c.clone())
         } else {
-            let mut scaled = retype_buffers(&kernel, &retype);
-            if let Some(compute) = self.spec.in_kernel.get(name) {
-                scaled = insert_casts(&scaled, compute);
-            }
+            let scaled = scale_variant(self);
             check_kernel(&scaled)?;
             let c = std::sync::Arc::new(compile_kernel(&scaled)?);
             self.compiled.insert(variant_key, c.clone());
@@ -579,6 +626,9 @@ impl Session {
         }
         let result = match &engine {
             Engine::Interp(k) => run_kernel(k, &mut map, &launch),
+            Engine::Compiled(c) if self.exec_threads > 1 => {
+                c.run_parallel(&mut map, &launch, &mut self.scratch, self.exec_threads)
+            }
             Engine::Compiled(c) => c.run_with_scratch(&mut map, &launch, &mut self.scratch),
         };
         for (pname, id) in &buffer_args {

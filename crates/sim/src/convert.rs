@@ -297,15 +297,30 @@ impl TransferPlan {
     /// Panics if `data` is not `src`-typed.
     #[must_use]
     pub fn apply(&self, data: &FloatVec) -> FloatVec {
+        let threads = match self.host_method {
+            HostMethod::Loop => 1,
+            HostMethod::Multithread { threads } | HostMethod::Pipelined { threads, .. } => threads,
+        };
+        self.apply_with_threads(data, threads)
+    }
+
+    /// [`TransferPlan::apply`] with an explicit *real* worker-thread
+    /// count, decoupled from the simulated [`HostMethod`]: the method
+    /// drives the cost model ([`TransferPlan::time`]), while the host
+    /// running the simulation parallelizes with however many threads its
+    /// own execution budget allows. Conversion is element-wise, so the
+    /// result is bit-identical at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not `src`-typed.
+    #[must_use]
+    pub fn apply_with_threads(&self, data: &FloatVec, threads: usize) -> FloatVec {
         assert_eq!(
             data.precision(),
             self.src,
             "transfer plan applied to data of the wrong precision"
         );
-        let threads = match self.host_method {
-            HostMethod::Loop => 1,
-            HostMethod::Multithread { threads } | HostMethod::Pipelined { threads, .. } => threads,
-        };
         let mid = convert_parallel(data, self.intermediate, threads);
         // The device leg (or host leg for DtoH) is elementwise too.
         convert_parallel(&mid, self.dst, threads)
@@ -338,36 +353,61 @@ fn host_convert_time(
 /// `threads` real threads. Identical results to [`FloatVec::converted`].
 #[must_use]
 pub fn convert_parallel(data: &FloatVec, p: Precision, threads: usize) -> FloatVec {
-    if data.precision() == p {
-        return data.clone();
-    }
+    use prescaler_fp16::F16;
+
+    /// Below this size, thread-spawn latency dominates conversion work.
+    const MIN_PARALLEL_ELEMS: usize = 4096;
+
     let n = data.len();
     let threads = threads.clamp(1, 64).min(n.max(1));
-    if threads <= 1 || n < 4096 {
+    if data.precision() == p || threads <= 1 || n < MIN_PARALLEL_ELEMS {
         return data.converted(p);
     }
-    let mut out = FloatVec::zeros(n, p);
     let chunk = n.div_ceil(threads);
 
-    // Convert chunk-by-chunk in worker threads, writing into disjoint
-    // slices of a scratch f64 buffer, then narrow into the output type.
-    // (Going through f64 is exact for every source precision.)
-    let mut wide = vec![0.0f64; n];
-    std::thread::scope(|scope| {
-        for (i, slot) in wide.chunks_mut(chunk).enumerate() {
-            let data = &data;
-            scope.spawn(move || {
-                let base = i * chunk;
-                for (j, w) in slot.iter_mut().enumerate() {
-                    *w = data.get(base + j);
-                }
-            });
-        }
-    });
-    for (i, w) in wide.iter().enumerate() {
-        out.set(i, *w);
+    /// Converts `src` chunk-by-chunk into disjoint chunks of a fresh
+    /// typed output vector, one scoped worker per chunk. Each worker
+    /// runs the same typed narrowing loop as [`FloatVec::converted`],
+    /// so the result is bit-identical regardless of thread count.
+    fn run<S: Sync, D: Send + Copy>(
+        src: &[S],
+        zero: D,
+        chunk: usize,
+        f: impl Fn(&S) -> D + Sync,
+    ) -> Vec<D> {
+        let mut out = vec![zero; src.len()];
+        std::thread::scope(|scope| {
+            for (s, d) in src.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                let f = &f;
+                scope.spawn(move || {
+                    for (x, y) in s.iter().zip(d.iter_mut()) {
+                        *y = f(x);
+                    }
+                });
+            }
+        });
+        out
     }
-    out
+
+    // Each arm rounds exactly once, matching `FloatVec::set` semantics.
+    match (data, p) {
+        (FloatVec::F16(v), Precision::Single) => {
+            FloatVec::F32(run(v, 0.0, chunk, |x| x.to_f64() as f32))
+        }
+        (FloatVec::F16(v), Precision::Double) => FloatVec::F64(run(v, 0.0, chunk, |x| x.to_f64())),
+        (FloatVec::F32(v), Precision::Half) => {
+            FloatVec::F16(run(v, F16::ZERO, chunk, |&x| F16::from_f64(f64::from(x))))
+        }
+        (FloatVec::F32(v), Precision::Double) => {
+            FloatVec::F64(run(v, 0.0, chunk, |&x| f64::from(x)))
+        }
+        (FloatVec::F64(v), Precision::Half) => {
+            FloatVec::F16(run(v, F16::ZERO, chunk, |&x| F16::from_f64(x)))
+        }
+        (FloatVec::F64(v), Precision::Single) => FloatVec::F32(run(v, 0.0, chunk, |&x| x as f32)),
+        // Identity pairs returned above.
+        _ => data.converted(p),
+    }
 }
 
 #[cfg(test)]

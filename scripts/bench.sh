@@ -6,7 +6,11 @@
 # pipeline wall-clock (min over several runs — the robust statistic on a
 # noisy host), reports charged trials and the trial-engine cache
 # hit-rate, and writes the results to BENCH_search.json at the repo
-# root next to the recorded pre-trial-engine baseline.
+# root next to the recorded pre-trial-engine baseline. The
+# `bench_kernel` binary then times one provably-disjoint gemm kernel
+# sequentially and at each parallel thread budget (asserting bit-equal
+# outputs) and writes BENCH_kernel.json, recording `host_cores` so the
+# speedup column is honest for the machine it ran on.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,7 +24,11 @@ if [ "$iters" -lt 3 ]; then
     iters=3
 fi
 cargo run --release --offline -p prescaler-bench --bin bench_search "$iters"
+cargo run --release --offline -p prescaler-bench --bin bench_kernel "$iters"
 
 echo
 echo "=== BENCH_search.json ==="
 cat BENCH_search.json
+echo
+echo "=== BENCH_kernel.json ==="
+cat BENCH_kernel.json

@@ -1,0 +1,308 @@
+//! Differential suite for the data-parallel execution engine.
+//!
+//! Physical execution parallelism must be unobservable: running any
+//! polybench application with the session's real worker-thread budget at
+//! 1, 2, or 8 must produce bit-identical host outputs, identical
+//! per-event profiles (which embed every launch's `OpCounts`), and an
+//! identical `Timeline` — on the clean system and across the seeded
+//! fault matrix (`PRESCALER_FAULT_SEED` mixes the universes in CI).
+//! Kernels whose store patterns the disjoint-write analysis cannot prove
+//! safe must fall back to sequential execution with the same guarantee.
+
+use prescaler_ir::dsl::*;
+use prescaler_ir::interp::{BufferMap, Launch};
+use prescaler_ir::vm::{compile_kernel, VmScratch};
+use prescaler_ir::{Access, FloatVec, ParallelSafety, Precision};
+use prescaler_ocl::{HostApp, Outputs, ScalingSpec, Session, Timeline};
+use prescaler_polybench::{BenchKind, PolyApp};
+use prescaler_sim::{FaultPlan, SystemModel};
+
+/// Matrix seed from the environment, mixed into every plan seed so the
+/// CI fault matrix explores distinct universes per row.
+fn matrix_seed() -> u64 {
+    std::env::var("PRESCALER_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn mixed(seed: u64) -> u64 {
+    seed ^ matrix_seed().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Runs `app` on `system` under `spec` with an explicit real
+/// worker-thread budget, returning outputs, the full event stream, and
+/// the timeline.
+fn run_at(
+    app: &PolyApp,
+    system: &SystemModel,
+    spec: &ScalingSpec,
+    threads: usize,
+) -> (Outputs, Vec<prescaler_ocl::Event>, Timeline) {
+    let mut s =
+        Session::new(system.clone(), app.program(), spec.clone()).with_exec_threads(threads);
+    let outs = app.run(&mut s).expect("benchmark runs");
+    let log = s.into_log();
+    (outs, log.events, log.timeline)
+}
+
+/// Asserts two runs are observably identical to the bit.
+fn assert_runs_identical(
+    name: &str,
+    threads: usize,
+    a: &(Outputs, Vec<prescaler_ocl::Event>, Timeline),
+    b: &(Outputs, Vec<prescaler_ocl::Event>, Timeline),
+) {
+    assert_eq!(
+        a.0.len(),
+        b.0.len(),
+        "{name} @ {threads} threads: output arity diverged"
+    );
+    for ((la, va), (lb, vb)) in a.0.iter().zip(&b.0) {
+        assert_eq!(la, lb, "{name} @ {threads} threads: output order diverged");
+        assert_eq!(va.len(), vb.len());
+        assert_eq!(va.precision(), vb.precision());
+        for i in 0..va.len() {
+            let (x, y) = (va.get(i), vb.get(i));
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "{name} @ {threads} threads: output `{la}`[{i}] diverged: {x} vs {y}"
+            );
+        }
+    }
+    assert_eq!(
+        a.1, b.1,
+        "{name} @ {threads} threads: profile events (incl. OpCounts) diverged"
+    );
+    assert_eq!(a.2, b.2, "{name} @ {threads} threads: timeline diverged");
+}
+
+/// The full polybench matrix, clean system: thread budget 1, 2 and 8
+/// must be indistinguishable.
+#[test]
+fn polybench_is_thread_count_invariant_on_the_clean_system() {
+    let system = SystemModel::system1();
+    let spec = ScalingSpec::baseline();
+    for kind in BenchKind::ALL {
+        let app = PolyApp::tiny(kind);
+        let seq = run_at(&app, &system, &spec, 1);
+        for threads in [2usize, 8] {
+            let par = run_at(&app, &system, &spec, threads);
+            assert_runs_identical(&format!("{kind}"), threads, &seq, &par);
+        }
+    }
+}
+
+/// Scaled specs (half-precision targets, so real conversion work runs on
+/// the parallel conversion paths) stay thread-count invariant too.
+#[test]
+fn scaled_specs_are_thread_count_invariant() {
+    let system = SystemModel::system1();
+    for kind in [BenchKind::Gemm, BenchKind::Atax, BenchKind::TwoDConv] {
+        let app = PolyApp::tiny(kind);
+        // Discover object labels from a baseline run, then scale them all.
+        let mut probe = Session::new(system.clone(), app.program(), ScalingSpec::baseline());
+        app.run(&mut probe).expect("probe run");
+        let mut spec = ScalingSpec::baseline();
+        for obj in &probe.log().objects {
+            spec = spec.with_target(&obj.label, Precision::Half);
+        }
+        let seq = run_at(&app, &system, &spec, 1);
+        for threads in [2usize, 8] {
+            let par = run_at(&app, &system, &spec, threads);
+            assert_runs_identical(&format!("{kind}/half"), threads, &seq, &par);
+        }
+    }
+}
+
+/// Under seeded fault universes (noise, corruption, transient failures,
+/// throttle) the fault draws depend only on the operation sequence —
+/// never on the thread budget — so runs stay bit-identical.
+#[test]
+fn faulty_systems_are_thread_count_invariant() {
+    for seed in [5u64, 6, 7] {
+        // A fresh plan per run: `FaultPlan` clones share their draw
+        // counters, so reusing one system across runs would hand the
+        // second run a different (continued) fault stream — the runs
+        // must replay the *same* fault universe to be comparable.
+        let mk_system = || {
+            SystemModel::system1().with_faults(
+                FaultPlan::seeded(mixed(seed))
+                    .with_clock_noise(0.2)
+                    .with_buffer_corruption(0.3)
+                    .with_transfer_failures(0.2)
+                    .with_throttle(0.3, 0.5),
+            )
+        };
+        let spec = ScalingSpec::baseline();
+        for kind in [BenchKind::Gemm, BenchKind::Mvt] {
+            let app = PolyApp::tiny(kind);
+            let seq = run_at(&app, &mk_system(), &spec, 1);
+            for threads in [2usize, 8] {
+                let par = run_at(&app, &mk_system(), &spec, threads);
+                assert_runs_identical(&format!("{kind}/seed{seed}"), threads, &seq, &par);
+            }
+        }
+    }
+}
+
+/// A kernel with overlapping writes (every work-item stores to the same
+/// accumulator cell) must be rejected by the disjoint-write analysis or
+/// its per-launch resolution, and `run_parallel` must fall back to
+/// sequential execution — bit-identically, since sequential *is* the
+/// fallback.
+#[test]
+fn overlapping_writes_fall_back_to_sequential() {
+    let k = kernel("overlap")
+        .buffer("x", Precision::Double, Access::Read)
+        .buffer("acc", Precision::Double, Access::ReadWrite)
+        .body(vec![
+            let_("i", global_id(0)),
+            store("acc", int(0), load("acc", int(0)) + load("x", var("i"))),
+        ]);
+    let compiled = compile_kernel(&k).expect("compiles");
+    // The analysis proves all stores affine (constant), but the resolved
+    // axis stride is zero, so chunked execution must refuse.
+    let n = 256usize;
+    let mk = || {
+        let mut m = BufferMap::new();
+        m.insert(
+            "x".into(),
+            FloatVec::from_f64_slice(
+                &(0..n).map(|i| (i as f64).cos()).collect::<Vec<_>>(),
+                Precision::Double,
+            ),
+        );
+        m.insert("acc".into(), FloatVec::zeros(1, Precision::Double));
+        m
+    };
+    let launch = Launch::one_d(n);
+    let mut seq = mk();
+    let counts_seq = compiled.run(&mut seq, &launch).unwrap();
+    for threads in [2usize, 8] {
+        let mut par = mk();
+        let mut scratch = VmScratch::default();
+        let counts_par = compiled
+            .run_parallel(&mut par, &launch, &mut scratch, threads)
+            .unwrap();
+        assert_eq!(counts_seq, counts_par);
+        assert_eq!(seq["acc"], par["acc"]);
+    }
+
+    // A store at a loop-carried index is rejected at analysis time.
+    let rejected = kernel("scatter")
+        .buffer("y", Precision::Double, Access::ReadWrite)
+        .int_param("n")
+        .body(vec![for_(
+            "j",
+            int(0),
+            var("n"),
+            vec![store("y", var("j"), flit(1.0))],
+        )]);
+    let compiled = compile_kernel(&rejected).expect("compiles");
+    assert!(
+        matches!(compiled.parallel_safety(), ParallelSafety::Unproven(_)),
+        "loop-indexed stores must be unprovable"
+    );
+}
+
+/// Non-finite (fault-poisoned) inputs exercise NaN/Inf propagation
+/// through the carved-chunk store path; the parallel VM must still
+/// match sequential execution bit for bit.
+#[test]
+fn poisoned_inputs_are_thread_count_invariant_at_the_vm_level() {
+    use prescaler_ir::dsl::*;
+    use prescaler_ir::interp::{BufferMap, Launch};
+    use prescaler_ir::vm::{compile_kernel, VmScratch};
+    use prescaler_ir::{Access, FloatVec, Precision};
+    let k = kernel("gemm")
+        .buffer("a", Precision::Double, Access::Read)
+        .buffer("b", Precision::Double, Access::Read)
+        .buffer("c", Precision::Double, Access::ReadWrite)
+        .float_param_like("alpha", "c")
+        .float_param_like("beta", "c")
+        .int_param("ni")
+        .int_param("nj")
+        .int_param("nk")
+        .body(vec![
+            let_("j", global_id(0)),
+            let_("i", global_id(1)),
+            if_(
+                lt(var("i"), var("ni")),
+                vec![if_(
+                    lt(var("j"), var("nj")),
+                    vec![
+                        let_acc("acc", "c", flit(0.0)),
+                        for_(
+                            "k",
+                            int(0),
+                            var("nk"),
+                            vec![add_assign(
+                                "acc",
+                                load("a", var("i") * var("nk") + var("k"))
+                                    * load("b", var("k") * var("nj") + var("j")),
+                            )],
+                        ),
+                        store(
+                            "c",
+                            var("i") * var("nj") + var("j"),
+                            var("alpha") * var("acc")
+                                + var("beta") * load("c", var("i") * var("nj") + var("j")),
+                        ),
+                    ],
+                )],
+            ),
+        ]);
+    let compiled = compile_kernel(&k).expect("compiles");
+    let n = 8usize;
+    // Try each poison in each buffer position.
+    for (pbuf, pidx, pval) in [
+        ("a", 3usize, f64::INFINITY),
+        ("a", 3, f64::NEG_INFINITY),
+        ("a", 3, f64::NAN),
+        ("b", 27, f64::INFINITY),
+        ("b", 27, f64::NAN),
+        ("c", 3, f64::NEG_INFINITY),
+        ("c", 3, f64::INFINITY),
+        ("c", 3, f64::NAN),
+    ] {
+        let mk = || {
+            let mut m = BufferMap::new();
+            for name in ["a", "b", "c"] {
+                let xs: Vec<f64> = (0..n * n).map(|i| ((i + 1) as f64 * 0.37).sin()).collect();
+                let mut v = FloatVec::from_f64_slice(&xs, Precision::Double);
+                if name == pbuf {
+                    v.set(pidx, pval);
+                }
+                m.insert(name.to_string(), v);
+            }
+            m
+        };
+        let launch = Launch::two_d(n, n)
+            .arg_float("alpha", 1.5)
+            .arg_float("beta", 1.2)
+            .arg_int("ni", n as i64)
+            .arg_int("nj", n as i64)
+            .arg_int("nk", n as i64);
+        let mut seq = mk();
+        let counts_seq = compiled.run(&mut seq, &launch).unwrap();
+        for threads in [2usize, 8] {
+            let mut par = mk();
+            let mut scratch = VmScratch::default();
+            let counts_par = compiled
+                .run_parallel(&mut par, &launch, &mut scratch, threads)
+                .unwrap();
+            assert_eq!(
+                counts_seq, counts_par,
+                "{pbuf}[{pidx}]={pval} counts @ {threads}"
+            );
+            for i in 0..n * n {
+                let (x, y) = (seq["c"].get(i), par["c"].get(i));
+                assert!(
+                    x.to_bits() == y.to_bits(),
+                    "{pbuf}[{pidx}]={pval} @ {threads}t: c[{i}] {x} vs {y}"
+                );
+            }
+        }
+    }
+}
