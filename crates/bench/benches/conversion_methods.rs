@@ -18,7 +18,7 @@ fn bench_cost_model(c: &mut Criterion) {
         },
     );
     c.bench_function("convert/cost_model_eval", |b| {
-        b.iter(|| plan.time(&system, black_box(1 << 20)).total())
+        b.iter(|| plan.time(&system, black_box(1 << 20)).total());
     });
 }
 

@@ -14,7 +14,7 @@ fn bench_tune(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("tune_gemm_small", |b| {
         let tuner = PreScaler::new(&system, &db, 0.9);
-        b.iter(|| tuner.tune(&app).unwrap())
+        b.iter(|| tuner.tune(&app).unwrap());
     });
     g.finish();
 }

@@ -13,7 +13,7 @@ fn bench_runs(c: &mut Criterion) {
     for kind in [BenchKind::Gemm, BenchKind::Atax, BenchKind::TwoDConv] {
         let app = PolyApp::scaled(kind, InputSet::Default, 0.1);
         g.bench_function(BenchmarkId::new("baseline_run", kind.name()), |b| {
-            b.iter(|| run_app(&app, &system, &ScalingSpec::baseline()).unwrap())
+            b.iter(|| run_app(&app, &system, &ScalingSpec::baseline()).unwrap());
         });
     }
     g.finish();

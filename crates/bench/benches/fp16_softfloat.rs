@@ -15,7 +15,7 @@ fn bench_conversions(c: &mut Criterion) {
                 acc ^= F16::from_f64(black_box(x)).to_bits();
             }
             acc
-        })
+        });
     });
     let hs: Vec<F16> = xs.iter().map(|&x| F16::from_f64(x)).collect();
     g.bench_function("f16_to_f64", |b| {
@@ -25,7 +25,7 @@ fn bench_conversions(c: &mut Criterion) {
                 acc += black_box(h).to_f64();
             }
             acc
-        })
+        });
     });
     g.finish();
 }
@@ -41,7 +41,7 @@ fn bench_arithmetic(c: &mut Criterion) {
                 acc += black_box(h);
             }
             acc
-        })
+        });
     });
     g.bench_function("mul_add", |b| {
         b.iter(|| {
@@ -50,7 +50,7 @@ fn bench_arithmetic(c: &mut Criterion) {
                 acc = h.mul_add(black_box(h), acc);
             }
             acc
-        })
+        });
     });
     g.finish();
 }

@@ -8,7 +8,7 @@ use prescaler_sim::{Direction, SystemModel};
 fn bench_inspect(c: &mut Criterion) {
     let system = SystemModel::system1();
     c.bench_function("inspector/inspect_system", |b| {
-        b.iter(|| SystemInspector::inspect(black_box(&system)))
+        b.iter(|| SystemInspector::inspect(black_box(&system)));
     });
 }
 
@@ -23,7 +23,7 @@ fn bench_queries(c: &mut Criterion) {
                 black_box(3 << 18),
                 &Precision::ALL,
             )
-        })
+        });
     });
 }
 

@@ -57,7 +57,7 @@ fn bench_engines(c: &mut Criterion) {
                     .unwrap()
             },
             criterion::BatchSize::LargeInput,
-        )
+        );
     });
     for threads in [2usize, 4, 8] {
         g.bench_function(BenchmarkId::new("vm_parallel", threads), |b| {
@@ -71,7 +71,7 @@ fn bench_engines(c: &mut Criterion) {
                         .unwrap()
                 },
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     g.bench_function(BenchmarkId::new("interpreter", n), |b| {
@@ -79,7 +79,7 @@ fn bench_engines(c: &mut Criterion) {
             || bufs.clone(),
             |mut m| run_kernel(&k, &mut m, &launch).unwrap(),
             criterion::BatchSize::LargeInput,
-        )
+        );
     });
     g.finish();
 }

@@ -64,7 +64,7 @@ fn main() {
         matches!(compiled.parallel_safety(), ParallelSafety::Disjoint(_)),
         "gemm stores must be provably disjoint"
     );
-    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
 
     let mut scratch = VmScratch::new();
     let time_at = |threads: usize, scratch: &mut VmScratch| -> (f64, BufferMap) {

@@ -41,9 +41,7 @@ impl Default for SuiteConfig {
             ik_cap: 60,
             kinds: BenchKind::ALL.to_vec(),
             run_in_kernel: true,
-            threads: std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(4),
+            threads: std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
         }
     }
 }
@@ -145,6 +143,7 @@ pub fn run_one(
         quality: 1.0,
         trials: 1,
         cache_hits: 0,
+        pruned_static: 0,
         types: type_distribution(&profile, &ScalingSpec::baseline()),
         conversions: conversion_distribution(&profile, &ScalingSpec::baseline()),
     });
@@ -161,6 +160,7 @@ pub fn run_one(
             quality: ik.eval.quality,
             trials: ik.trials,
             cache_hits: baseline_engine.stats().cache_hits - before.cache_hits,
+            pruned_static: 0,
             // In-kernel keeps objects at full precision.
             types: type_distribution(&profile, &ik.config),
             conversions: conversion_distribution(&profile, &ik.config),
@@ -178,6 +178,7 @@ pub fn run_one(
         quality: p.eval.quality,
         trials: p.trials,
         cache_hits: baseline_engine.stats().cache_hits - before.cache_hits,
+        pruned_static: 0,
         types: type_distribution(&profile, &p.config),
         conversions: conversion_distribution(&profile, &p.config),
     });
@@ -194,6 +195,7 @@ pub fn run_one(
         quality: tuned.eval.quality,
         trials: tuned.trials,
         cache_hits: tuned.cache_hits,
+        pruned_static: tuned.pruned_static,
         types: type_distribution(&tuned.profile, &tuned.config),
         conversions: conversion_distribution(&tuned.profile, &tuned.config),
     });

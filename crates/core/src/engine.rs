@@ -62,6 +62,9 @@ pub struct TrialStats {
     pub cache_hits: usize,
     /// Real application executions, including uncharged speculative ones.
     pub executions: usize,
+    /// Candidates rejected by the static precision-safety analysis
+    /// before any execution — skipped entirely, never charged.
+    pub pruned_static: usize,
 }
 
 struct Entry {
@@ -249,6 +252,13 @@ impl<'a> TrialEngine<'a> {
     #[must_use]
     pub fn stats(&self) -> TrialStats {
         self.state().stats
+    }
+
+    /// Counts one candidate the static analysis rejected without a
+    /// trial. The candidate is never executed, cached, or charged — the
+    /// counter exists purely so reports can show the avoided work.
+    pub fn record_pruned(&self) {
+        self.state().stats.pruned_static += 1;
     }
 
     /// Evaluates `spec` on the tuning system. Returns the evaluation

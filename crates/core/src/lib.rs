@@ -48,6 +48,7 @@ pub mod recovery;
 pub mod report;
 pub mod search;
 pub mod search_space;
+pub mod static_prune;
 
 pub use drift::{retune_warm, revalidate, DriftReport, DriftVerdict, Revalidation};
 pub use engine::{TrialEngine, TrialStats};
@@ -59,3 +60,4 @@ pub use report::{
     SpecSnapshot, TunedSnapshot,
 };
 pub use search::{Evaluation, PreScaler, Tuned};
+pub use static_prune::StaticAnalysis;

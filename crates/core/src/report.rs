@@ -283,6 +283,9 @@ pub struct ResultRow {
     /// Evaluations answered from the trial-engine memo cache instead of
     /// a real execution (0 for techniques that never repeat a spec).
     pub cache_hits: usize,
+    /// Candidates rejected by the static precision-safety analysis
+    /// without a trial (0 for techniques that don't consult it).
+    pub pruned_static: usize,
     /// Final object type distribution.
     pub types: TypeDistribution,
     /// Final conversion-method distribution.
@@ -436,6 +439,8 @@ pub struct TunedSnapshot {
     pub trials: usize,
     /// Memo-cache hits.
     pub cache_hits: usize,
+    /// Candidates rejected statically, without a trial.
+    pub pruned_static: usize,
     /// The target output quality the run was tuned against.
     pub toq: f64,
     /// Hardware fingerprint of the system the spec was tuned on —
@@ -456,6 +461,7 @@ impl Tuned {
             baseline_secs: self.baseline_time.as_secs(),
             trials: self.trials,
             cache_hits: self.cache_hits,
+            pruned_static: self.pruned_static,
             toq: self.toq,
             system_fingerprint: self.system_fingerprint,
         }

@@ -21,6 +21,7 @@
 use crate::engine::TrialEngine;
 use crate::inspector::{valid_intermediate, InspectorDb, PlanKey, SystemInspector};
 use crate::profiler::{profile_app, AppProfile, ObjectProfile};
+use crate::static_prune::StaticAnalysis;
 use prescaler_ir::Precision;
 use prescaler_ocl::{HostApp, OclError, PlanChoice, ScalingSpec};
 use prescaler_sim::{Direction, HostMethod, SimTime, SystemModel};
@@ -64,6 +65,10 @@ pub struct Tuned {
     /// between systems, so a spec is only meaningful together with the
     /// system it was decided against.
     pub system_fingerprint: u64,
+    /// Candidates the static precision-safety analysis rejected without
+    /// a trial (skipped entirely and never charged) — the work the
+    /// analysis saved, reported beside [`Tuned::trials`].
+    pub pruned_static: usize,
 }
 
 impl Tuned {
@@ -71,6 +76,67 @@ impl Tuned {
     #[must_use]
     pub fn speedup(&self) -> f64 {
         self.baseline_time / self.eval.time
+    }
+
+    /// Canonical digest of everything the tuner *decided*: the chosen
+    /// configuration, its evaluation bits, the baseline time, the TOQ,
+    /// and the system fingerprint. Deliberately excludes the effort
+    /// accounting (`trials`, `cache_hits`, `pruned_static`), which
+    /// legitimately differs between pruning-on and pruning-off runs —
+    /// equal digests mean the same decision was reached.
+    #[must_use]
+    pub fn decision_digest(&self) -> u64 {
+        // Canonical byte encoding (maps sorted, fields `;`-separated),
+        // folded through FNV-1a.
+        let prec = |p: Precision| match p {
+            Precision::Half => "h",
+            Precision::Single => "s",
+            Precision::Double => "d",
+        };
+        let mut enc = String::new();
+        let mut sorted_targets: Vec<_> = self.config.object_targets.iter().collect();
+        sorted_targets.sort_by(|a, b| a.0.cmp(b.0));
+        for (label, p) in sorted_targets {
+            enc.push_str(&format!("t:{label}={};", prec(*p)));
+        }
+        for (tag, plans) in [
+            ("w", &self.config.write_plans),
+            ("r", &self.config.read_plans),
+        ] {
+            let mut sorted: Vec<_> = plans.iter().collect();
+            sorted.sort_by(|a, b| a.0.cmp(b.0));
+            for (label, plan) in sorted {
+                enc.push_str(&format!(
+                    "{tag}:{label}={}/{:?};",
+                    prec(plan.intermediate),
+                    plan.host_method
+                ));
+            }
+        }
+        let mut kernels: Vec<_> = self.config.in_kernel.iter().collect();
+        kernels.sort_by(|a, b| a.0.cmp(b.0));
+        for (kernel, casts) in kernels {
+            let mut sorted: Vec<_> = casts.iter().collect();
+            sorted.sort_by(|a, b| a.0.cmp(b.0));
+            for (param, p) in sorted {
+                enc.push_str(&format!("k:{kernel}.{param}={};", prec(*p)));
+            }
+        }
+        enc.push_str(&format!(
+            "e:{:016x}/{:016x}/{:016x};b:{:016x};q:{:016x};f:{:016x}",
+            self.eval.time.as_secs().to_bits(),
+            self.eval.kernel_time.as_secs().to_bits(),
+            self.eval.quality.to_bits(),
+            self.baseline_time.as_secs().to_bits(),
+            self.toq.to_bits(),
+            self.system_fingerprint
+        ));
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in enc.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
     }
 }
 
@@ -82,6 +148,7 @@ pub struct PreScaler<'a> {
     toq: f64,
     use_wildcard: bool,
     use_pfp_seed: bool,
+    use_static_prune: bool,
 }
 
 impl<'a> PreScaler<'a> {
@@ -94,6 +161,7 @@ impl<'a> PreScaler<'a> {
             toq,
             use_wildcard: true,
             use_pfp_seed: true,
+            use_static_prune: true,
         }
     }
 
@@ -122,6 +190,16 @@ impl<'a> PreScaler<'a> {
     #[must_use]
     pub fn without_pfp_seed(mut self) -> PreScaler<'a> {
         self.use_pfp_seed = false;
+        self
+    }
+
+    /// Disables static precision-safety pruning — every candidate is
+    /// trialed, even ones the range analysis proves must fail. The
+    /// prune-equivalence suite pins that this changes only the trial
+    /// count, never the decision.
+    #[must_use]
+    pub fn without_static_prune(mut self) -> PreScaler<'a> {
+        self.use_static_prune = false;
         self
     }
 
@@ -155,6 +233,12 @@ impl<'a> PreScaler<'a> {
         let profile = engine.profile();
         let before = engine.stats();
 
+        // Static precision-safety analysis over the baseline profile:
+        // one pass up front, consulted (for free) before every trial.
+        let analysis = self
+            .use_static_prune
+            .then(|| StaticAnalysis::of(&engine.app().program(), profile));
+
         // --- Pre-full-precision scaling (also the PFP baseline). ---
         let (mut current, mut current_eval) = (
             ScalingSpec::baseline(),
@@ -165,12 +249,13 @@ impl<'a> PreScaler<'a> {
             },
         );
         if self.use_pfp_seed {
-            (current, current_eval) = self.pre_full_precision(engine);
+            (current, current_eval) = self.pre_full_precision(engine, analysis.as_ref());
         }
 
         // --- Decision tree over objects. ---
         for obj in &profile.scaling_order {
-            (current, current_eval) = self.tune_object(engine, obj, current, current_eval);
+            (current, current_eval) =
+                self.tune_object(engine, analysis.as_ref(), obj, current, current_eval);
         }
 
         // --- Final acceptance run of the chosen configuration, on the
@@ -203,14 +288,37 @@ impl<'a> PreScaler<'a> {
             profile: profile.clone(),
             toq: self.toq,
             system_fingerprint: self.system.fingerprint(),
+            pruned_static: after.pruned_static - before.pruned_static,
         }
+    }
+
+    /// Whether the static analysis proves this candidate spec must fail
+    /// the TOQ oracle: some object it demotes has a `ProvenUnsafe`
+    /// verdict at its target precision.
+    fn spec_proven_unsafe(
+        &self,
+        analysis: Option<&StaticAnalysis>,
+        profile: &AppProfile,
+        spec: &ScalingSpec,
+    ) -> bool {
+        let Some(analysis) = analysis else {
+            return false;
+        };
+        profile.scaling_order.iter().any(|obj| {
+            let target = spec.target_for(&obj.label, obj.original);
+            target != obj.original && analysis.proven_unsafe(&obj.label, target)
+        })
     }
 
     /// §4.4.1: test uniform-precision configurations and return the best
     /// one as the tree's starting point. Both uniform candidates are
     /// speculatively prefetched; the replay below keeps the sequential
     /// pruning semantics (a failed type stops the descent).
-    fn pre_full_precision(&self, engine: &TrialEngine) -> (ScalingSpec, Evaluation) {
+    fn pre_full_precision(
+        &self,
+        engine: &TrialEngine,
+        analysis: Option<&StaticAnalysis>,
+    ) -> (ScalingSpec, Evaluation) {
         let profile = engine.profile();
         let mut best = (
             ScalingSpec::baseline(),
@@ -231,8 +339,21 @@ impl<'a> PreScaler<'a> {
             .into_iter()
             .map(uniform)
             .collect();
-        engine.prefetch(&candidates);
+        // Speculate only on candidates the replay below can reach: the
+        // descent stops at the first statically-rejected configuration.
+        let reachable = candidates
+            .iter()
+            .position(|s| self.spec_proven_unsafe(analysis, profile, s))
+            .unwrap_or(candidates.len());
+        engine.prefetch(&candidates[..reachable]);
         for spec in candidates {
+            if self.spec_proven_unsafe(analysis, profile, &spec) {
+                // Proven to fail the TOQ oracle: skip the trial entirely
+                // and stop the descent exactly where the oracle would
+                // have stopped it.
+                engine.record_pruned();
+                break;
+            }
             let Some(eval) = engine.trial(&spec).0 else {
                 // An unrunnable uniform configuration is pruned like a TOQ
                 // failure; lower precisions will not recover it.
@@ -257,6 +378,7 @@ impl<'a> PreScaler<'a> {
     fn tune_object(
         &self,
         engine: &TrialEngine,
+        analysis: Option<&StaticAnalysis>,
         obj: &ObjectProfile,
         current: ScalingSpec,
         current_eval: Evaluation,
@@ -282,10 +404,31 @@ impl<'a> PreScaler<'a> {
                     )
                 })
                 .collect();
-        let specs: Vec<ScalingSpec> = targets.iter().map(|(_, s)| s.clone()).collect();
+        let proven_unsafe = |target: Precision| {
+            target != obj.original && analysis.is_some_and(|a| a.proven_unsafe(&obj.label, target))
+        };
+        // Speculate only up to the first statically-rejected target: the
+        // replay below never asks past it.
+        let reachable = targets
+            .iter()
+            .position(|(t, _)| proven_unsafe(*t))
+            .unwrap_or(targets.len());
+        let specs: Vec<ScalingSpec> = targets[..reachable]
+            .iter()
+            .map(|(_, s)| s.clone())
+            .collect();
         engine.prefetch(&specs);
 
         for (target, candidate) in targets {
+            if proven_unsafe(target) {
+                // The range analysis proves this demotion overflows the
+                // stored data, so its trial must fail TOQ: skip it
+                // uncharged and stop the descent at exactly the point
+                // the oracle would have (Alg. 1, line 10).
+                engine.record_pruned();
+                failed = Some(target);
+                break;
+            }
             let Some(eval) = engine.trial(&candidate).0 else {
                 // A trial that cannot complete is pruned like a TOQ
                 // failure (Alg. 1, line 10).
@@ -438,8 +581,7 @@ impl<'a> PreScaler<'a> {
                 let wires = spec
                     .write_plans
                     .get(&obj.label)
-                    .map(|p| vec![p.intermediate])
-                    .unwrap_or_else(|| vec![obj.original.min(target)]);
+                    .map_or_else(|| vec![obj.original.min(target)], |p| vec![p.intermediate]);
                 if let Some((_, t)) = self.best_plan_or_analytic(
                     Direction::HtoD,
                     obj.original,
@@ -454,8 +596,7 @@ impl<'a> PreScaler<'a> {
                 let wires = spec
                     .read_plans
                     .get(&obj.label)
-                    .map(|p| vec![p.intermediate])
-                    .unwrap_or_else(|| vec![obj.original.min(target)]);
+                    .map_or_else(|| vec![obj.original.min(target)], |p| vec![p.intermediate]);
                 if let Some((_, t)) = self.best_plan_or_analytic(
                     Direction::DtoH,
                     target,

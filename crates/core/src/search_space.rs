@@ -8,6 +8,34 @@
 
 use crate::profiler::AppProfile;
 
+/// Exact `base^exp` by binary exponentiation over `u128`, saturating at
+/// `u128::MAX`. Event counts are small integers, so the per-object term
+/// `1 + #Conv_Type × #Conv_Method^#Event` must be an exact integer —
+/// `f64::powf` routes through `exp(ln ·)` and can land a hair off the
+/// lattice point, which then survives into the published space tables.
+fn pow_exact(base: u64, exp: u64) -> u128 {
+    let mut acc: u128 = 1;
+    let mut base = u128::from(base);
+    let mut exp = exp;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc.saturating_mul(base);
+        }
+        exp >>= 1;
+        if exp > 0 {
+            base = base.saturating_mul(base);
+        }
+    }
+    acc
+}
+
+/// One object's term `1 + #Conv_Type × #Conv_Method^#Event(m)`, exact.
+fn object_term(o: &ObjectSpace, conv_methods: u64) -> f64 {
+    let term = 1u128
+        .saturating_add(u128::from(o.conv_types).saturating_mul(pow_exact(conv_methods, o.events)));
+    term as f64
+}
+
 /// Inputs to the space formulas for one memory object.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ObjectSpace {
@@ -24,7 +52,7 @@ pub struct ObjectSpace {
 pub fn entire(objects: &[ObjectSpace], conv_methods: u64) -> f64 {
     objects
         .iter()
-        .map(|o| 1.0 + o.conv_types as f64 * (conv_methods as f64).powf(o.events as f64))
+        .map(|o| object_term(o, conv_methods))
         .product()
 }
 
@@ -32,10 +60,7 @@ pub fn entire(objects: &[ObjectSpace], conv_methods: u64) -> f64 {
 /// `Σ_m (1 + #Conv_Type × #Conv_Method^#Event(m))`.
 #[must_use]
 pub fn tree(objects: &[ObjectSpace], conv_methods: u64) -> f64 {
-    objects
-        .iter()
-        .map(|o| 1.0 + o.conv_types as f64 * (conv_methods as f64).powf(o.events as f64))
-        .sum()
+    objects.iter().map(|o| object_term(o, conv_methods)).sum()
 }
 
 /// Equation 3: the inspector-pruned space `#MObj × (1 + #Conv_Type)`.
@@ -99,6 +124,42 @@ mod tests {
             events: 3,
         };
         assert_eq!(entire(&[o], 4), 1.0 + 2.0 * 64.0);
+    }
+
+    #[test]
+    fn space_counts_are_exact_integers() {
+        // Pin every published count: integer exponentiation must land
+        // exactly on the lattice (no powf round-off), and the pinned
+        // values must never drift across refactors.
+        let objs = vec![
+            ObjectSpace {
+                conv_types: 2,
+                events: 1
+            };
+            3
+        ];
+        assert_eq!(entire(&objs, 1), 27.0);
+        assert_eq!(entire(&objs, 5), 1331.0);
+        assert_eq!(tree(&objs, 5), 33.0);
+        assert_eq!(pruned(&objs), 9.0);
+        let o = ObjectSpace {
+            conv_types: 2,
+            events: 3,
+        };
+        assert_eq!(entire(&[o], 4), 129.0);
+        // Exactness where powf is known to wobble: 1 + 3^33 is below 2^53,
+        // so the count must hit the integer bit-for-bit.
+        let tall = ObjectSpace {
+            conv_types: 1,
+            events: 33,
+        };
+        assert_eq!(entire(&[tall], 3), 5_559_060_566_555_524.0);
+        // Large exponents saturate instead of overflowing to nonsense.
+        let huge = ObjectSpace {
+            conv_types: 2,
+            events: 1000,
+        };
+        assert_eq!(entire(&[huge], 5), u128::MAX as f64);
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! Trial-free candidate pruning from static value-range analysis.
+//!
+//! [`StaticAnalysis`] bridges the IR-level range dataflow
+//! ([`prescaler_ir::range`]) to the tuner's world of *memory objects*:
+//! it replays the baseline profiling log, seeding each object's element
+//! distribution from the host-write statistics the profiler recorded
+//! (themselves the realization of the application's declared `InputGen`
+//! model), then abstract-interprets every recorded kernel launch —
+//! parameter→label bindings, scalar arguments, and NDRange all come
+//! from the log — chaining ranges across launches through shared
+//! objects. The result is a per-object list of *contributions*: the
+//! host-written values plus every kernel store, each with sound bounds,
+//! a distribution-mean estimate, and a definitely-executes flag.
+//!
+//! [`StaticAnalysis::verdict`] folds an object's contributions into a
+//! [`PrecisionVerdict`] for a target precision. The search skips
+//! `ProvenUnsafe` candidates without charging a trial — sound because a
+//! proof of overflow-to-Inf (or total subnormal flush) on stored data
+//! implies the TOQ oracle must fail, which is exactly the event that
+//! terminates the search's descent anyway. Everything short of proof is
+//! `Unknown` and trials normally, so enabling pruning never changes
+//! *what* the tuner decides — only how many trials it pays for (pinned
+//! by the prune-equivalence suite across the polybench × fault-seed
+//! matrix).
+
+use crate::profiler::AppProfile;
+use prescaler_ir::range::{
+    analyze_kernel, verdict_for, LaunchBounds, PrecisionVerdict, ValueRange,
+};
+use prescaler_ir::{Precision, Program};
+use prescaler_ocl::Event;
+use std::collections::BTreeMap;
+
+/// The tuner-facing product of the static range analysis: per-object
+/// value contributions and the verdicts they support.
+#[derive(Clone, Debug, Default)]
+pub struct StaticAnalysis {
+    /// Per-label `(range, definite)` contributions: index 0 is the
+    /// host-written (or zero-initialized) content, the rest are kernel
+    /// stores in launch order.
+    contributions: BTreeMap<String, Vec<(ValueRange, bool)>>,
+}
+
+impl StaticAnalysis {
+    /// Analyzes one application's kernels under its baseline profile.
+    ///
+    /// Kernels the program no longer contains, or launches recorded
+    /// before this instrumentation existed, simply contribute nothing —
+    /// the affected objects degrade to `Unknown` verdicts (no pruning),
+    /// never to a wrong proof.
+    #[must_use]
+    pub fn of(program: &Program, profile: &AppProfile) -> StaticAnalysis {
+        let log = &profile.log;
+        let mut contributions: BTreeMap<String, Vec<(ValueRange, bool)>> = BTreeMap::new();
+        // Running element distribution per object, chained across
+        // launches. Device buffers are zero-filled at creation, so an
+        // object with no host write starts exactly at 0.
+        let mut ranges: BTreeMap<String, ValueRange> = BTreeMap::new();
+        for obj in &log.objects {
+            let seed = match obj.host_written {
+                Some(s) => ValueRange::with_mean(s.lo, s.hi, s.mean),
+                None => ValueRange::exact(0.0),
+            };
+            ranges.insert(obj.label.clone(), seed);
+            contributions.insert(obj.label.clone(), vec![(seed, true)]);
+        }
+
+        for event in &log.events {
+            let Event::KernelLaunch {
+                kernel,
+                args,
+                scalar_args,
+                global,
+                ..
+            } = event
+            else {
+                continue;
+            };
+            let Some(k) = program.kernel(kernel) else {
+                continue;
+            };
+            let mut env = LaunchBounds {
+                global: *global,
+                ..LaunchBounds::default()
+            };
+            for (param, label) in args {
+                let r = ranges.get(label).copied().unwrap_or(ValueRange::TOP);
+                env.buffers.insert(param.clone(), r);
+            }
+            for (param, v) in scalar_args {
+                env.scalars.insert(param.clone(), *v);
+            }
+            for store in analyze_kernel(k, &env) {
+                let Some((_, label)) = args.iter().find(|(p, _)| *p == store.buf) else {
+                    continue; // store through an unbound name: ignore
+                };
+                contributions
+                    .entry(label.clone())
+                    .or_default()
+                    .push((store.range, store.definite));
+                // A store leaves each element either untouched or at the
+                // stored value — the hull is the sound post-launch
+                // distribution for later launches reading this object.
+                let merged = ranges
+                    .get(label)
+                    .copied()
+                    .unwrap_or(ValueRange::TOP)
+                    .hull(store.range);
+                ranges.insert(label.clone(), merged);
+            }
+        }
+        StaticAnalysis { contributions }
+    }
+
+    /// The verdict for storing `label` at `target` precision. Objects
+    /// the analysis never saw are `Unknown`.
+    #[must_use]
+    pub fn verdict(&self, label: &str, target: Precision) -> PrecisionVerdict {
+        match self.contributions.get(label) {
+            Some(c) => verdict_for(c, target),
+            None => PrecisionVerdict::Unknown,
+        }
+    }
+
+    /// Whether demoting `label` to `target` is proven unsafe.
+    #[must_use]
+    pub fn proven_unsafe(&self, label: &str, target: Precision) -> bool {
+        matches!(
+            self.verdict(label, target),
+            PrecisionVerdict::ProvenUnsafe(_)
+        )
+    }
+
+    /// Magnitude-envelope priors for the runtime guard: per object with
+    /// a fully finite proven value range, the largest magnitude the
+    /// analysis admits. A guard seeded with these never trips its
+    /// envelope on values the static analysis already proved possible.
+    #[must_use]
+    pub fn envelope_priors(&self) -> Vec<(String, f64)> {
+        self.contributions
+            .iter()
+            .filter_map(|(label, contribs)| {
+                let mut bound = 0.0_f64;
+                for (r, _) in contribs {
+                    if !r.bounds.is_finite() {
+                        return None;
+                    }
+                    bound = bound.max(r.bounds.max_abs());
+                }
+                Some((label.clone(), bound))
+            })
+            .collect()
+    }
+
+    /// Objects the analysis has contributions for (profiler-seen
+    /// labels, in sorted order).
+    #[must_use]
+    pub fn labels(&self) -> Vec<&str> {
+        self.contributions.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::profile_app;
+    use prescaler_ocl::HostApp;
+    use prescaler_polybench::{BenchKind, InputSet, PolyApp};
+    use prescaler_sim::SystemModel;
+
+    fn analyze(kind: BenchKind, input: InputSet, scale: f64) -> StaticAnalysis {
+        let system = SystemModel::system1();
+        let app = PolyApp::scaled(kind, input, scale);
+        let profile = profile_app(&app, &system).unwrap();
+        StaticAnalysis::of(&app.program(), &profile)
+    }
+
+    #[test]
+    fn gemm_default_output_is_proven_unsafe_for_half() {
+        // Default GEMM inputs are uniform in (0, 513): inner products
+        // accumulate to ~1e6 ≫ 65504, a distributional overflow proof.
+        let a = analyze(BenchKind::Gemm, InputSet::Default, 0.1);
+        assert!(a.proven_unsafe("C", Precision::Half), "{:?}", {
+            a.verdict("C", Precision::Half)
+        });
+        // The same values comfortably fit single precision.
+        assert_eq!(
+            a.verdict("C", Precision::Single),
+            PrecisionVerdict::SafeDemote
+        );
+        // Input matrices themselves are within half's range; the
+        // verdict must not block demoting them.
+        assert!(!a.proven_unsafe("A", Precision::Half));
+        assert!(!a.proven_unsafe("B", Precision::Half));
+    }
+
+    #[test]
+    fn gemm_random_inputs_are_not_pruned() {
+        // Random inputs are uniform in (0, 1): accumulations stay tiny
+        // and nothing can be proven unsafe.
+        let a = analyze(BenchKind::Gemm, InputSet::Random, 0.1);
+        for label in a.labels() {
+            assert!(
+                !matches!(
+                    a.verdict(label, Precision::Half),
+                    PrecisionVerdict::ProvenUnsafe(_)
+                ),
+                "{label} wrongly pruned"
+            );
+        }
+    }
+
+    #[test]
+    fn chained_kernels_prune_intermediates() {
+        // 2MM stores tmp = alpha·A·B, then D = tmp·C + beta·D: the
+        // first product already overflows half with default inputs.
+        let a = analyze(BenchKind::TwoMM, InputSet::Default, 0.1);
+        let pruned = a
+            .labels()
+            .iter()
+            .filter(|l| a.proven_unsafe(l, Precision::Half))
+            .count();
+        assert!(pruned >= 1, "no 2mm object proven unsafe");
+    }
+
+    #[test]
+    fn envelope_priors_cover_proven_ranges() {
+        let a = analyze(BenchKind::Gemm, InputSet::Default, 0.1);
+        let priors = a.envelope_priors();
+        // C's range may be infinite on some profiles — absence is the
+        // specified degradation, not an error.
+        if let Some((_, bound)) = priors.iter().find(|(l, _)| l == "C") {
+            assert!(*bound > 65504.0, "bound {bound}");
+        }
+        // Input objects always get finite priors at least as large as
+        // their input bounds.
+        let aa = priors.iter().find(|(l, _)| l == "A").expect("A bounded");
+        assert!(aa.1 >= 500.0);
+    }
+
+    #[test]
+    fn unknown_labels_are_unknown() {
+        let a = analyze(BenchKind::Gemm, InputSet::Default, 0.1);
+        assert_eq!(
+            a.verdict("ghost", Precision::Half),
+            PrecisionVerdict::Unknown
+        );
+    }
+}

@@ -426,6 +426,28 @@ impl Guard {
         })
     }
 
+    /// Raises the output magnitude envelopes with statically proven
+    /// value-range priors (label → largest provable magnitude, e.g. from
+    /// `prescaler_core::StaticAnalysis::envelope_priors`). Each matching
+    /// envelope becomes `max(measured, envelope_factor × prior)`, so a
+    /// healthy run producing values the static analysis proved possible
+    /// — but the single reference run happened not to exercise — no
+    /// longer reads as an envelope violation. Priors can only *widen*
+    /// envelopes, never tighten them, and unknown labels are ignored.
+    #[must_use]
+    pub fn with_envelope_priors(mut self, priors: &[(String, f64)]) -> Guard {
+        for (label, bound) in priors {
+            let Some((_, e)) = self.envelope.iter_mut().find(|(l, _)| l == label) else {
+                continue;
+            };
+            let prior = self.policy.envelope_factor * bound.max(1e-9);
+            if prior > *e {
+                *e = prior;
+            }
+        }
+        self
+    }
+
     /// The configuration production runs currently execute under.
     #[must_use]
     pub fn active_spec(&self) -> &ScalingSpec {
@@ -1040,6 +1062,42 @@ mod tests {
         assert_eq!(guard.report().latency_breaches, 0);
         assert!(!guard.fallback_active());
         assert!(!guard.revalidation_due());
+    }
+
+    #[test]
+    fn envelope_priors_only_widen_and_only_known_labels() {
+        let system = SystemModel::system1();
+        let app = gemm_app();
+        let policy = GuardPolicy::default();
+        let base = Guard::new(&app, &system, half_spec(), policy).unwrap();
+        let measured: Vec<(String, f64)> = base.envelope.clone();
+        let c_measured = measured.iter().find(|(l, _)| l == "C").unwrap().1;
+
+        let guard = Guard::new(&app, &system, half_spec(), policy)
+            .unwrap()
+            .with_envelope_priors(&[
+                // A prior far above the measured envelope widens it…
+                ("C".to_owned(), c_measured * 10.0),
+                // …a tiny prior must never tighten…
+                ("A".to_owned(), 1e-30),
+                // …and unknown labels are ignored.
+                ("ghost".to_owned(), 1.0e12),
+            ]);
+        let find = |g: &Guard, l: &str| g.envelope.iter().find(|(k, _)| k == l).map(|(_, e)| *e);
+        assert_eq!(
+            find(&guard, "C").unwrap(),
+            policy.envelope_factor * c_measured * 10.0
+        );
+        assert_eq!(find(&guard, "A"), find(&base, "A"), "never tightened");
+        assert!(find(&guard, "ghost").is_none());
+
+        // A widened envelope must not change healthy-run behavior.
+        let mut guard = guard;
+        let v = guard
+            .run_production(|gain| gemm_app().with_input_gain(gain))
+            .unwrap();
+        assert!(!v.degraded);
+        assert!(v.actions.is_empty());
     }
 
     #[test]

@@ -387,13 +387,11 @@ impl<'k> Absint<'k> {
                 end,
                 body,
             } => {
-                let s = match self.eval(start, None, counts)? {
-                    AbsVal::Int(v) => v,
-                    _ => return Err(self.err_bound()),
+                let AbsVal::Int(s) = self.eval(start, None, counts)? else {
+                    return Err(self.err_bound());
                 };
-                let e = match self.eval(end, None, counts)? {
-                    AbsVal::Int(v) => v,
-                    _ => return Err(self.err_bound()),
+                let AbsVal::Int(e) = self.eval(end, None, counts)? else {
+                    return Err(self.err_bound());
                 };
                 let trips = (e - s).max(0) as u64;
                 counts.int_ops += 2 * trips;

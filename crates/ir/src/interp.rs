@@ -549,7 +549,7 @@ impl<'a> Interp<'a> {
                 let slot = self.counts.at_mut(p);
                 match op {
                     FloatBinOp::Add | FloatBinOp::Sub | FloatBinOp::Min | FloatBinOp::Max => {
-                        slot.add_sub += 1
+                        slot.add_sub += 1;
                     }
                     FloatBinOp::Mul => slot.mul += 1,
                     FloatBinOp::Div => slot.div += 1,

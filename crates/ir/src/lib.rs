@@ -14,6 +14,10 @@
 //!   with exact dynamic operation counts;
 //! * [`analysis`] — static operation counts that match the interpreter
 //!   bit-for-bit on integer-controlled kernels;
+//! * [`range`] — forward value-range dataflow (interval arithmetic with
+//!   widening at loop heads) proving precision-safety verdicts;
+//! * [`verify`] — a structural IR verifier with typed diagnostics, run
+//!   before kernel compilation;
 //! * [`print`] — OpenCL-C-like pretty-printing.
 //!
 //! # Example
@@ -55,9 +59,11 @@ pub mod interp;
 pub mod parse;
 pub mod passes;
 pub mod print;
+pub mod range;
 pub mod typeck;
 pub mod types;
 pub mod value;
+pub mod verify;
 pub mod vm;
 
 pub use analysis::ParallelSafety;
@@ -66,5 +72,10 @@ pub use ast::{Access, Expr, Ident, Kernel, Param, Program, Stmt, TypeRef};
 pub use counts::{OpCounts, PrecCounts};
 pub use interp::{ArgValue, BufferMap, ExecError, Launch};
 pub use parse::{parse_kernel, parse_program, ParseError};
+pub use range::{
+    analyze_kernel, verdict_for, Interval, LaunchBounds, PrecisionVerdict, ScalarBound,
+    StoreSummary, UnsafeReason, ValueRange,
+};
 pub use types::{Precision, ScalarType};
 pub use value::{CmpOp, FloatBinOp, Scalar, UnaryFn};
+pub use verify::{verify_kernel, verify_program, Severity, VerifyDiagnostic};

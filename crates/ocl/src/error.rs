@@ -44,6 +44,14 @@ pub enum OclError {
     /// The (possibly transformed) kernel failed the type checker — a bug
     /// in a scaling configuration.
     BadKernel(TypeError),
+    /// The kernel carries Error-severity IR-verifier diagnostics —
+    /// structurally broken IR caught before compilation.
+    Verify {
+        /// Kernel name.
+        kernel: String,
+        /// The rendered diagnostics, `; `-joined.
+        message: String,
+    },
     /// Kernel source text failed to parse — a malformed program degrades
     /// into an error instead of aborting the run.
     BadSource(ParseError),
@@ -127,6 +135,9 @@ impl fmt::Display for OclError {
                 "host data for `{label}` has {got} elements, buffer holds {expected}"
             ),
             OclError::BadKernel(e) => write!(f, "scaled kernel rejected: {e}"),
+            OclError::Verify { kernel, message } => {
+                write!(f, "kernel `{kernel}` failed IR verification: {message}")
+            }
             OclError::BadSource(e) => write!(f, "kernel source rejected: {e}"),
             OclError::Exec(e) => write!(f, "kernel execution failed: {e}"),
             OclError::TransferFault { label, attempt } => {

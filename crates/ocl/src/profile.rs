@@ -1,8 +1,60 @@
 //! The dynamic profiling log — what the paper's interposition library
 //! records for the application profiler (Table 2).
 
-use prescaler_ir::{OpCounts, Precision};
+use prescaler_ir::{OpCounts, Precision, ScalarBound};
 use prescaler_sim::{Direction, SimTime, TransferCost};
+
+/// Value statistics of host data written to a memory object — the
+/// observed realization of the application's declared input model,
+/// recorded at `clEnqueueWriteBuffer` time. Seeds the static
+/// value-range analysis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WriteStats {
+    /// Smallest value written.
+    pub lo: f64,
+    /// Largest value written.
+    pub hi: f64,
+    /// Arithmetic mean of the written values.
+    pub mean: f64,
+    /// Number of elements the statistics cover.
+    pub count: usize,
+}
+
+impl WriteStats {
+    /// Statistics over one host slice; `None` for empty slices.
+    #[must_use]
+    pub fn of(data: &[f64]) -> Option<WriteStats> {
+        if data.is_empty() {
+            return None;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in data {
+            lo = lo.min(v);
+            hi = hi.max(v);
+            sum += v;
+        }
+        Some(WriteStats {
+            lo,
+            hi,
+            mean: sum / data.len() as f64,
+            count: data.len(),
+        })
+    }
+
+    /// Merges statistics from a later write to the same object.
+    #[must_use]
+    pub fn merge(self, other: WriteStats) -> WriteStats {
+        let n = self.count + other.count;
+        WriteStats {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+            mean: (self.mean * self.count as f64 + other.mean * other.count as f64) / n as f64,
+            count: n,
+        }
+    }
+}
 
 /// Aggregate virtual time per program phase.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -79,6 +131,9 @@ pub struct ObjectInfo {
     pub declared: Precision,
     /// The device storage precision under the active scaling spec.
     pub device_precision: Precision,
+    /// Statistics of host data written to this object, if any writes
+    /// occurred (merged across writes).
+    pub host_written: Option<WriteStats>,
 }
 
 impl ObjectInfo {
@@ -113,8 +168,14 @@ pub enum Event {
         /// Buffer-param → memory-object-label mapping snapshot
         /// (the paper's `clSetKernelArg` record).
         args: Vec<(String, String)>,
-        /// Dynamic operation counts of this launch.
-        counts: OpCounts,
+        /// Scalar-param → value snapshot (the non-buffer half of the
+        /// `clSetKernelArg` record), feeding the static range analysis.
+        scalar_args: Vec<(String, ScalarBound)>,
+        /// The launch NDRange.
+        global: [usize; 2],
+        /// Dynamic operation counts of this launch (boxed: the per-
+        /// precision table dwarfs every other event payload).
+        counts: Box<OpCounts>,
         /// Virtual execution time.
         time: SimTime,
     },
@@ -181,6 +242,8 @@ impl ProfileLog {
         &mut self,
         kernel: &str,
         args: Vec<(String, String)>,
+        scalar_args: Vec<(String, ScalarBound)>,
+        global: [usize; 2],
         counts: OpCounts,
         time: SimTime,
     ) {
@@ -188,9 +251,22 @@ impl ProfileLog {
         self.events.push(Event::KernelLaunch {
             kernel: kernel.to_owned(),
             args,
-            counts,
+            scalar_args,
+            global,
+            counts: Box::new(counts),
             time,
         });
+    }
+
+    /// Merges host-write value statistics into an object's record.
+    pub(crate) fn record_host_write(&mut self, label: &str, stats: Option<WriteStats>) {
+        let Some(stats) = stats else { return };
+        if let Some(obj) = self.objects.iter_mut().find(|o| o.label == label) {
+            obj.host_written = Some(match obj.host_written {
+                Some(prev) => prev.merge(stats),
+                None => stats,
+            });
+        }
     }
 
     /// Looks up an object by label.
@@ -266,17 +342,21 @@ mod tests {
             len: 1024,
             declared: Precision::Double,
             device_precision: Precision::Double,
+            host_written: None,
         });
         log.objects.push(ObjectInfo {
             label: "C".into(),
             len: 1024,
             declared: Precision::Double,
             device_precision: Precision::Double,
+            host_written: None,
         });
         log.record_transfer("A", Direction::HtoD, 1024, 8192, cost(100.0));
         log.record_kernel(
             "k",
             vec![("a".into(), "A".into()), ("c".into(), "C".into())],
+            vec![("n".into(), ScalarBound::Int(1024))],
+            [1024, 1],
             OpCounts::new(),
             SimTime::from_micros(50.0),
         );
@@ -316,5 +396,21 @@ mod tests {
         let log = sample_log();
         assert_eq!(log.object("A").unwrap().declared_bytes(), 8192);
         assert!(log.object("Z").is_none());
+    }
+
+    #[test]
+    fn host_write_stats_merge_across_writes() {
+        let mut log = sample_log();
+        log.record_host_write("A", WriteStats::of(&[1.0, 3.0]));
+        log.record_host_write("A", WriteStats::of(&[-1.0, 5.0]));
+        let s = log.object("A").unwrap().host_written.unwrap();
+        assert_eq!(s.lo, -1.0);
+        assert_eq!(s.hi, 5.0);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.count, 4);
+        // Empty writes and unknown labels are ignored.
+        log.record_host_write("A", WriteStats::of(&[]));
+        log.record_host_write("ghost", WriteStats::of(&[9.0]));
+        assert_eq!(log.object("A").unwrap().host_written.unwrap().count, 4);
     }
 }

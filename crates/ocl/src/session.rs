@@ -8,13 +8,13 @@
 //! never changes; the active [`ScalingSpec`] changes what the calls do.
 
 use crate::error::OclError;
-use crate::profile::{ObjectInfo, ProfileLog, Timeline};
+use crate::profile::{ObjectInfo, ProfileLog, Timeline, WriteStats};
 use crate::spec::ScalingSpec;
 use prescaler_ir::interp::{run_kernel, BufferMap, Launch};
 use prescaler_ir::passes::{insert_casts, retype_buffers};
 use prescaler_ir::typeck::check_kernel;
 use prescaler_ir::vm::{compile_kernel, CompiledKernel, VmScratch};
-use prescaler_ir::{FloatVec, Param, Precision, Program};
+use prescaler_ir::{FloatVec, Param, Precision, Program, ScalarBound};
 use prescaler_sim::{Direction, FaultPlan, HostMethod, SimTime, SystemModel, TransferPlan};
 use std::collections::HashMap;
 
@@ -336,6 +336,7 @@ impl Session {
             len,
             declared,
             device_precision,
+            host_written: None,
         });
         self.buffers.push(DeviceBuffer {
             label,
@@ -419,6 +420,10 @@ impl Session {
         self.buffers[id.0].data = data;
         self.log
             .record_transfer(&label, Direction::HtoD, elems, wire_bytes, cost);
+        // Host-side value statistics seed the static range analysis;
+        // taken from the *uncorrupted* host data at declared precision.
+        self.log
+            .record_host_write(&label, WriteStats::of(&host.to_f64_vec()));
         Ok(())
     }
 
@@ -539,6 +544,7 @@ impl Session {
         // Resolve bindings.
         let mut retype: HashMap<String, Precision> = HashMap::new();
         let mut buffer_args: Vec<(String, BufferId)> = Vec::new();
+        let mut scalar_args: Vec<(String, ScalarBound)> = Vec::new();
         let mut launch = Launch {
             global,
             args: Vec::new(),
@@ -559,9 +565,11 @@ impl Session {
                     buffer_args.push((pname.clone(), *id));
                 }
                 (Param::Scalar { name: pname, .. }, KernelArg::Int(v)) => {
+                    scalar_args.push((pname.clone(), ScalarBound::Int(*v)));
                     launch = launch.arg_int(pname.clone(), *v);
                 }
                 (Param::Scalar { name: pname, .. }, KernelArg::Float(v)) => {
+                    scalar_args.push((pname.clone(), ScalarBound::Float(*v)));
                     launch = launch.arg_float(pname.clone(), *v);
                 }
                 _ => {
@@ -602,12 +610,14 @@ impl Session {
         let engine = if self.use_interpreter {
             let scaled = scale_variant(self);
             check_kernel(&scaled)?;
+            reject_verifier_errors(&scaled)?;
             Engine::Interp(scaled)
         } else if let Some(c) = self.compiled.get(&variant_key) {
             Engine::Compiled(c.clone())
         } else {
             let scaled = scale_variant(self);
             check_kernel(&scaled)?;
+            reject_verifier_errors(&scaled)?;
             let c = std::sync::Arc::new(compile_kernel(&scaled)?);
             self.compiled.insert(variant_key, c.clone());
             Engine::Compiled(c)
@@ -652,8 +662,28 @@ impl Session {
             .iter()
             .map(|(pname, id)| (pname.clone(), self.buffers[id.0].label.clone()))
             .collect();
-        self.log.record_kernel(name, arg_map, counts, time);
+        self.log
+            .record_kernel(name, arg_map, scalar_args, global, counts, time);
         Ok(time)
+    }
+}
+
+/// Rejects a kernel carrying Error-severity verifier diagnostics —
+/// structurally broken IR must never reach compilation or execution.
+/// Warnings (dead stores, unused params) are the lint tool's business.
+fn reject_verifier_errors(kernel: &prescaler_ir::Kernel) -> Result<(), OclError> {
+    let errors: Vec<String> = prescaler_ir::verify_kernel(kernel)
+        .into_iter()
+        .filter(|d| d.severity() == prescaler_ir::Severity::Error)
+        .map(|d| d.to_string())
+        .collect();
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(OclError::Verify {
+            kernel: kernel.name.clone(),
+            message: errors.join("; "),
+        })
     }
 }
 

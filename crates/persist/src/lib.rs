@@ -952,7 +952,7 @@ mod tests {
         // No temp files left behind.
         let leftovers: Vec<_> = fs::read_dir(&dir)
             .unwrap()
-            .filter_map(|e| e.ok())
+            .filter_map(Result::ok)
             .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
             .collect();
         assert!(leftovers.is_empty(), "{leftovers:?}");

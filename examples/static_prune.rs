@@ -1,0 +1,85 @@
+//! Static precision-safety analysis in action: trial-free pruning.
+//!
+//! Runs the PreScaler search twice on benchmarks whose default inputs
+//! provably overflow half precision — once with static value-range
+//! pruning (the default), once without — and shows that the decision is
+//! bit-identical while the pruned search pays for strictly fewer trials.
+//! The proven value ranges then seed the runtime guard's magnitude
+//! envelopes as priors.
+//!
+//! ```text
+//! cargo run --release --example static_prune
+//! ```
+
+use prescaler_core::{profile_app, PreScaler, StaticAnalysis, SystemInspector, TrialEngine};
+use prescaler_guard::{Guard, GuardPolicy};
+use prescaler_ir::{Precision, PrecisionVerdict};
+use prescaler_ocl::HostApp;
+use prescaler_polybench::{BenchKind, InputSet, PolyApp};
+use prescaler_sim::SystemModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = SystemModel::system1();
+    let db = SystemInspector::inspect(&system);
+
+    let mut total_pruned = 0usize;
+    for kind in [BenchKind::Gemm, BenchKind::TwoMM, BenchKind::Bicg] {
+        // Default polybench inputs are uniform in (0, 513): the inner
+        // products overflow f16's 65504 — a proof the analysis finds
+        // without running anything.
+        let app = PolyApp::scaled(kind, InputSet::Default, 0.1);
+        let profile = profile_app(&app, &system)?;
+
+        // What the dataflow proves, per memory object.
+        let analysis = StaticAnalysis::of(&app.program(), &profile);
+        println!("{}:", app.name());
+        for label in analysis.labels() {
+            match analysis.verdict(label, Precision::Half) {
+                PrecisionVerdict::ProvenUnsafe(reason) => {
+                    println!("  {label:<6} -> half is proven unsafe: {reason}");
+                }
+                PrecisionVerdict::SafeDemote => {
+                    println!("  {label:<6} -> half is proven safe");
+                }
+                PrecisionVerdict::Unknown => {
+                    println!("  {label:<6} -> unknown, trials decide");
+                }
+            }
+        }
+
+        // Same decision, fewer trials.
+        let on = PreScaler::new(&system, &db, 0.9)
+            .tune_with_engine(&TrialEngine::new(&app, &system, &profile));
+        let off = PreScaler::new(&system, &db, 0.9)
+            .without_static_prune()
+            .tune_with_engine(&TrialEngine::new(&app, &system, &profile));
+        assert_eq!(
+            on.decision_digest(),
+            off.decision_digest(),
+            "pruning must never change the decision"
+        );
+        println!(
+            "  pruned {} candidates statically: {} trials vs {} without, same decision \
+             (digest {:016x})\n",
+            on.pruned_static,
+            on.trials,
+            off.trials,
+            on.decision_digest()
+        );
+        total_pruned += on.pruned_static;
+
+        // The proven ranges become guard envelope priors: production
+        // values the analysis already admits can never trip the guard.
+        let priors = analysis.envelope_priors();
+        let mut guard = Guard::new(&app, &system, on.config.clone(), GuardPolicy::default())?
+            .with_envelope_priors(&priors);
+        let verdict = guard.run_production(|gain| {
+            PolyApp::scaled(kind, InputSet::Default, 0.1).with_input_gain(gain)
+        })?;
+        assert!(!verdict.degraded, "clean production run tripped the guard");
+    }
+
+    assert!(total_pruned > 0, "no candidate was pruned statically");
+    println!("total candidates pruned without paying a trial: {total_pruned}");
+    Ok(())
+}

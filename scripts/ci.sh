@@ -10,8 +10,22 @@ cargo build --release --offline
 # default build compiles can rot silently.
 cargo build --release --offline --workspace --all-targets
 cargo test -q --workspace --offline
-cargo clippy --workspace --all-targets --offline -- -D warnings
+# Default lints plus a curated clippy::pedantic subset, enforced
+# workspace-wide: consistent trailing semicolons, method-path closures,
+# iterator idiom, map_or over map+unwrap_or, let-else over match-else.
+cargo clippy --workspace --all-targets --offline -- -D warnings \
+    -D clippy::semicolon_if_nothing_returned \
+    -D clippy::redundant-closure-for-method-calls \
+    -D clippy::explicit-iter-loop \
+    -D clippy::map-unwrap-or \
+    -D clippy::needless-continue \
+    -D clippy::manual-let-else
 cargo fmt --all --check
+
+# IR verifier gate: every shipped polybench kernel must verify with zero
+# diagnostics of any severity, and the verifier must still reject each
+# deliberately broken kernel class with its specific typed diagnostic.
+cargo run --release --offline --bin prescaler-verify
 
 # Seeded fault matrix: the guard, pipeline, crash-resume, and
 # system-drift property suites replayed under fixed seeds, so every CI
@@ -28,13 +42,17 @@ cargo fmt --all --check
 # (arrival bursts, tight queues, tight deadlines, device loss) and
 # requires bit-identical per-request outcomes at 1/2/8 workers, a typed
 # rejection for every shed request, and TOQ-or-fallback for every
-# admitted one.
+# admitted one. The static-analysis suite pins the prune-equivalence
+# guarantee — tuned decisions bit-identical with static pruning on and
+# off, trials strictly fewer where anything was pruned — per fault
+# universe.
 for seed in 1 2 3; do
     PRESCALER_FAULT_SEED=$seed \
         cargo test -q --offline \
         --test guard_properties --test pipeline_properties \
         --test crash_resume_properties --test drift_properties \
-        --test serve_properties --test parallel_exec_properties
+        --test serve_properties --test parallel_exec_properties \
+        --test static_analysis_properties
 done
 
 # Data-parallel execution equivalence: the whole workspace suite must
@@ -61,6 +79,12 @@ done
 # The guarded-serving example doubles as an end-to-end smoke test: it
 # asserts its own breaker-trip / recovery / accounting guarantees.
 cargo run --release --offline --example guarded_serving
+
+# Static-pruning smoke: proves overflow on default-input benchmarks,
+# self-asserts candidates were pruned without a trial, decisions are
+# digest-identical with pruning off, and proven ranges seed the guard's
+# envelopes without tripping a clean production run.
+cargo run --release --offline --example static_prune
 
 # Multi-worker serving stress: run the overloaded serving example as
 # three separate processes at 1, 2, and 8 workers and diff the printed

@@ -1,0 +1,133 @@
+//! `prescaler-verify` — the IR-verifier CI check.
+//!
+//! Verifies every kernel of every polybench benchmark and requires
+//! **zero diagnostics of any severity** (the session gate only rejects
+//! errors; shipped kernels are held to the stricter bar of no warnings
+//! either). Then sanity-checks the verifier itself against a matrix of
+//! deliberately broken kernels, each of which must produce its specific
+//! typed diagnostic. Exits nonzero on any violation.
+//!
+//! ```text
+//! cargo run --release --bin prescaler-verify
+//! ```
+
+use prescaler_ir::ast::{Access, Stmt};
+use prescaler_ir::dsl::{
+    flit, for_, global_id, if_, int, kernel, let_, load, lt, store, var, KernelBuilder,
+};
+use prescaler_ir::{verify_kernel, verify_program, Precision, VerifyDiagnostic};
+use prescaler_ocl::HostApp;
+use prescaler_polybench::{BenchKind, PolyApp};
+
+fn broken_base() -> KernelBuilder {
+    kernel("k")
+        .buffer("a", Precision::Double, Access::Read)
+        .buffer("c", Precision::Double, Access::ReadWrite)
+        .int_param("n")
+}
+
+/// A body using every parameter, so only the seeded defect reports.
+fn use_all() -> Vec<Stmt> {
+    vec![
+        let_("i", global_id(0)),
+        if_(
+            lt(var("i"), var("n")),
+            vec![store("c", var("i"), load("a", var("i")) + flit(1.0))],
+        ),
+    ]
+}
+
+fn main() {
+    let mut failures = 0usize;
+
+    // Part 1: every shipped benchmark kernel verifies completely clean.
+    let mut kernels = 0usize;
+    for kind in BenchKind::ALL {
+        let app = PolyApp::tiny(kind);
+        let program = app.program();
+        kernels += program.kernels.len();
+        let diagnostics = verify_program(&program);
+        if diagnostics.is_empty() {
+            println!(
+                "ok   {:<8} {} kernels clean",
+                app.name(),
+                program.kernels.len()
+            );
+        } else {
+            failures += diagnostics.len();
+            for d in diagnostics {
+                println!("FAIL {:<8} {d}", app.name());
+            }
+        }
+    }
+
+    // Part 2: the verifier still catches each defect class. A verifier
+    // that silently stopped reporting would make part 1 vacuous.
+    let with = |defect: Vec<Stmt>| {
+        let mut body = use_all();
+        body.extend(defect);
+        broken_base().body(body)
+    };
+    type BrokenCase = (
+        &'static str,
+        prescaler_ir::Kernel,
+        fn(&VerifyDiagnostic) -> bool,
+    );
+    let matrix: Vec<BrokenCase> = vec![
+        (
+            "unbound variable",
+            with(vec![store("c", int(0), var("ghost"))]),
+            |d| matches!(d, VerifyDiagnostic::UnboundVar { name, .. } if name == "ghost"),
+        ),
+        (
+            "type clash",
+            with(vec![for_(
+                "j",
+                int(0),
+                prescaler_ir::ast::Expr::FloatConst(4.0),
+                vec![],
+            )]),
+            |d| matches!(d, VerifyDiagnostic::TypeClash { .. }),
+        ),
+        (
+            "negative constant index",
+            with(vec![let_("x", load("a", int(0) - int(3)))]),
+            |d| matches!(d, VerifyDiagnostic::OobConstIndex { index: -3, .. }),
+        ),
+        (
+            "dead store",
+            with(vec![
+                store("c", int(0), flit(1.0)),
+                store("c", int(0), flit(2.0)),
+            ]),
+            |d| matches!(d, VerifyDiagnostic::DeadStore { index: 0, .. }),
+        ),
+        (
+            "unused parameter",
+            broken_base()
+                .float_param("beta", Precision::Double)
+                .body(use_all()),
+            |d| matches!(d, VerifyDiagnostic::UnusedParam { param, .. } if param == "beta"),
+        ),
+        (
+            "store through non-buffer",
+            with(vec![store("n", int(0), flit(1.0))]),
+            |d| matches!(d, VerifyDiagnostic::NonBufferStore { name, .. } if name == "n"),
+        ),
+    ];
+    for (label, broken, expected) in &matrix {
+        let ds = verify_kernel(broken);
+        match ds.iter().find(|d| expected(d)) {
+            Some(d) => println!("ok   rejects  {label}: {d}"),
+            None => {
+                failures += 1;
+                println!("FAIL rejects  {label}: expected diagnostic missing in {ds:?}");
+            }
+        }
+    }
+
+    println!("\n{kernels} benchmark kernels verified, {failures} failures");
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
