@@ -22,6 +22,16 @@
 //! *what* the tuner decides — only how many trials it pays for (pinned
 //! by the prune-equivalence suite across the polybench × fault-seed
 //! matrix).
+//!
+//! One modelling precondition rides on the distributional (mean-based)
+//! proofs: *within* a kernel launch, value provenance tracks which
+//! draws a product's factors share and drops the mean whenever they
+//! could be adversely correlated, but *across* launches distinct
+//! memory objects are assumed independently generated. The declared
+//! `InputGen` models satisfy this (each object is drawn separately),
+//! and chained intermediates lose their means at the cross-launch hull
+//! anyway unless the distributions agree exactly; interval-only proofs
+//! carry no such assumption.
 
 use crate::profiler::AppProfile;
 use prescaler_ir::range::{

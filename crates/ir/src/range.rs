@@ -32,10 +32,17 @@
 //!
 //! Interval bounds over-approximate: every concrete run under the
 //! seeded input bounds stays inside them. The mean stream is an
-//! *estimate* — exact for linear flows over independently drawn inputs
-//! (mean of a sum is the sum of means; mean of a product of
-//! independent draws is the product of means), degraded to "unknown"
-//! whenever an operation cannot preserve it. [`verdict_for`] therefore
+//! *estimate* that is never allowed to over-state magnitude: sums and
+//! differences are exact, and a product keeps its mean only when value
+//! provenance shows the factors cannot be adversely correlated —
+//! either they share no stochastic source (independent draws, where
+//! the mean of the product *is* the product of means), or both are raw
+//! draws from one pristine input buffer (the same element gives a
+//! square, whose true mean `E[X²] ≥ E[X]²` the estimate only
+//! under-states; distinct elements are independent draws). Any other
+//! shared-source shape — `x·(c−x)` is the canonical one, negatively
+//! correlated so the product of means over-states the truth — degrades
+//! the mean to "unknown". [`verdict_for`] therefore
 //! proves [`PrecisionVerdict::ProvenUnsafe`] from two criteria only:
 //! the *entire* sound interval lies beyond the target's finite range
 //! (every execution overflows), or the mean of a definitely-executed
@@ -543,6 +550,7 @@ pub fn analyze_kernel(kernel: &Kernel, env: &LaunchBounds) -> Vec<StoreSummary> 
     let mut a = Absint {
         kernel,
         buffers: env.buffers.clone().into_iter().collect(),
+        buffer_sources: HashMap::new(),
         scopes: vec![HashMap::new()],
         stores: Vec::new(),
         global: env.global,
@@ -552,12 +560,58 @@ pub fn analyze_kernel(kernel: &Kernel, env: &LaunchBounds) -> Vec<StoreSummary> 
     a.stores
 }
 
+/// Stochastic provenance of an abstract value: the input buffers it
+/// draws from, and whether it is a single *raw* draw (a load, or an
+/// alias chain back to one) rather than an arithmetic combination.
+/// Only the mean stream consults it — being over-broad merely drops
+/// mean estimates, never bounds.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct Provenance {
+    /// Buffer names whose contents influence the value.
+    sources: HashSet<String>,
+    /// True for unmodified draws; any arithmetic clears it.
+    raw: bool,
+}
+
+impl Provenance {
+    /// A value independent of every input draw (constants, thread ids,
+    /// scalar parameters, loop variables).
+    fn deterministic() -> Provenance {
+        Provenance {
+            sources: HashSet::new(),
+            raw: true,
+        }
+    }
+
+    /// Join at a control-flow merge: either side's draws may be the
+    /// value's.
+    fn join(&self, other: &Provenance) -> Provenance {
+        let mut sources = self.sources.clone();
+        sources.extend(other.sources.iter().cloned());
+        Provenance {
+            raw: self.raw && other.raw && self.sources == other.sources,
+            sources,
+        }
+    }
+}
+
+/// One scope slot: the abstract value plus its provenance.
+#[derive(Clone, Debug)]
+struct Binding {
+    val: AVal,
+    prov: Provenance,
+}
+
 struct Absint<'k> {
     kernel: &'k Kernel,
     /// Current per-buffer element distribution (input-seeded, updated
     /// by stores).
     buffers: HashMap<String, ValueRange>,
-    scopes: Vec<HashMap<String, AVal>>,
+    /// Buffers whose elements are no longer pristine input draws: a
+    /// store derived from other stochastic sources lands them here,
+    /// keyed to the sources the stored values carry.
+    buffer_sources: HashMap<String, HashSet<String>>,
+    scopes: Vec<HashMap<String, Binding>>,
     stores: Vec<StoreSummary>,
     global: [usize; 2],
     scalars: BTreeMap<String, ScalarBound>,
@@ -684,8 +738,8 @@ fn match_recurrence<'b>(name: &'b str, value: &'b Expr) -> Option<Recurrence<'b>
 impl Absint<'_> {
     fn lookup(&self, name: &str) -> AVal {
         for scope in self.scopes.iter().rev() {
-            if let Some(v) = scope.get(name) {
-                return *v;
+            if let Some(b) = scope.get(name) {
+                return b.val;
             }
         }
         match self.kernel.param(name) {
@@ -701,21 +755,114 @@ impl Absint<'_> {
         }
     }
 
+    /// Provenance of a name: its binding's, or deterministic for
+    /// unbound names (scalar parameters, which the host fixes before
+    /// launch).
+    fn lookup_prov(&self, name: &str) -> Provenance {
+        for scope in self.scopes.iter().rev() {
+            if let Some(b) = scope.get(name) {
+                return b.prov.clone();
+            }
+        }
+        Provenance::deterministic()
+    }
+
+    /// Binds with deterministic provenance (loop variables, widened
+    /// slots — anything whose mean can never feed a product).
     fn bind(&mut self, name: &str, v: AVal) {
+        self.bind_with(name, v, Provenance::deterministic());
+    }
+
+    fn bind_with(&mut self, name: &str, v: AVal, prov: Provenance) {
         if let Some(top) = self.scopes.last_mut() {
-            top.insert(name.to_owned(), v);
+            top.insert(name.to_owned(), Binding { val: v, prov });
         }
     }
 
-    /// Reassigns wherever the name is bound (outer scopes included).
+    /// Reassigns wherever the name is bound (outer scopes included),
+    /// keeping the slot's provenance.
     fn assign(&mut self, name: &str, v: AVal) {
         for scope in self.scopes.iter_mut().rev() {
             if let Some(slot) = scope.get_mut(name) {
-                *slot = v;
+                slot.val = v;
                 return;
             }
         }
         self.bind(name, v);
+    }
+
+    /// Reassigns value and provenance together wherever the name is
+    /// bound.
+    fn assign_with(&mut self, name: &str, v: AVal, prov: Provenance) {
+        for scope in self.scopes.iter_mut().rev() {
+            if let Some(slot) = scope.get_mut(name) {
+                *slot = Binding { val: v, prov };
+                return;
+            }
+        }
+        self.bind_with(name, v, prov);
+    }
+
+    /// Stochastic provenance of an expression's value.
+    fn expr_prov(&self, e: &Expr) -> Provenance {
+        match e {
+            Expr::FloatConst(_) | Expr::IntConst(_) | Expr::GlobalId(_) => {
+                Provenance::deterministic()
+            }
+            Expr::Var(n) => self.lookup_prov(n),
+            Expr::Load { buf, index } => {
+                let mut sources = self.expr_prov(index).sources;
+                if let Some(extra) = self.buffer_sources.get(buf) {
+                    sources.extend(extra.iter().cloned());
+                }
+                sources.insert(buf.clone());
+                Provenance { sources, raw: true }
+            }
+            // A cast changes representation, not which draw the value
+            // is.
+            Expr::Cast { arg, .. } => self.expr_prov(arg),
+            Expr::Unary { arg, .. } => Provenance {
+                sources: self.expr_prov(arg).sources,
+                raw: false,
+            },
+            Expr::Bin { lhs, rhs, .. } | Expr::Cmp { lhs, rhs, .. } => {
+                let mut sources = self.expr_prov(lhs).sources;
+                sources.extend(self.expr_prov(rhs).sources);
+                Provenance {
+                    sources,
+                    raw: false,
+                }
+            }
+            Expr::Select { cond, then, els } => {
+                let mut sources = self.expr_prov(cond).sources;
+                sources.extend(self.expr_prov(then).sources);
+                sources.extend(self.expr_prov(els).sources);
+                Provenance {
+                    sources,
+                    raw: false,
+                }
+            }
+        }
+    }
+
+    /// Whether `E[l]·E[r]` can never over-state the magnitude of
+    /// `E[l·r]`: the factors share no stochastic source (independent
+    /// draws — exact), or both are raw draws from the same single
+    /// *pristine* input buffer (two iid elements are either the same
+    /// one — a square, whose true mean `E[X²] ≥ E[X]²` the estimate
+    /// under-states — or independent).
+    fn independent_factors(&self, l: &Expr, r: &Expr) -> bool {
+        let lp = self.expr_prov(l);
+        let rp = self.expr_prov(r);
+        lp.sources.is_disjoint(&rp.sources)
+            || (lp.raw
+                && rp.raw
+                && lp.sources == rp.sources
+                && lp.sources.len() == 1
+                && lp
+                    .sources
+                    .iter()
+                    .all(|b| !self.buffer_sources.contains_key(b)))
     }
 
     fn buffer_range(&self, buf: &str) -> ValueRange {
@@ -810,10 +957,16 @@ impl Absint<'_> {
                     (FloatBinOp::Add, Some(x), Some(y)) => Some(x + y),
                     (FloatBinOp::Sub, Some(x), Some(y)) => Some(x - y),
                     // Mean of a product of *independently drawn* values
-                    // is the product of means; dependence (same-element
-                    // squares) only under-estimates magnitude, which is
-                    // the conservative direction for overflow proofs.
-                    (FloatBinOp::Mul, Some(x), Some(y)) => Some(x * y),
+                    // is the product of means. Correlated factors can
+                    // break that in the unsound direction — for
+                    // `x·(c−x)` the product of means over-states the
+                    // true mean's magnitude — so the mean survives only
+                    // when provenance shows the factors are independent
+                    // draws (or same-buffer raw draws, where dependence
+                    // means a square and only under-estimates).
+                    (FloatBinOp::Mul, Some(x), Some(y)) if self.independent_factors(lhs, rhs) => {
+                        Some(x * y)
+                    }
                     (FloatBinOp::Div, Some(x), Some(y))
                         if b.bounds.lo == b.bounds.hi && y != 0.0 =>
                     {
@@ -918,11 +1071,13 @@ impl Absint<'_> {
         match stmt {
             Stmt::Let { name, value, .. } => {
                 let v = self.eval(value);
-                self.bind(name, v);
+                let prov = self.expr_prov(value);
+                self.bind_with(name, v, prov);
             }
             Stmt::Assign { name, value } => {
                 let v = self.eval(value);
-                self.assign(name, v);
+                let prov = self.expr_prov(value);
+                self.assign_with(name, v, prov);
             }
             Stmt::Store { buf, index, value } => {
                 self.eval(index);
@@ -936,6 +1091,18 @@ impl Absint<'_> {
                 // new elements: hull them.
                 let merged = self.buffer_range(buf).hull(v);
                 self.buffers.insert(buf.clone(), merged);
+                // Stored values derived from other draws leave the
+                // buffer non-pristine: its loads carry those sources
+                // and no longer qualify for the same-buffer product
+                // exemption.
+                let mut extra = self.expr_prov(value).sources;
+                extra.extend(self.expr_prov(index).sources);
+                if !extra.is_empty() {
+                    self.buffer_sources
+                        .entry(buf.clone())
+                        .or_default()
+                        .extend(extra);
+                }
             }
             Stmt::If {
                 cond,
@@ -1029,73 +1196,85 @@ impl Absint<'_> {
     }
 
     /// Closed-form summary of a loop with known trip count `e0 - s0 >`
-    /// [`UNROLL_CAP`]: additive recurrences jump to their post-state,
-    /// everything else assigned widens to ⊤.
+    /// [`UNROLL_CAP`]: additive recurrences with iteration-independent
+    /// deltas jump to their post-state, everything else assigned widens
+    /// to ⊤.
     fn summarize_loop(&mut self, var: &str, s0: i128, e0: i128, body: &[Stmt], definite: bool) {
         let trips = e0 - s0;
         let mut assigned = HashSet::new();
         assigned_vars(body, &mut assigned);
         let mut stored = HashSet::new();
         stored_buffers(body, &mut stored);
-
-        // Classify top-level additive recurrences whose delta is
-        // iteration-independent: no reads of assigned variables, no
-        // loads from buffers the body itself stores to, assigned
-        // exactly once in the whole body.
         let mut assign_counts: HashMap<&str, usize> = HashMap::new();
         count_assigns(body, &mut assign_counts);
-        let mut recurrences: Vec<Recurrence<'_>> = Vec::new();
-        for stmt in body {
-            let Stmt::Assign { name, value } = stmt else {
-                continue;
-            };
-            let Some(rec) = match_recurrence(name, value) else {
-                continue;
-            };
-            let mut vars = HashSet::new();
-            expr_vars(rec.delta, &mut vars);
-            let mut loads = HashSet::new();
-            loaded_buffers(rec.delta, &mut loads);
-            let independent = vars.iter().all(|v| !assigned.contains(v))
-                && loads.iter().all(|b| !stored.contains(b))
-                && assign_counts.get(name.as_str()).copied() == Some(1);
-            if independent {
-                recurrences.push(rec);
-            }
-        }
 
-        // Pass A: evaluate the deltas in the pre-state (loop variable
-        // bound to its full range; lets walked in order so a delta may
-        // reference them).
+        // Pass A: walk the top-level statements once in the pre-state
+        // (loop variable bound to its full range), binding lets in
+        // order and recording, per let, the transitive variables and
+        // buffer loads its definition reads. An additive recurrence
+        // earns a closed form only when its delta is
+        // iteration-independent *through those lets as well*: expanded
+        // past every let it references, it must read no variable the
+        // body assigns, load no buffer the body stores to, and its
+        // target must be assigned exactly once in the whole body. So
+        // `let t = f(acc); acc = acc + t` is loop-carried and widens,
+        // while `let c = load(w, k); acc = acc + c` still summarizes.
+        // Each surviving delta is evaluated at its own program point —
+        // exactly the binding environment the first iteration sees — so
+        // a let that only shadows later cannot leak into an earlier
+        // delta.
         self.scopes.push(HashMap::new());
         self.bind(var, AVal::Int(IntRange::new(s0, e0 - 1)));
-        let mut deltas: HashMap<String, ValueRange> = HashMap::new();
+        let mut let_reads: HashMap<String, (HashSet<String>, HashSet<String>)> = HashMap::new();
+        let mut deltas: HashMap<String, (ValueRange, Provenance)> = HashMap::new();
         for stmt in body {
-            if let Stmt::Let { name, value, .. } = stmt {
-                let v = self.eval(value);
-                self.bind(name, v);
-            }
-        }
-        for rec in &recurrences {
-            let d = self.eval(rec.delta).as_float();
-            let d = if rec.negated {
-                ValueRange {
-                    bounds: d.bounds.neg(),
-                    mean: d.mean.map(|m| -m),
+            match stmt {
+                Stmt::Let { name, value, .. } => {
+                    let reads = reads_through_lets(value, &let_reads);
+                    let v = self.eval(value);
+                    let prov = self.expr_prov(value);
+                    self.bind_with(name, v, prov);
+                    let_reads.insert(name.clone(), reads);
                 }
-            } else {
-                d
-            };
-            deltas.insert(rec.name.to_owned(), d);
+                Stmt::Assign { name, value } => {
+                    let Some(rec) = match_recurrence(name, value) else {
+                        continue;
+                    };
+                    let (vars, loads) = reads_through_lets(rec.delta, &let_reads);
+                    let independent = vars.iter().all(|v| !assigned.contains(v))
+                        && loads.iter().all(|b| !stored.contains(b))
+                        && assign_counts.get(name.as_str()).copied() == Some(1);
+                    if !independent {
+                        continue;
+                    }
+                    let d = self.eval(rec.delta).as_float();
+                    let d = if rec.negated {
+                        ValueRange {
+                            bounds: d.bounds.neg(),
+                            mean: d.mean.map(|m| -m),
+                        }
+                    } else {
+                        d
+                    };
+                    let prov = self.expr_prov(rec.delta);
+                    deltas.insert(rec.name.to_owned(), (d, prov));
+                }
+                _ => {}
+            }
         }
         self.scopes.pop();
 
         // Closed forms: post-state and the hull over all iterations.
+        // The recurrence's provenance accumulates the delta's on top of
+        // its initial value's.
         let t = trips as f64;
-        let mut finals: HashMap<String, ValueRange> = HashMap::new();
-        let mut hulls: HashMap<String, ValueRange> = HashMap::new();
-        for (name, d) in &deltas {
+        let mut finals: HashMap<String, (ValueRange, Provenance)> = HashMap::new();
+        let mut hulls: HashMap<String, (ValueRange, Provenance)> = HashMap::new();
+        for (name, (d, dprov)) in &deltas {
             let v0 = self.lookup(name).as_float();
+            let mut prov = self.lookup_prov(name);
+            prov.sources.extend(dprov.sources.iter().cloned());
+            prov.raw = false;
             let post = ValueRange {
                 bounds: Interval::new(
                     v0.bounds.lo + t * d.bounds.lo,
@@ -1113,8 +1292,8 @@ impl Absint<'_> {
                 ),
                 mean: None,
             };
-            finals.insert(name.clone(), post);
-            hulls.insert(name.clone(), hull);
+            finals.insert(name.clone(), (post, prov.clone()));
+            hulls.insert(name.clone(), (hull, prov));
         }
 
         // Pass B: walk the body once for its stores and nested effects,
@@ -1122,7 +1301,7 @@ impl Absint<'_> {
         // assigned variable widened to ⊤.
         for name in &assigned {
             match hulls.get(name.as_str()) {
-                Some(h) => self.assign(name, AVal::Float(*h)),
+                Some((h, p)) => self.assign_with(name, AVal::Float(*h), p.clone()),
                 None => self.widen_var(name),
             }
         }
@@ -1135,11 +1314,35 @@ impl Absint<'_> {
         // stays widened.
         for name in &assigned {
             match finals.get(name.as_str()) {
-                Some(f) => self.assign(name, AVal::Float(*f)),
+                Some((f, p)) => self.assign_with(name, AVal::Float(*f), p.clone()),
                 None => self.widen_var(name),
             }
         }
     }
+}
+
+/// Variables and buffers `e` reads, expanded transitively through the
+/// loop body's `let` bindings walked so far: referencing a let pulls in
+/// everything its definition (recursively) reads. The let's own name
+/// stays in the set, which is harmless — independence only tests
+/// `Assign` targets and stored buffers against it.
+fn reads_through_lets(
+    e: &Expr,
+    let_reads: &HashMap<String, (HashSet<String>, HashSet<String>)>,
+) -> (HashSet<String>, HashSet<String>) {
+    let mut vars = HashSet::new();
+    expr_vars(e, &mut vars);
+    let mut loads = HashSet::new();
+    loaded_buffers(e, &mut loads);
+    // Entries in `let_reads` are already fully expanded at insertion,
+    // so one substitution level closes the set.
+    for v in vars.clone() {
+        if let Some((dv, dl)) = let_reads.get(&v) {
+            vars.extend(dv.iter().cloned());
+            loads.extend(dl.iter().cloned());
+        }
+    }
+    (vars, loads)
 }
 
 fn count_assigns<'b>(stmts: &'b [Stmt], out: &mut HashMap<&'b str, usize>) {
@@ -1165,13 +1368,16 @@ fn count_assigns<'b>(stmts: &'b [Stmt], out: &mut HashMap<&'b str, usize>) {
 /// Hulls `other`'s bindings into `scopes` (same shape by construction:
 /// both sides grew from the same pre-state and popped their inner
 /// scopes).
-fn join_scopes(scopes: &mut [HashMap<String, AVal>], other: &[HashMap<String, AVal>]) {
+fn join_scopes(scopes: &mut [HashMap<String, Binding>], other: &[HashMap<String, Binding>]) {
     for (mine, theirs) in scopes.iter_mut().zip(other) {
-        for (name, v) in theirs {
+        for (name, b) in theirs {
             match mine.get_mut(name) {
-                Some(slot) => *slot = slot.hull(*v),
+                Some(slot) => {
+                    slot.val = slot.val.hull(b.val);
+                    slot.prov = slot.prov.join(&b.prov);
+                }
                 None => {
-                    mine.insert(name.clone(), *v);
+                    mine.insert(name.clone(), b.clone());
                 }
             }
         }
@@ -1315,6 +1521,158 @@ mod tests {
             "{large:?}"
         );
         assert_eq!(small.range.bounds.lo, 0.0);
+    }
+
+    #[test]
+    fn loop_carried_dependence_through_a_let_widens_instead_of_misproving() {
+        // Geometric approach to a fixpoint: acc converges to 60000 and
+        // never exceeds it. The delta `t` reads `acc` *through a let*,
+        // so it is loop-carried — classifying it as an independent
+        // additive recurrence would report ~3e6 on both bounds and
+        // wrongly prove Half unsafe for data that fits.
+        let k = kernel("conv")
+            .buffer("o", Precision::Double, Access::Write)
+            .body(vec![
+                let_("acc", flit(0.0)),
+                for_(
+                    "i",
+                    int(0),
+                    int(100),
+                    vec![
+                        let_("t", (flit(60000.0) - var("acc")) * flit(0.5)),
+                        assign("acc", var("acc") + var("t")),
+                    ],
+                ),
+                store("o", global_id(0), var("acc")),
+            ]);
+        let env = LaunchBounds {
+            global: [1, 1],
+            ..LaunchBounds::default()
+        };
+        let stores = analyze_kernel(&k, &env);
+        assert_eq!(stores.len(), 1);
+        let r = stores[0].range;
+        // Sound: the concrete trajectory (0 → 60000) stays inside.
+        assert!(
+            r.bounds.lo <= 0.0 && r.bounds.hi >= 60000.0,
+            "unsound bounds {r:?}"
+        );
+        // And no proof may fire: the trial would have passed.
+        assert_eq!(
+            verdict_for(&[(r, stores[0].definite)], Precision::Half),
+            PrecisionVerdict::Unknown
+        );
+    }
+
+    #[test]
+    fn iteration_independent_let_delta_still_summarizes() {
+        // The delta routes through a let but reads only an un-stored
+        // buffer: the closed form (not ⊤ widening) must survive.
+        let k = kernel("s")
+            .buffer("w", Precision::Double, Access::Read)
+            .buffer("o", Precision::Double, Access::Write)
+            .body(vec![
+                let_("acc", flit(0.0)),
+                for_(
+                    "i",
+                    int(0),
+                    int(100),
+                    vec![
+                        let_("c", load("w", var("i"))),
+                        assign("acc", var("acc") + var("c")),
+                    ],
+                ),
+                store("o", global_id(0), var("acc")),
+            ]);
+        let mut env = LaunchBounds {
+            global: [1, 1],
+            ..LaunchBounds::default()
+        };
+        env.buffers
+            .insert("w".into(), ValueRange::with_mean(0.0, 2.0, 1.0));
+        let stores = analyze_kernel(&k, &env);
+        let r = stores[0].range;
+        assert!((r.bounds.hi - 200.0).abs() < 1e-9, "{r:?}");
+        assert_eq!(r.bounds.lo, 0.0);
+        assert_eq!(r.mean, Some(100.0));
+    }
+
+    #[test]
+    fn negatively_correlated_product_drops_its_mean() {
+        // x·(c−x): E[X]·E[c−X] over-states |E[X(c−X)]| by Var(X), so
+        // keeping the mean would let a "proof" fire on data whose true
+        // mean is smaller. The interval stays; the mean must not.
+        let k = kernel("p")
+            .buffer("a", Precision::Double, Access::Read)
+            .buffer("o", Precision::Double, Access::Write)
+            .body(vec![
+                let_("i", global_id(0)),
+                let_("x", load("a", var("i"))),
+                store("o", var("i"), var("x") * (flit(100.0) - var("x"))),
+            ]);
+        let mut env = LaunchBounds {
+            global: [4, 1],
+            ..LaunchBounds::default()
+        };
+        env.buffers
+            .insert("a".into(), ValueRange::with_mean(0.0, 100.0, 50.0));
+        let stores = analyze_kernel(&k, &env);
+        assert_eq!(stores[0].range.mean, None, "{:?}", stores[0].range);
+        assert_eq!(stores[0].range.bounds, Interval::new(0.0, 10000.0));
+    }
+
+    #[test]
+    fn same_buffer_raw_draws_keep_the_product_mean() {
+        // The SYRK shape: two raw loads of one pristine buffer are the
+        // same element (a square — the estimate under-states) or
+        // independent draws (exact). The mean survives.
+        let k = kernel("syrkish")
+            .buffer("a", Precision::Double, Access::Read)
+            .buffer("o", Precision::Double, Access::Write)
+            .body(vec![
+                let_("i", global_id(0)),
+                let_("j", global_id(1)),
+                store("o", var("i"), load("a", var("i")) * load("a", var("j"))),
+            ]);
+        let mut env = LaunchBounds {
+            global: [4, 4],
+            ..LaunchBounds::default()
+        };
+        env.buffers
+            .insert("a".into(), ValueRange::with_mean(0.0, 100.0, 50.0));
+        let stores = analyze_kernel(&k, &env);
+        assert_eq!(stores[0].range.mean, Some(2500.0));
+    }
+
+    #[test]
+    fn derived_buffer_products_drop_the_mean() {
+        // o = c − a makes o's elements anti-correlated with a's; a
+        // later a·o product must not multiply means even though the
+        // factors load from different buffers.
+        let k = kernel("d")
+            .buffer("a", Precision::Double, Access::Read)
+            .buffer("o", Precision::Double, Access::ReadWrite)
+            .buffer("p", Precision::Double, Access::Write)
+            .body(vec![
+                let_("i", global_id(0)),
+                store("o", var("i"), flit(100.0) - load("a", var("i"))),
+                store("p", var("i"), load("a", var("i")) * load("o", var("i"))),
+            ]);
+        let mut env = LaunchBounds {
+            global: [4, 1],
+            ..LaunchBounds::default()
+        };
+        env.buffers
+            .insert("a".into(), ValueRange::with_mean(0.0, 100.0, 50.0));
+        // Seed o to the very distribution the first store produces, so
+        // the hull preserves the mean and only provenance can (and
+        // must) kill the product's.
+        env.buffers
+            .insert("o".into(), ValueRange::with_mean(0.0, 100.0, 50.0));
+        let stores = analyze_kernel(&k, &env);
+        assert_eq!(stores.len(), 2);
+        assert_eq!(stores[0].range.mean, Some(50.0), "{:?}", stores[0].range);
+        assert_eq!(stores[1].range.mean, None, "{:?}", stores[1].range);
     }
 
     #[test]

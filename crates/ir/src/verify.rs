@@ -224,12 +224,14 @@ fn const_int(e: &Expr) -> Option<i64> {
                 FloatBinOp::Add => l.wrapping_add(r),
                 FloatBinOp::Sub => l.wrapping_sub(r),
                 FloatBinOp::Mul => l.wrapping_mul(r),
+                // Constant division by zero has no value to fold to;
+                // treating it as runtime-dependent keeps the index out
+                // of the OOB and dead-store logic entirely.
                 FloatBinOp::Div => {
                     if r == 0 {
-                        0
-                    } else {
-                        l.wrapping_div(r)
+                        return None;
                     }
+                    l.wrapping_div(r)
                 }
                 FloatBinOp::Min => l.min(r),
                 FloatBinOp::Max => l.max(r),
@@ -273,11 +275,13 @@ impl Verifier<'_> {
         for s in stmts {
             match s {
                 Stmt::Store { buf, index, value } => {
-                    // Reads inside the stored value (including of the
-                    // same buffer) happen before the write lands.
-                    if self.reads_buffer(index, buf) || self.reads_buffer(value, buf) {
-                        pending.retain(|(b, _), ()| b != buf);
-                    }
+                    // Reads inside the index or stored value — of any
+                    // buffer, not just the one being written — happen
+                    // before the write lands and keep earlier stores
+                    // to the read buffer alive.
+                    pending.retain(|(b, _), ()| {
+                        !self.reads_buffer(index, b) && !self.reads_buffer(value, b)
+                    });
                     if let Some(i) = const_int(index) {
                         if pending.insert((buf.clone(), i), ()).is_some() {
                             self.diag(VerifyDiagnostic::DeadStore {
@@ -554,6 +558,34 @@ mod tests {
         body.push(store("c", int(0), flit(2.0)));
         let k = base().body(body);
         assert_eq!(verify_kernel(&k), vec![]);
+    }
+
+    #[test]
+    fn cross_buffer_read_inside_a_store_keeps_the_store_alive() {
+        // The read of `c` happens inside a store to a *different*
+        // buffer; it must still count as a use of c[0].
+        let mut body = use_all();
+        body.push(store("c", int(0), flit(1.0)));
+        body.push(store("a", int(0), load("c", int(0))));
+        body.push(store("c", int(0), flit(2.0)));
+        let k = kernel("k")
+            .buffer("a", Precision::Double, Access::ReadWrite)
+            .buffer("c", Precision::Double, Access::ReadWrite)
+            .int_param("n")
+            .body(body);
+        assert_eq!(verify_kernel(&k), vec![]);
+    }
+
+    #[test]
+    fn constant_division_by_zero_is_not_a_constant_index() {
+        // `5/0` must not fold to index 0: the store is treated as
+        // dynamic, so no dead-store (or OOB) diagnostic may fire.
+        let mut body = use_all();
+        body.push(store("c", int(5) / int(0), flit(1.0)));
+        body.push(store("c", int(0), flit(2.0)));
+        let k = base().body(body);
+        assert_eq!(verify_kernel(&k), vec![]);
+        assert_eq!(const_int(&(int(5) / int(0))), None);
     }
 
     #[test]
